@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks for the hot data structures of the
+//! simulation stack: CROW-table operations, the DRAM timing engine,
+//! address mapping, LLC accesses, the circuit model, and trace
+//! generation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use crow_circuit::CircuitModel;
+use crow_core::{CrowConfig, CrowSubstrate};
+use crow_cpu::{AccessKind, Llc};
+use crow_dram::{ActKind, AddrMapper, CmdDesc, DramChannel, DramConfig, MapScheme};
+use crow_workloads::AppProfile;
+
+fn bench_crow_table(c: &mut Criterion) {
+    let mut s = CrowSubstrate::new(CrowConfig::paper_default());
+    // Pre-populate a few subarrays.
+    for row in 0..64u32 {
+        if let crow_core::ActDecision::CopyInstall { copy } = s.decide(0, row % 8, row) {
+            s.commit_install(0, row % 8, row, copy);
+        }
+    }
+    let mut row = 0u32;
+    c.bench_function("crow_table_peek", |b| {
+        b.iter(|| {
+            row = (row + 1) % 64;
+            black_box(s.peek(0, row % 8, row))
+        })
+    });
+}
+
+fn bench_timing_engine(c: &mut Criterion) {
+    let cfg = DramConfig::lpddr4_default();
+    c.bench_function("dram_act_rd_pre_cycle", |b| {
+        let mut ch = DramChannel::new(cfg.clone());
+        let mut now = 0u64;
+        let _ = now;
+        b.iter(|| {
+            let act = CmdDesc::act(0, 0, ActKind::single(5));
+            now = ch.ready_at(&act).unwrap();
+            ch.issue(&act, now);
+            let rd = CmdDesc::rd(0, 0, 3);
+            let t = ch.ready_at(&rd).unwrap();
+            ch.issue(&rd, t);
+            let pre = CmdDesc::pre(0, 0);
+            let t = ch.ready_at(&pre).unwrap();
+            ch.issue(&pre, t);
+            black_box(t)
+        })
+    });
+}
+
+fn bench_addr_map(c: &mut Criterion) {
+    let m = AddrMapper::new(MapScheme::RoBaRaCoCh, 4, &DramConfig::lpddr4_default());
+    let mut pa = 0u64;
+    c.bench_function("addr_decode", |b| {
+        b.iter(|| {
+            pa = pa.wrapping_add(0x1_2345_6740);
+            black_box(m.decode(pa))
+        })
+    });
+}
+
+fn bench_llc(c: &mut Criterion) {
+    let mut llc = Llc::new(8 << 20, 8);
+    let mut a = 0u64;
+    c.bench_function("llc_access", |b| {
+        b.iter(|| {
+            a = a.wrapping_add(4096 + 64);
+            black_box(llc.access(a % (64 << 20), AccessKind::Read))
+        })
+    });
+}
+
+fn bench_circuit(c: &mut Criterion) {
+    c.bench_function("circuit_calibration", |b| {
+        b.iter(|| black_box(CircuitModel::calibrated()))
+    });
+    let m = CircuitModel::calibrated();
+    c.bench_function("circuit_mra_sweep", |b| b.iter(|| black_box(m.mra_sweep(9))));
+}
+
+fn bench_trace_gen(c: &mut Criterion) {
+    let mut t = AppProfile::by_name("mcf").unwrap().trace(7);
+    c.bench_function("trace_next_entry", |b| b.iter(|| black_box(t.next_entry())));
+}
+
+criterion_group!(
+    benches,
+    bench_crow_table,
+    bench_timing_engine,
+    bench_addr_map,
+    bench_llc,
+    bench_circuit,
+    bench_trace_gen
+);
+criterion_main!(benches);

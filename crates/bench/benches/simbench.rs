@@ -1,0 +1,69 @@
+//! End-to-end simulation throughput benchmarks: how fast the full
+//! system simulates one application under each mechanism, and the raw
+//! controller command rate.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use crow_mem::{McConfig, MemController, MemRequest, ReqKind};
+use crow_sim::{Mechanism, System, SystemConfig};
+use crow_workloads::AppProfile;
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("system_30k_insts");
+    group.sample_size(10);
+    for mech in [
+        Mechanism::Baseline,
+        Mechanism::crow_cache(8),
+        Mechanism::crow_combined(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mech.label()),
+            &mech,
+            |b, &mech| {
+                let app = AppProfile::by_name("mcf").unwrap();
+                b.iter(|| {
+                    let cfg = SystemConfig::quick_test(mech);
+                    let mut sys = System::new(cfg, &[app]);
+                    black_box(sys.run(20_000_000))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_controller_stream(c: &mut Criterion) {
+    c.bench_function("controller_1k_random_reads", |b| {
+        b.iter(|| {
+            let mut dram = crow_dram::DramConfig::tiny_test();
+            dram.copy_rows_per_subarray = 0;
+            let mut mc = MemController::new(McConfig::paper_default(), dram, None);
+            let mut out = Vec::new();
+            let mut next = 0u64;
+            let mut now = 0u64;
+            while out.len() < 1000 {
+                if mc.can_accept_read() && next < 1000 {
+                    let row = (next * 97) % 512;
+                    let bank = (next * 13) % 2;
+                    mc.try_enqueue(MemRequest::new(
+                        next,
+                        ReqKind::Read,
+                        0,
+                        bank as u32,
+                        row as u32,
+                        (next % 16) as u32,
+                        0,
+                    ))
+                    .ok();
+                    next += 1;
+                }
+                mc.tick(now, &mut out);
+                now += 1;
+            }
+            black_box(now)
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_system, bench_controller_stream);
+criterion_main!(benches);

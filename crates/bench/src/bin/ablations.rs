@@ -1,0 +1,14 @@
+//! Runs the ablation studies (partial restoration, scheduler, row
+//! policy, CROW-table sharing, address interleaving).
+use crow_sim::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    print!("{}", crow_bench::ablations::partial_restore(scale));
+    print!("{}", crow_bench::ablations::scheduler(scale));
+    print!("{}", crow_bench::ablations::row_policy(scale));
+    print!("{}", crow_bench::ablations::table_sharing(scale));
+    print!("{}", crow_bench::ablations::refresh_granularity(scale));
+    print!("{}", crow_bench::ablations::standards(scale));
+    print!("{}", crow_bench::ablations::mapping(scale));
+}

@@ -1,0 +1,42 @@
+//! Regenerates every table and figure, printing and archiving the
+//! results under `results/`.
+use crow_sim::Scale;
+use std::time::Instant;
+
+type Section = (&'static str, Box<dyn Fn() -> String>);
+
+fn main() {
+    let scale = Scale::from_env();
+    let sections: Vec<Section> = vec![
+        ("table1", Box::new(crow_bench::circuit_figs::table1)),
+        ("fig5", Box::new(crow_bench::circuit_figs::fig5)),
+        ("fig6", Box::new(crow_bench::circuit_figs::fig6)),
+        ("fig7", Box::new(crow_bench::circuit_figs::fig7)),
+        ("overheads", Box::new(crow_bench::circuit_figs::overheads)),
+        ("fig8", Box::new(move || crow_bench::perf_figs::fig8(scale))),
+        ("fig9", Box::new(move || crow_bench::perf_figs::fig9(scale))),
+        ("fig10", Box::new(move || crow_bench::perf_figs::fig10(scale))),
+        ("fig11", Box::new(move || crow_bench::compare_figs::fig11(scale))),
+        ("fig12", Box::new(move || crow_bench::compare_figs::fig12(scale))),
+        ("fig13", Box::new(move || crow_bench::refresh_figs::fig13(scale))),
+        ("fig14", Box::new(move || crow_bench::refresh_figs::fig14(scale))),
+        ("ablation_partial_restore", Box::new(move || crow_bench::ablations::partial_restore(scale))),
+        ("ablation_scheduler", Box::new(move || crow_bench::ablations::scheduler(scale))),
+        ("ablation_row_policy", Box::new(move || crow_bench::ablations::row_policy(scale))),
+        ("ablation_table_sharing", Box::new(move || crow_bench::ablations::table_sharing(scale))),
+        ("ablation_refresh_granularity", Box::new(move || crow_bench::ablations::refresh_granularity(scale))),
+        ("ablation_standards", Box::new(move || crow_bench::ablations::standards(scale))),
+        ("ablation_mapping", Box::new(move || crow_bench::ablations::mapping(scale))),
+    ];
+    std::fs::create_dir_all("results").ok();
+    let mut combined = String::new();
+    for (name, f) in sections {
+        let t = Instant::now();
+        let text = f();
+        println!("{text}");
+        eprintln!("[{name}: {:.1?}]", t.elapsed());
+        std::fs::write(format!("results/{name}.txt"), &text).ok();
+        combined.push_str(&text);
+    }
+    std::fs::write("results/all.txt", combined).ok();
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 10 (DRAM energy with CROW-cache).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::perf_figs::fig10(Scale::from_env()));
+}

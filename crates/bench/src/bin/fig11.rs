@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 11 (CROW-cache vs TL-DRAM vs SALP).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::compare_figs::fig11(Scale::from_env()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 12 (CROW-cache with a stride prefetcher).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::compare_figs::fig12(Scale::from_env()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 13 (CROW-ref vs chip density).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::refresh_figs::fig13(Scale::from_env()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 14 (combined mechanisms vs LLC capacity).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::refresh_figs::fig14(Scale::from_env()));
+}

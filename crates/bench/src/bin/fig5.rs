@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 5 (latency vs simultaneously-activated rows).
+fn main() {
+    print!("{}", crow_bench::circuit_figs::fig5());
+}

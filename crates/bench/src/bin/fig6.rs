@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 6 (tRCD vs tRAS trade-off curves).
+fn main() {
+    print!("{}", crow_bench::circuit_figs::fig6());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Fig. 7 (MRA power and decoder area overheads).
+fn main() {
+    print!("{}", crow_bench::circuit_figs::fig7());
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 8 (single-core CROW-cache speedup + hit rate).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::perf_figs::fig8(Scale::from_env()));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Fig. 9 (four-core weighted speedup by mix group).
+use crow_sim::Scale;
+fn main() {
+    print!("{}", crow_bench::perf_figs::fig9(Scale::from_env()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the Sec. 6 / Sec. 4.2.1 overhead numbers.
+fn main() {
+    print!("{}", crow_bench::circuit_figs::overheads());
+}

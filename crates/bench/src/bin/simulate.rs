@@ -1,0 +1,273 @@
+//! Command-line simulator front end: run any workload under any
+//! mechanism with the full paper platform (or a customized one) and get
+//! a detailed report.
+//!
+//! ```sh
+//! cargo run -p crow-bench --release --bin simulate -- \
+//!     --app mcf --app libq --mechanism crow-8 --insts 500000 \
+//!     --density 64 --llc-mib 8 --prefetch
+//!
+//! # Replay recorded trace files (crow_cpu::trace format):
+//! cargo run -p crow-bench --release --bin simulate -- \
+//!     --trace core0.trace --trace core1.trace --mechanism crow-combined
+//! ```
+
+use crow_cpu::trace::{load_trace, LoopedTrace};
+use crow_cpu::TraceSource;
+use crow_dram::Command;
+use crow_sim::{Mechanism, System, SystemConfig};
+use crow_workloads::AppProfile;
+
+struct Args {
+    apps: Vec<String>,
+    traces: Vec<String>,
+    mechanism: String,
+    insts: u64,
+    warmup: u64,
+    density: u32,
+    llc_mib: u64,
+    channels: u32,
+    seed: u64,
+    prefetch: bool,
+    per_bank_refresh: bool,
+    oracle: bool,
+    ddr4: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--app NAME]... [--trace FILE]... [--mechanism M]\n\
+         \x20        [--insts N] [--warmup N] [--density 8|16|32|64]\n\
+         \x20        [--llc-mib N] [--channels N] [--seed N]\n\
+         \x20        [--prefetch] [--per-bank-refresh] [--oracle] [--ddr4]\n\
+         \n\
+         mechanisms: baseline, crow-N (copy rows), crow-ref, crow-combined,\n\
+         \x20           ideal, no-refresh, tldram-N, salp-N, salp-N-o\n\
+         apps: see `crow_workloads::AppProfile` (mcf, libq, ... or\n\
+         \x20      random/streaming); --trace replays a recorded file instead"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        apps: Vec::new(),
+        traces: Vec::new(),
+        mechanism: "crow-8".into(),
+        insts: 400_000,
+        warmup: 50_000,
+        density: 8,
+        llc_mib: 8,
+        channels: 4,
+        seed: 0xC0DE,
+        prefetch: false,
+        per_bank_refresh: false,
+        oracle: false,
+        ddr4: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--app" => a.apps.push(val("--app")),
+            "--trace" => a.traces.push(val("--trace")),
+            "--mechanism" | "-m" => a.mechanism = val("--mechanism"),
+            "--insts" => a.insts = val("--insts").parse().unwrap_or_else(|_| usage()),
+            "--warmup" => a.warmup = val("--warmup").parse().unwrap_or_else(|_| usage()),
+            "--density" => a.density = val("--density").parse().unwrap_or_else(|_| usage()),
+            "--llc-mib" => a.llc_mib = val("--llc-mib").parse().unwrap_or_else(|_| usage()),
+            "--channels" => a.channels = val("--channels").parse().unwrap_or_else(|_| usage()),
+            "--seed" => a.seed = val("--seed").parse().unwrap_or_else(|_| usage()),
+            "--prefetch" => a.prefetch = true,
+            "--ddr4" => a.ddr4 = true,
+            "--per-bank-refresh" => a.per_bank_refresh = true,
+            "--oracle" => a.oracle = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    if a.apps.is_empty() && a.traces.is_empty() {
+        a.apps.push("mcf".into());
+    }
+    a
+}
+
+fn parse_mechanism(s: &str) -> Mechanism {
+    let s = s.to_ascii_lowercase();
+    match s.as_str() {
+        "baseline" => return Mechanism::Baseline,
+        "crow-ref" | "ref" => return Mechanism::crow_ref(),
+        "crow-combined" | "combined" => return Mechanism::crow_combined(),
+        "ideal" => return Mechanism::IdealCache,
+        "ideal-no-refresh" => return Mechanism::IdealCacheNoRefresh,
+        "no-refresh" => return Mechanism::NoRefresh,
+        _ => {}
+    }
+    if let Some(n) = s.strip_prefix("crow-") {
+        if let Ok(n) = n.parse::<u8>() {
+            return Mechanism::crow_cache(n);
+        }
+    }
+    if let Some(n) = s.strip_prefix("tldram-") {
+        if let Ok(n) = n.parse::<u8>() {
+            return Mechanism::TlDram { near_rows: n };
+        }
+    }
+    if let Some(rest) = s.strip_prefix("salp-") {
+        let (n, open_page) = match rest.strip_suffix("-o") {
+            Some(core) => (core, true),
+            None => (rest, false),
+        };
+        if let Ok(subarrays) = n.parse::<u32>() {
+            return Mechanism::Salp {
+                subarrays,
+                open_page,
+            };
+        }
+    }
+    eprintln!("unknown mechanism {s}");
+    usage();
+}
+
+fn main() {
+    let args = parse_args();
+    let mech = parse_mechanism(&args.mechanism);
+    let base = if args.ddr4 {
+        SystemConfig::ddr4(mech)
+    } else {
+        SystemConfig::paper_default(mech).with_density(args.density)
+    };
+    let mut cfg = base.with_llc_bytes(args.llc_mib << 20);
+    cfg.channels = args.channels;
+    cfg.seed = args.seed;
+    cfg.cpu.target_insts = args.insts;
+    cfg.mc.per_bank_refresh = args.per_bank_refresh;
+    cfg.oracle = args.oracle;
+    if args.prefetch {
+        cfg = cfg.with_prefetcher();
+    }
+
+    let mut names = Vec::new();
+    let mut sys = if args.traces.is_empty() {
+        let apps: Vec<&'static AppProfile> = args
+            .apps
+            .iter()
+            .map(|n| {
+                AppProfile::by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown app {n}");
+                    usage()
+                })
+            })
+            .collect();
+        names = apps.iter().map(|a| a.name.to_string()).collect();
+        System::new(cfg, &apps)
+    } else {
+        let traces: Vec<Box<dyn TraceSource>> = args
+            .traces
+            .iter()
+            .map(|p| {
+                let entries = load_trace(std::path::Path::new(p)).unwrap_or_else(|e| {
+                    eprintln!("cannot load {p}: {e}");
+                    std::process::exit(1);
+                });
+                names.push(p.clone());
+                Box::new(LoopedTrace::new(entries)) as Box<dyn TraceSource>
+            })
+            .collect();
+        System::with_traces(cfg, traces)
+    };
+
+    if args.warmup > 0 {
+        sys.warm(args.warmup);
+    }
+    let start = std::time::Instant::now();
+    let r = sys.run(u64::MAX);
+    if args.oracle {
+        sys.assert_data_integrity();
+        println!("data-integrity oracle: clean");
+    }
+
+    println!(
+        "== {} | {} | {} insts/core | {} Gbit | {} MiB LLC | {} ch{}{} ==",
+        mech.label(),
+        if args.ddr4 { "DDR4-2400" } else { "LPDDR4-3200" },
+        args.insts,
+        args.density,
+        args.llc_mib,
+        args.channels,
+        if args.prefetch { " | prefetch" } else { "" },
+        if args.per_bank_refresh {
+            " | per-bank refresh"
+        } else {
+            ""
+        },
+    );
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "core {i} ({name}): IPC {:.3}, MPKI {:.1}",
+            r.ipc[i], r.mpki[i]
+        );
+    }
+    // Merge latency percentiles across channels.
+    println!(
+        "reads {} | writes {} | avg lat {:.0} | p50 <= {} | p99 <= {} | max {} (mem cycles)",
+        r.mc.reads,
+        r.mc.writes,
+        r.mc.avg_read_latency(),
+        r.mc.latency_percentile(0.5),
+        r.mc.latency_percentile(0.99),
+        r.mc.read_latency_max,
+    );
+    println!(
+        "row buffer: hits {} misses {} conflicts {} ({:.1}% hit)",
+        r.mc.row_hits,
+        r.mc.row_misses,
+        r.mc.row_conflicts,
+        r.mc.row_hit_rate() * 100.0
+    );
+    println!(
+        "commands: ACT {} ACT-c {} ACT-t {} PRE {} REF {} REFpb {}",
+        r.commands.issued(Command::Act),
+        r.commands.issued(Command::ActC),
+        r.commands.issued(Command::ActT),
+        r.commands.issued(Command::Pre),
+        r.commands.issued(Command::Ref),
+        r.commands.issued(Command::RefPb),
+    );
+    if r.crow.cache_lookups + r.crow.ref_redirects > 0 {
+        println!(
+            "CROW: hit rate {:.2} | installs {} | restore-evictions {} | ref redirects {} | hammer remaps {}",
+            r.crow_hit_rate(),
+            r.crow.cache_installs,
+            r.crow.restore_evictions,
+            r.crow.ref_redirects,
+            r.crow.hammer_remaps,
+        );
+    }
+    let e = &r.energy;
+    println!(
+        "energy: {:.3} mJ (act {:.0} uJ, rd {:.0} uJ, wr {:.0} uJ, ref {:.0} uJ, bg {:.0} uJ; refresh {:.1}%)",
+        r.energy_mj(),
+        e.act_nj / 1e3,
+        e.rd_nj / 1e3,
+        e.wr_nj / 1e3,
+        e.ref_nj / 1e3,
+        e.background_nj / 1e3,
+        e.refresh_fraction() * 100.0,
+    );
+    println!(
+        "simulated {} CPU cycles ({} mem) in {:.2?}{}",
+        r.cpu_cycles,
+        r.mem_cycles,
+        start.elapsed(),
+        if r.finished { "" } else { " [DID NOT FINISH]" },
+    );
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table 1 from the analytical circuit model.
+fn main() {
+    print!("{}", crow_bench::circuit_figs::table1());
+}

@@ -1,0 +1,23 @@
+//! # crow-bench
+//!
+//! The experiment harness: one module (and one binary) per table/figure
+//! of the CROW paper's evaluation, regenerating the same rows/series
+//! from the simulation stack built in this workspace.
+//!
+//! Run e.g. `cargo run -p crow-bench --release --bin fig8`, or `--bin
+//! all` to regenerate everything. Scale knobs come from the environment
+//! (`CROW_INSTS`, `CROW_WARMUP`, `CROW_MIXES`, `CROW_APPS=all`); see
+//! [`crow_sim::Scale`].
+//!
+//! Each module returns the report as a `String` so the `all` binary can
+//! both print and archive results, and so tests can exercise the logic
+//! at a tiny scale.
+
+pub mod ablations;
+pub mod circuit_figs;
+pub mod compare_figs;
+pub mod perf_figs;
+pub mod refresh_figs;
+pub mod util;
+
+pub use util::{fig_apps, AloneIpcCache, Table};

@@ -1,0 +1,195 @@
+//! Shared harness utilities: text tables, app selection, alone-run IPC
+//! caching for weighted speedup.
+
+use std::collections::HashMap;
+
+use crow_sim::{run_single, Mechanism, Scale, SimReport};
+use crow_workloads::AppProfile;
+
+/// A simple fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a width mismatch.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Section header for reports.
+pub fn heading(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// The single-core application set the performance figures sweep.
+///
+/// Defaults to a 14-app representative subset spanning the intensity
+/// classes (full runs take minutes); set `CROW_APPS=all` for the full
+/// 44-application suite.
+pub fn fig_apps() -> Vec<&'static AppProfile> {
+    if std::env::var("CROW_APPS").as_deref() == Ok("all") {
+        return AppProfile::all().iter().collect();
+    }
+    [
+        "mcf",
+        "milc",
+        "omnetpp",
+        "soplex",
+        "libq",
+        "lbm",
+        "GemsFDTD",
+        "sphinx3",
+        "tpcc64",
+        "h264-dec",
+        "xalancbmk",
+        "gcc",
+        "astar",
+        "jp2-encode",
+    ]
+    .iter()
+    .map(|n| AppProfile::by_name(n).expect("known app"))
+    .collect()
+}
+
+/// Single-core speedup of `r` over `base`.
+pub fn speedup1(r: &SimReport, base: &SimReport) -> f64 {
+    r.ipc[0] / base.ipc[0]
+}
+
+/// DRAM energy of `r` normalized to `base`.
+pub fn energy_norm(r: &SimReport, base: &SimReport) -> f64 {
+    r.energy.total_nj() / base.energy.total_nj()
+}
+
+/// Caches alone-run IPCs (baseline mechanism) for weighted-speedup
+/// computations across many mixes.
+#[derive(Debug, Default)]
+pub struct AloneIpcCache {
+    map: HashMap<&'static str, f64>,
+}
+
+impl AloneIpcCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The alone (single-core, baseline) IPC of `app`.
+    pub fn get(&mut self, app: &'static AppProfile, scale: Scale) -> f64 {
+        if let Some(&v) = self.map.get(app.name) {
+            return v;
+        }
+        let r = run_single(app, Mechanism::Baseline, scale);
+        let v = r.ipc[0].max(1e-9);
+        self.map.insert(app.name, v);
+        v
+    }
+
+    /// Pre-computes alone IPCs for many apps in parallel.
+    pub fn prefill(&mut self, apps: &[&'static AppProfile], scale: Scale) {
+        let missing: Vec<&'static AppProfile> = apps
+            .iter()
+            .filter(|a| !self.map.contains_key(a.name))
+            .copied()
+            .collect();
+        let mut uniq: Vec<&'static AppProfile> = Vec::new();
+        for a in missing {
+            if !uniq.iter().any(|u| u.name == a.name) {
+                uniq.push(a);
+            }
+        }
+        let reports = crow_sim::run_many(uniq.clone(), |app| {
+            run_single(app, Mechanism::Baseline, scale)
+        });
+        for (app, r) in uniq.iter().zip(reports) {
+            self.map.insert(app.name, r.ipc[0].max(1e-9));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["app", "speedup"]);
+        t.row(vec!["mcf", "1.10"]);
+        t.row(vec!["libq", "1.02"]);
+        let s = t.render();
+        assert!(s.contains("app"));
+        assert!(s.lines().count() == 4);
+        let lens: Vec<usize> = s.lines().map(str::len).collect();
+        assert_eq!(lens[0], lens[2], "columns aligned");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn table_rejects_bad_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn fig_apps_default_subset() {
+        let apps = fig_apps();
+        assert!(apps.len() >= 10);
+        assert!(apps.iter().any(|a| a.name == "mcf"));
+    }
+
+    #[test]
+    fn alone_cache_reuses_runs() {
+        let mut c = AloneIpcCache::new();
+        let app = AppProfile::by_name("povray").unwrap();
+        let a = c.get(app, Scale::tiny());
+        let b = c.get(app, Scale::tiny());
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Monte-Carlo process-variation analysis (paper §5: 10⁴ iterations with
+//! 5% margins on every circuit parameter, worst case selected).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{CircuitModel, CircuitParams};
+
+/// Summary of a Monte-Carlo timing distribution, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McSummary {
+    /// Value of the unperturbed model.
+    pub nominal_ns: f64,
+    /// Worst (largest) value across all draws — the value a manufacturer
+    /// would rate the part for.
+    pub worst_ns: f64,
+    /// Mean across draws.
+    pub mean_ns: f64,
+    /// Standard deviation across draws.
+    pub std_ns: f64,
+    /// Number of draws.
+    pub iterations: u32,
+}
+
+/// Monte-Carlo engine: perturbs every electrical parameter of a
+/// [`CircuitParams`] by a uniform ±margin and recomputes a timing
+/// quantity per draw.
+#[derive(Debug, Clone)]
+pub struct MonteCarlo {
+    base: CircuitParams,
+    margin: f64,
+    iterations: u32,
+    seed: u64,
+}
+
+impl MonteCarlo {
+    /// The paper's setup: 10⁴ iterations, 5% margins.
+    pub fn paper_setup(base: CircuitParams) -> Self {
+        Self {
+            base,
+            margin: 0.05,
+            iterations: 10_000,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Overrides the iteration count (tests use fewer draws).
+    pub fn with_iterations(mut self, iterations: u32) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Overrides the per-parameter margin.
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        assert!((0.0..0.5).contains(&margin));
+        self.margin = margin;
+        self
+    }
+
+    /// Overrides the RNG seed (runs are deterministic for a given seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn perturbed(&self, rng: &mut StdRng) -> CircuitParams {
+        let mut p = self.base.clone();
+        let m = self.margin;
+        fn jitter(rng: &mut StdRng, m: f64, v: f64) -> f64 {
+            v * (1.0 + rng.gen_range(-m..=m))
+        }
+        p.r_cap = jitter(rng, m, p.r_cap);
+        p.tau_sense_ns = jitter(rng, m, p.tau_sense_ns);
+        p.tau_restore_ns = jitter(rng, m, p.tau_restore_ns);
+        p.tau_write_ns = jitter(rng, m, p.tau_write_ns);
+        p.write_offset_ns = jitter(rng, m, p.write_offset_ns);
+        p.copy_enable_ns = jitter(rng, m, p.copy_enable_ns);
+        // Voltages move together with the supply (common-mode), plus an
+        // independent sense-reference perturbation.
+        let vscale = 1.0 + rng.gen_range(-m..=m);
+        p.vdd *= vscale;
+        p.v_full *= vscale;
+        p.v_early *= vscale;
+        p.v_full_write *= vscale;
+        p.v_ready = jitter(rng, m, p.v_ready * vscale);
+        p
+    }
+
+    /// Runs the analysis for a timing quantity extracted by `f` from a
+    /// perturbed model (ns).
+    pub fn run<F>(&self, f: F) -> McSummary
+    where
+        F: Fn(&CircuitModel) -> f64,
+    {
+        let nominal = f(&CircuitModel::with_params(self.base.clone()));
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut worst = f64::MIN;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..self.iterations {
+            let model = CircuitModel::with_params(self.perturbed(&mut rng));
+            let v = f(&model);
+            worst = worst.max(v);
+            sum += v;
+            sumsq += v * v;
+        }
+        let n = f64::from(self.iterations);
+        let mean = sum / n;
+        let var = (sumsq / n - mean * mean).max(0.0);
+        McSummary {
+            nominal_ns: nominal,
+            worst_ns: worst,
+            mean_ns: mean,
+            std_ns: var.sqrt(),
+            iterations: self.iterations,
+        }
+    }
+
+    /// Worst-case `tRCD` for `n`-row activation at the full restore level.
+    pub fn worst_trcd(&self, n: u32) -> McSummary {
+        self.run(|m| m.sense_time_ns(n, m.params().v_full))
+    }
+
+    /// Worst-case `tRAS` (sense + full restore) for `n` rows.
+    pub fn worst_tras(&self, n: u32) -> McSummary {
+        self.run(|m| m.sense_time_ns(n, m.params().v_full) + m.restore_time_ns(n, m.params().v_full))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MonteCarlo {
+        MonteCarlo::paper_setup(CircuitParams::calibrated()).with_iterations(2000)
+    }
+
+    #[test]
+    fn worst_exceeds_nominal_but_stays_bounded() {
+        let s = mc().worst_trcd(1);
+        assert!(s.worst_ns >= s.nominal_ns);
+        assert!(
+            s.worst_ns <= s.nominal_ns * 1.5,
+            "worst {} nominal {}",
+            s.worst_ns,
+            s.nominal_ns
+        );
+        assert!(s.std_ns > 0.0);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = mc().with_seed(7).worst_tras(2);
+        let b = mc().with_seed(7).worst_tras(2);
+        assert_eq!(a, b);
+        let c = mc().with_seed(8).worst_tras(2);
+        assert_ne!(a.worst_ns, c.worst_ns);
+    }
+
+    #[test]
+    fn worst_case_ratio_tracks_nominal_ratio() {
+        // The Table 1 ratios are preserved under common-mode variation:
+        // worst(2)/worst(1) stays near nominal(2)/nominal(1).
+        let m = mc();
+        let t1 = m.worst_trcd(1);
+        let t2 = m.worst_trcd(2);
+        let worst_ratio = t2.worst_ns / t1.worst_ns;
+        let nominal_ratio = t2.nominal_ns / t1.nominal_ns;
+        assert!(
+            (worst_ratio - nominal_ratio).abs() < 0.08,
+            "worst {worst_ratio} vs nominal {nominal_ratio}"
+        );
+    }
+
+    #[test]
+    fn zero_margin_collapses_to_nominal() {
+        let s = MonteCarlo::paper_setup(CircuitParams::calibrated())
+            .with_iterations(10)
+            .with_margin(0.0)
+            .worst_trcd(2);
+        assert!((s.worst_ns - s.nominal_ns).abs() < 1e-9);
+        assert!(s.std_ns < 1e-9);
+    }
+}

@@ -1,0 +1,417 @@
+//! The calibrated charge-sharing / restoration model and its derived
+//! multiple-row-activation timings (paper §5, Table 1, Fig. 5).
+
+/// Electrical and calibration parameters of the analytical DRAM model.
+///
+/// The defaults come from [`CircuitParams::calibrated`], which solves the
+/// free constants so that the N=1 and N=2 operating points reproduce the
+/// paper's SPICE-derived Table 1 anchors exactly (see the crate docs for
+/// the calibration scheme). All voltages in volts, times in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CircuitParams {
+    /// Supply voltage.
+    pub vdd: f64,
+    /// Cell-to-bitline capacitance ratio `Cc/Cb`.
+    pub r_cap: f64,
+    /// Sense-amplifier settling time constant.
+    pub tau_sense_ns: f64,
+    /// Bitline swing at which the row buffer is ready to access.
+    pub v_ready: f64,
+    /// Cell voltage reached by a *full* restoration.
+    pub v_full: f64,
+    /// Cell voltage of the paper's early-termination operating point.
+    pub v_early: f64,
+    /// Restoration time constant for `Cb` alone (scaled by `1 + N·r_cap`).
+    pub tau_restore_ns: f64,
+    /// Write-restoration time constant for `Cb` alone.
+    pub tau_write_ns: f64,
+    /// Write path fixed overhead.
+    pub write_offset_ns: f64,
+    /// Cell voltage reached by a full *write* restoration.
+    pub v_full_write: f64,
+    /// Extra time `ACT-c` spends enabling the copy-row wordline after the
+    /// sense amplifiers latch (paper §4.1.1).
+    pub copy_enable_ns: f64,
+    /// Baseline (N=1) `tRCD` in ns.
+    pub trcd1_ns: f64,
+    /// Baseline `tRAS` in ns.
+    pub tras1_ns: f64,
+    /// Baseline `tWR` in ns.
+    pub twr1_ns: f64,
+}
+
+impl CircuitParams {
+    /// Solves the model constants against the paper's Table 1 anchors:
+    ///
+    /// * `tRCD(2)/tRCD(1) = 0.62` and restore-time growth
+    ///   `(tRAS(2)−tRCD(2))/(tRAS(1)−tRCD(1)) = 27.9/24` pin the
+    ///   capacitance ratio, sense constants, and restore constants;
+    /// * the early-termination pair (`tRCD′ = 0.79`, `tRAS′ = 0.67`) pins
+    ///   the truncation voltage and the restore trajectory;
+    /// * `tWR` anchors (`+14%` full, `−13%` early) pin the write path;
+    /// * `ACT-c` `tRAS = +18%` pins the copy-wordline enable overhead.
+    ///
+    /// A short fixed-point iteration reconciles the restored cell voltage
+    /// used for sensing with the restore-completion voltage.
+    pub fn calibrated() -> Self {
+        let vdd = 1.1_f64;
+        let v0 = vdd / 2.0;
+        let trcd1 = 18.0_f64;
+        let tras1 = 42.0_f64;
+        let twr1 = 18.0_f64;
+        let trcd2 = 0.62 * trcd1;
+        let trest1 = tras1 - trcd1;
+        let trest2 = 0.93 * tras1 - trcd2;
+        // (1 + 2r)/(1 + r) = trest2/trest1.
+        let ratio = trest2 / trest1;
+        let r = (ratio - 1.0) / (2.0 - ratio);
+
+        let mut v_cell_full = vdd;
+        let (mut v_ready, mut tau_sense, mut v_early, mut tau_restore2, mut v_full);
+        let mut iter = 0;
+        loop {
+            let dv1 = r / (1.0 + r) * (v_cell_full - v0);
+            let dv2 = 2.0 * r / (1.0 + 2.0 * r) * (v_cell_full - v0);
+            let big_r = trcd1 / trcd2;
+            let x = (dv1.ln() - big_r * dv2.ln()) / (1.0 - big_r);
+            v_ready = x.exp();
+            tau_sense = trcd1 / (v_ready / dv1).ln();
+            // Early anchor: tRCD(2, v_early) = 0.79 · tRCD(1).
+            let dv_e = v_ready * (-0.79 * trcd1 / tau_sense).exp();
+            v_early = v0 + dv_e / (2.0 * r / (1.0 + 2.0 * r));
+            // Steady-state early-terminated tRAS on a *partially-restored*
+            // pair (Table 1: −25%): sense at the degraded swing (tRCD −21%)
+            // plus the truncated restore. Anchoring here makes the
+            // fully-restored early tRAS (−33%) fall out as a prediction.
+            let trest2_early = 0.75 * tras1 - 0.79 * trcd1;
+            tau_restore2 = trest2_early / (v0 / (vdd - v_early)).ln();
+            v_full = vdd - v0 * (-trest2 / tau_restore2).exp();
+            iter += 1;
+            if (v_full - v_cell_full).abs() < 1e-13 || iter > 200 {
+                break;
+            }
+            v_cell_full = v_full;
+        }
+        let tau_restore = tau_restore2 / (1.0 + 2.0 * r);
+
+        // Write path: t_wr(N, v) = w0 + tau_w·(1+N·r)·ln(vdd/(vdd−v)).
+        let tw2f = 1.14 * twr1;
+        let tw2e = 0.87 * twr1;
+        let k = (tw2f - twr1) / r; // tau_w · L_full
+        let l_early = (vdd / (vdd - v_early)).ln();
+        let tau_write = (tw2e - twr1 + (1.0 + r) * k) / ((1.0 + 2.0 * r) * l_early);
+        let l_full = k / tau_write;
+        let v_full_write = vdd * (1.0 - (-l_full).exp());
+        let write_offset = twr1 - (1.0 + r) * k;
+
+        // ACT-c: tRAS = tRCD(1) + copy_enable + t_rest(2, v_full) = 1.18·tRAS(1).
+        let copy_enable = 1.18 * tras1 - trcd1 - trest2;
+
+        Self {
+            vdd,
+            r_cap: r,
+            tau_sense_ns: tau_sense,
+            v_ready,
+            v_full,
+            v_early,
+            tau_restore_ns: tau_restore,
+            tau_write_ns: tau_write,
+            write_offset_ns: write_offset,
+            v_full_write,
+            copy_enable_ns: copy_enable,
+            trcd1_ns: trcd1,
+            tras1_ns: tras1,
+            twr1_ns: twr1,
+        }
+    }
+}
+
+impl Default for CircuitParams {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+/// Full-restoration timing ratios for `N` simultaneously-activated rows,
+/// normalized to the N=1 baseline (the series of paper Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MraPoint {
+    /// Number of simultaneously-activated rows.
+    pub n: u32,
+    /// `tRCD(N)/tRCD(1)`.
+    pub trcd_ratio: f64,
+    /// `tRAS(N)/tRAS(1)` (full restoration).
+    pub tras_ratio: f64,
+    /// Restoration-time ratio (the restore phase alone).
+    pub trestore_ratio: f64,
+    /// `tWR(N)/tWR(1)` (full restoration).
+    pub twr_ratio: f64,
+}
+
+/// Table 1-shaped derived ratios (see [`CircuitModel::derived_table1`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedMods {
+    /// Scale on `tRCD`.
+    pub trcd: f64,
+    /// Scale on `tRAS`, full restoration.
+    pub tras_full: f64,
+    /// Scale on `tRAS`, early termination.
+    pub tras_early: f64,
+    /// Scale on `tWR`, full restoration.
+    pub twr_full: f64,
+    /// Scale on `tWR`, early termination.
+    pub twr_early: f64,
+}
+
+/// The analytically derived equivalent of paper Table 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DerivedTable1 {
+    /// `ACT-t` on a fully-restored pair.
+    pub act_t_full: DerivedMods,
+    /// `ACT-t` on a partially-restored pair.
+    pub act_t_partial: DerivedMods,
+    /// `ACT-c`.
+    pub act_c: DerivedMods,
+}
+
+/// The calibrated analytical circuit model (see the crate docs).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CircuitModel {
+    params: CircuitParams,
+}
+
+impl CircuitModel {
+    /// A model calibrated to the paper's Table 1 anchors.
+    pub fn calibrated() -> Self {
+        Self {
+            params: CircuitParams::calibrated(),
+        }
+    }
+
+    /// A model with explicit parameters (used by the Monte-Carlo engine).
+    pub fn with_params(params: CircuitParams) -> Self {
+        Self { params }
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &CircuitParams {
+        &self.params
+    }
+
+    /// Bitline voltage swing after charge sharing with `n` cells charged
+    /// to `v_cell`.
+    pub fn delta_v(&self, n: u32, v_cell: f64) -> f64 {
+        let p = &self.params;
+        let nr = f64::from(n) * p.r_cap;
+        nr / (1.0 + nr) * (v_cell - p.vdd / 2.0)
+    }
+
+    /// Time for the sense amplifiers to reach the ready-to-access state
+    /// (`tRCD`), in ns.
+    pub fn sense_time_ns(&self, n: u32, v_cell: f64) -> f64 {
+        let dv = self.delta_v(n, v_cell);
+        assert!(dv > 0.0, "cell voltage must exceed the bitline reference");
+        self.params.tau_sense_ns * (self.params.v_ready / dv).ln()
+    }
+
+    /// Time for the sense amplifier to drive `n` cells from the sensing
+    /// level up to `v_end`, in ns.
+    pub fn restore_time_ns(&self, n: u32, v_end: f64) -> f64 {
+        let p = &self.params;
+        let v0 = p.vdd / 2.0;
+        assert!(v_end > v0 && v_end < p.vdd, "v_end must lie in (Vdd/2, Vdd)");
+        p.tau_restore_ns * (1.0 + f64::from(n) * p.r_cap) * (v0 / (p.vdd - v_end)).ln()
+    }
+
+    /// Write-recovery time to charge `n` cells to `v_end` after a write,
+    /// in ns.
+    pub fn write_time_ns(&self, n: u32, v_end: f64) -> f64 {
+        let p = &self.params;
+        assert!(v_end > 0.0 && v_end < p.vdd);
+        p.write_offset_ns
+            + p.tau_write_ns * (1.0 + f64::from(n) * p.r_cap) * (p.vdd / (p.vdd - v_end)).ln()
+    }
+
+    /// The minimum truncation voltage that still meets the retention
+    /// target: `n` partially-charged cells must present at least the
+    /// sense swing of one fully-charged cell at the end of the refresh
+    /// window (leakage decay factors cancel, so the bound is static).
+    pub fn retention_min_v_end(&self, n: u32) -> f64 {
+        let p = &self.params;
+        let v0 = p.vdd / 2.0;
+        let full_margin = self.delta_v(1, p.v_full);
+        let nr = f64::from(n) * p.r_cap;
+        v0 + full_margin * (1.0 + nr) / nr
+    }
+
+    /// Full-restoration timing ratios for `n` rows (one point of Fig. 5).
+    pub fn mra_point(&self, n: u32) -> MraPoint {
+        let p = &self.params;
+        let trcd = self.sense_time_ns(n, p.v_full);
+        let trest = self.restore_time_ns(n, p.v_full);
+        let twr = self.write_time_ns(n, p.v_full_write);
+        let trest1 = self.restore_time_ns(1, p.v_full);
+        MraPoint {
+            n,
+            trcd_ratio: trcd / p.trcd1_ns,
+            tras_ratio: (trcd + trest) / p.tras1_ns,
+            trestore_ratio: trest / trest1,
+            twr_ratio: twr / p.twr1_ns,
+        }
+    }
+
+    /// The Fig. 5 sweep: ratios for `n = 1..=n_max` rows.
+    pub fn mra_sweep(&self, n_max: u32) -> Vec<MraPoint> {
+        (1..=n_max).map(|n| self.mra_point(n)).collect()
+    }
+
+    /// Derives the Table 1 equivalent from the model.
+    ///
+    /// The `tRCD`, full-restoration `tRAS`/`tWR`, and the fully-restored
+    /// early-termination `tRAS` reproduce the paper exactly (they are
+    /// calibration anchors); the remaining early-termination entries are
+    /// model predictions that land within a few percent of the paper
+    /// (documented in `EXPERIMENTS.md`).
+    pub fn derived_table1(&self) -> DerivedTable1 {
+        let p = &self.params;
+        let trcd_full = self.sense_time_ns(2, p.v_full);
+        let trcd_partial = self.sense_time_ns(2, p.v_early);
+        let trest_full = self.restore_time_ns(2, p.v_full);
+        let trest_early = self.restore_time_ns(2, p.v_early);
+        let twr_full = self.write_time_ns(2, p.v_full_write);
+        let twr_early = self.write_time_ns(2, p.v_early);
+        let tras = |sense: f64, rest: f64| (sense + rest) / p.tras1_ns;
+        let act_t_full = DerivedMods {
+            trcd: trcd_full / p.trcd1_ns,
+            tras_full: tras(trcd_full, trest_full),
+            tras_early: tras(trcd_full, trest_early),
+            twr_full: twr_full / p.twr1_ns,
+            twr_early: twr_early / p.twr1_ns,
+        };
+        let act_t_partial = DerivedMods {
+            trcd: trcd_partial / p.trcd1_ns,
+            tras_full: tras(trcd_partial, trest_full),
+            tras_early: tras(trcd_partial, trest_early),
+            twr_full: twr_full / p.twr1_ns,
+            twr_early: twr_early / p.twr1_ns,
+        };
+        let act_c = DerivedMods {
+            trcd: 1.0,
+            tras_full: tras(p.trcd1_ns + p.copy_enable_ns, trest_full),
+            tras_early: tras(p.trcd1_ns + p.copy_enable_ns, trest_early),
+            twr_full: twr_full / p.twr1_ns,
+            twr_early: twr_early / p.twr1_ns,
+        };
+        DerivedTable1 {
+            act_t_full,
+            act_t_partial,
+            act_c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn calibration_is_physical() {
+        let p = CircuitParams::calibrated();
+        assert!(p.r_cap > 0.1 && p.r_cap < 0.3, "r_cap {}", p.r_cap);
+        assert!(p.v_ready > 0.0 && p.v_ready < p.vdd);
+        assert!(p.v_full > p.vdd * 0.85 && p.v_full < p.vdd);
+        assert!(p.v_early > p.vdd / 2.0 && p.v_early < p.v_full);
+        assert!(p.tau_sense_ns > 0.0 && p.tau_restore_ns > 0.0);
+        assert!(p.write_offset_ns >= 0.0);
+        assert!(p.copy_enable_ns > 0.0);
+    }
+
+    #[test]
+    fn anchors_reproduce_table1_exactly() {
+        let m = CircuitModel::calibrated();
+        let t = m.derived_table1();
+        // Calibration anchors: exact to numerical precision.
+        assert!(close(t.act_t_full.trcd, 0.62, 1e-6), "{}", t.act_t_full.trcd);
+        assert!(close(t.act_t_full.tras_full, 0.93, 1e-6));
+        assert!(close(t.act_t_full.twr_full, 1.14, 1e-6));
+        assert!(close(t.act_t_full.twr_early, 0.87, 1e-6));
+        assert!(close(t.act_t_partial.trcd, 0.79, 1e-6));
+        assert!(close(t.act_t_partial.tras_early, 0.75, 1e-6));
+        assert!(close(t.act_c.trcd, 1.0, 1e-9));
+        assert!(close(t.act_c.tras_full, 1.18, 1e-6));
+    }
+
+    #[test]
+    fn predictions_land_near_table1() {
+        let m = CircuitModel::calibrated();
+        let t = m.derived_table1();
+        // Model predictions (not anchors): paper values −33% and −7%.
+        assert!(
+            close(t.act_t_full.tras_early, 0.67, 0.02),
+            "{}",
+            t.act_t_full.tras_early
+        );
+        assert!(close(t.act_c.tras_early, 0.93, 0.02), "{}", t.act_c.tras_early);
+    }
+
+    #[test]
+    fn fig5_trcd_monotone_decreasing_with_diminishing_returns() {
+        let m = CircuitModel::calibrated();
+        let sweep = m.mra_sweep(9);
+        assert!(close(sweep[0].trcd_ratio, 1.0, 1e-9));
+        for w in sweep.windows(2) {
+            assert!(w[1].trcd_ratio < w[0].trcd_ratio);
+        }
+        // Diminishing returns: each extra row buys less.
+        for w in sweep.windows(3) {
+            let d1 = w[0].trcd_ratio - w[1].trcd_ratio;
+            let d2 = w[1].trcd_ratio - w[2].trcd_ratio;
+            assert!(d2 < d1, "gains must shrink: {d1} vs {d2}");
+        }
+    }
+
+    #[test]
+    fn fig5_restore_grows_and_tras_crosses_over() {
+        let m = CircuitModel::calibrated();
+        let sweep = m.mra_sweep(9);
+        for w in sweep.windows(2) {
+            assert!(w[1].trestore_ratio > w[0].trestore_ratio);
+            assert!(w[1].twr_ratio > w[0].twr_ratio);
+        }
+        // Paper: tRAS dips slightly for small N, then rises for N >= 5.
+        assert!(sweep[1].tras_ratio < 1.0);
+        assert!(
+            sweep[8].tras_ratio > sweep[1].tras_ratio,
+            "tRAS must eventually rise"
+        );
+    }
+
+    #[test]
+    fn retention_bound_loosens_with_more_rows() {
+        let m = CircuitModel::calibrated();
+        let v2 = m.retention_min_v_end(2);
+        let v4 = m.retention_min_v_end(4);
+        let v8 = m.retention_min_v_end(8);
+        assert!(v2 > v4 && v4 > v8, "{v2} {v4} {v8}");
+        // The paper's N=2 operating point must satisfy the bound.
+        assert!(m.params().v_early >= v2, "{} < {v2}", m.params().v_early);
+    }
+
+    #[test]
+    fn retention_bound_for_single_row_forbids_truncation() {
+        let m = CircuitModel::calibrated();
+        // One row cannot be truncated below the full level.
+        assert!(m.retention_min_v_end(1) >= m.params().v_full - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "v_end")]
+    fn restore_time_rejects_bad_voltage() {
+        let m = CircuitModel::calibrated();
+        let _ = m.restore_time_ns(2, 0.3);
+    }
+}

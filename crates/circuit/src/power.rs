@@ -1,0 +1,65 @@
+//! Activation power overhead of multiple-row activation (paper Fig. 7,
+//! left; §6.2).
+
+/// Models activation power as a fixed bitline/periphery component plus a
+/// per-row component (wordline drive + cell restoration charge).
+///
+/// Calibrated so that two-row activation consumes +5.8% power over a
+/// single-row `ACT` (paper §6.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivationPowerModel {
+    /// Per-extra-row energy as a fraction of the single-row fixed energy.
+    pub row_fraction: f64,
+}
+
+impl ActivationPowerModel {
+    /// The paper-calibrated model (+5.8% at N=2).
+    pub fn calibrated() -> Self {
+        // ratio(2) = (1 + 2f) / (1 + f) = 1.058  =>  f = 0.058 / 0.942.
+        let target = 1.058;
+        Self {
+            row_fraction: (target - 1.0) / (2.0 - target),
+        }
+    }
+
+    /// Power of an `N`-row activation relative to a single-row `ACT`.
+    pub fn overhead_ratio(&self, n: u32) -> f64 {
+        assert!(n >= 1);
+        let f = self.row_fraction;
+        (1.0 + f64::from(n) * f) / (1.0 + f)
+    }
+
+    /// The Fig. 7 (left) series for `n = 1..=n_max`.
+    pub fn sweep(&self, n_max: u32) -> Vec<(u32, f64)> {
+        (1..=n_max).map(|n| (n, self.overhead_ratio(n))).collect()
+    }
+}
+
+impl Default for ActivationPowerModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_row_overhead_is_5_8_percent() {
+        let m = ActivationPowerModel::calibrated();
+        assert!((m.overhead_ratio(2) - 1.058).abs() < 1e-9);
+        assert!((m.overhead_ratio(1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_grows_with_rows() {
+        let m = ActivationPowerModel::calibrated();
+        let sweep = m.sweep(9);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+        // Nine rows cost well under 2x a single activation.
+        assert!(sweep[8].1 < 1.6);
+    }
+}

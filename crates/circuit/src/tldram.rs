@@ -1,0 +1,109 @@
+//! TL-DRAM (Tiered-Latency DRAM, Lee et al. HPCA 2013) circuit model,
+//! used for the paper's §8.1.4 comparison.
+//!
+//! TL-DRAM inserts an isolation transistor on each bitline, splitting the
+//! subarray into a *near* segment (few rows, short bitline, low latency)
+//! and a *far* segment (slightly higher latency than commodity DRAM due
+//! to the transistor's added resistance/capacitance).
+
+/// Timing and area model for a TL-DRAM organization with a configurable
+/// near-segment size.
+///
+/// Calibrated to the CROW paper's circuit results: an 8-row near segment
+/// is accessed with −73% `tRCD` and −80% `tRAS`, and the isolation
+/// transistors cost 6.9% DRAM chip area (§8.1.4, Fig. 11).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TlDramModel {
+    /// Rows per subarray in the baseline organization.
+    pub rows_per_subarray: u32,
+    /// Fixed per-bitline sense overhead as a fraction of full-bitline
+    /// latency (keeps near-segment latency from reaching zero).
+    pub sense_floor: f64,
+    /// Relative `tRCD`/`tRAS` penalty of the far segment.
+    pub far_penalty: f64,
+    /// Chip-area overhead of the isolation transistors (independent of
+    /// the near-segment size).
+    pub isolation_area_overhead: f64,
+}
+
+impl TlDramModel {
+    /// The paper-calibrated model for 512-row subarrays.
+    pub fn calibrated() -> Self {
+        // Near-segment latency ~ floor + (1-floor) * (rows_near / rows).
+        // Calibrate the floor so an 8-row segment gives tRCD -73%:
+        // 0.27 = floor + (1-floor) * 8/512  =>  floor = (0.27 - 8/512)/(1 - 8/512).
+        let frac: f64 = 8.0 / 512.0;
+        let floor = (0.27 - frac) / (1.0 - frac);
+        Self {
+            rows_per_subarray: 512,
+            sense_floor: floor,
+            far_penalty: 0.02,
+            isolation_area_overhead: 0.069,
+        }
+    }
+
+    /// Near-segment `tRCD` as a fraction of baseline, for a near segment
+    /// of `rows` rows.
+    pub fn near_trcd_ratio(&self, rows: u32) -> f64 {
+        let frac = f64::from(rows) / f64::from(self.rows_per_subarray);
+        (self.sense_floor + (1.0 - self.sense_floor) * frac).min(1.0)
+    }
+
+    /// Near-segment `tRAS` as a fraction of baseline.
+    ///
+    /// Restoration benefits even more from the short bitline than sensing
+    /// does (the sense amp drives far less capacitance), hence the deeper
+    /// −80% reduction at 8 rows.
+    pub fn near_tras_ratio(&self, rows: u32) -> f64 {
+        // Same functional form with a lower floor, calibrated to -80% at 8.
+        let frac: f64 = 8.0 / f64::from(self.rows_per_subarray);
+        let floor = (0.20 - frac) / (1.0 - frac);
+        let f = f64::from(rows) / f64::from(self.rows_per_subarray);
+        (floor + (1.0 - floor) * f).min(1.0)
+    }
+
+    /// Far-segment `tRCD`/`tRAS` multiplier (> 1).
+    pub fn far_ratio(&self) -> f64 {
+        1.0 + self.far_penalty
+    }
+
+    /// DRAM chip area overhead for a TL-DRAM organization with `rows`
+    /// near rows per subarray. Dominated by the per-bitline isolation
+    /// transistor; near-segment size adds only decoder latches.
+    pub fn chip_area_overhead(&self, rows: u32) -> f64 {
+        self.isolation_area_overhead + f64::from(rows) * 1e-5
+    }
+}
+
+impl Default for TlDramModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_row_segment_matches_paper() {
+        let m = TlDramModel::calibrated();
+        assert!((m.near_trcd_ratio(8) - 0.27).abs() < 1e-9);
+        assert!((m.near_tras_ratio(8) - 0.20).abs() < 1e-9);
+        assert!((m.chip_area_overhead(8) - 0.069).abs() < 0.001);
+    }
+
+    #[test]
+    fn larger_near_segments_are_slower() {
+        let m = TlDramModel::calibrated();
+        assert!(m.near_trcd_ratio(1) < m.near_trcd_ratio(8));
+        assert!(m.near_trcd_ratio(8) < m.near_trcd_ratio(64));
+        assert!(m.near_trcd_ratio(512) <= 1.0);
+    }
+
+    #[test]
+    fn far_segment_pays_a_small_penalty() {
+        let m = TlDramModel::calibrated();
+        assert!(m.far_ratio() > 1.0 && m.far_ratio() < 1.1);
+    }
+}

@@ -1,0 +1,131 @@
+//! The `tRCD` vs `tRAS` early-termination trade-off curves of paper Fig. 6.
+
+use crate::model::CircuitModel;
+
+/// One point of a trade-off curve: the normalized `tRAS` achieved by
+/// truncating restoration at some voltage, and the normalized `tRCD` the
+/// *next* activation of the partially-restored rows pays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Truncation voltage (cell volts).
+    pub v_end: f64,
+    /// `tRAS` normalized to the single-row baseline.
+    pub tras_norm: f64,
+    /// Next-activation `tRCD` normalized to the single-row baseline.
+    pub trcd_norm: f64,
+}
+
+/// A full trade-off curve for one row-activation count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TradeoffCurve {
+    /// Number of simultaneously-activated rows.
+    pub n: u32,
+    /// Points ordered from full restoration (rightmost, longest `tRAS`)
+    /// to the retention-constrained minimum.
+    pub points: Vec<TradeoffPoint>,
+}
+
+impl TradeoffCurve {
+    /// Sweeps the truncation voltage from full restoration down to the
+    /// retention bound, producing `steps + 1` points.
+    ///
+    /// For `n = 1` the retention bound forbids truncation and the curve
+    /// degenerates to the single full-restoration point, matching the
+    /// paper's observation that the trade-off only exists under
+    /// multiple-row activation.
+    pub fn sweep(model: &CircuitModel, n: u32, steps: u32) -> Self {
+        let p = model.params();
+        let v_hi = p.v_full;
+        let v_lo = model.retention_min_v_end(n).min(v_hi);
+        let count = if (v_hi - v_lo) < 1e-12 { 0 } else { steps };
+        let points = (0..=count)
+            .map(|i| {
+                let v_end = v_hi - (v_hi - v_lo) * f64::from(i) / f64::from(steps.max(1));
+                let trcd_next = model.sense_time_ns(n, v_end);
+                // Steady state: the activation itself also sees cells at
+                // v_end, so its sense phase uses the degraded swing.
+                let tras = trcd_next + model.restore_time_ns(n, v_end);
+                TradeoffPoint {
+                    v_end,
+                    tras_norm: tras / p.tras1_ns,
+                    trcd_norm: trcd_next / p.trcd1_ns,
+                }
+            })
+            .collect();
+        Self { n, points }
+    }
+
+    /// The point on the curve with the smallest `tRAS` whose `tRCD`
+    /// penalty stays at or below `max_trcd_norm`.
+    pub fn best_under_trcd(&self, max_trcd_norm: f64) -> Option<TradeoffPoint> {
+        self.points
+            .iter()
+            .filter(|pt| pt.trcd_norm <= max_trcd_norm + 1e-12)
+            .min_by(|a, b| a.tras_norm.total_cmp(&b.tras_norm))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_trades_tras_for_trcd() {
+        let m = CircuitModel::calibrated();
+        let c = TradeoffCurve::sweep(&m, 2, 32);
+        assert_eq!(c.points.len(), 33);
+        for w in c.points.windows(2) {
+            // Deeper truncation: shorter tRAS, longer next tRCD.
+            assert!(w[1].tras_norm < w[0].tras_norm);
+            assert!(w[1].trcd_norm > w[0].trcd_norm);
+        }
+    }
+
+    #[test]
+    fn more_rows_shift_the_curve_down() {
+        // Paper Fig. 6: for the same tRAS reduction, more rows pay less
+        // tRCD (and can truncate deeper).
+        let m = CircuitModel::calibrated();
+        let c2 = TradeoffCurve::sweep(&m, 2, 64);
+        let c4 = TradeoffCurve::sweep(&m, 4, 64);
+        let t2 = c2.best_under_trcd(0.85).unwrap();
+        let t4 = c4.best_under_trcd(0.85).unwrap();
+        assert!(t4.tras_norm < t2.tras_norm, "{} vs {}", t4.tras_norm, t2.tras_norm);
+    }
+
+    #[test]
+    fn single_row_curve_degenerates() {
+        let m = CircuitModel::calibrated();
+        let c = TradeoffCurve::sweep(&m, 1, 32);
+        assert_eq!(c.points.len(), 1);
+        assert!((c.points[0].trcd_norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn paper_operating_point_lies_on_the_n2_curve() {
+        let m = CircuitModel::calibrated();
+        let c = TradeoffCurve::sweep(&m, 2, 256);
+        // Find the point nearest tRCD' = 0.79; in the steady state its
+        // tRAS is the Table 1 partially-restored value (−25%).
+        let pt = c
+            .points
+            .iter()
+            .min_by(|a, b| {
+                (a.trcd_norm - 0.79)
+                    .abs()
+                    .total_cmp(&(b.trcd_norm - 0.79).abs())
+            })
+            .unwrap();
+        assert!((pt.tras_norm - 0.75).abs() < 0.02, "{}", pt.tras_norm);
+    }
+
+    #[test]
+    fn best_under_trcd_respects_bound() {
+        let m = CircuitModel::calibrated();
+        let c = TradeoffCurve::sweep(&m, 2, 64);
+        let pt = c.best_under_trcd(0.7).unwrap();
+        assert!(pt.trcd_norm <= 0.7 + 1e-9);
+        assert!(c.best_under_trcd(0.0).is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! RowHammer detection for the CROW-based mitigation of paper §4.3.
+//!
+//! The paper proposes detecting rapidly re-activated rows with a
+//! counter-based structure (as in prior work [16, 45, 62, 103]) and
+//! remapping the two physically-adjacent victim rows to copy rows with
+//! `ACT-c`. This module implements the detector; the remapping itself is
+//! arbitrated by [`crate::CrowSubstrate`].
+
+use std::collections::HashMap;
+
+/// Detector parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HammerConfig {
+    /// Activations of one row within a window that trigger mitigation.
+    /// Real chips flip bits after tens to hundreds of thousands of
+    /// activations; a mitigation threshold well below that is safe.
+    pub threshold: u32,
+    /// Counting window in memory-clock cycles (one refresh window, since
+    /// refresh resets the disturbance).
+    pub window_cycles: u64,
+}
+
+impl HammerConfig {
+    /// A conservative default: 32 K activations per 64 ms window
+    /// (102.4 M cycles at 1600 MHz).
+    pub fn paper_default() -> Self {
+        Self {
+            threshold: 32_768,
+            window_cycles: 102_400_000,
+        }
+    }
+}
+
+/// Per-row activation counters with windowed reset.
+#[derive(Debug, Clone)]
+pub struct RowHammerGuard {
+    cfg: HammerConfig,
+    counters: HashMap<(u32, u32), (u32, u64)>,
+    detections: u64,
+}
+
+impl RowHammerGuard {
+    /// Creates a detector.
+    pub fn new(cfg: HammerConfig) -> Self {
+        assert!(cfg.threshold > 0, "threshold must be nonzero");
+        Self {
+            cfg,
+            counters: HashMap::new(),
+            detections: 0,
+        }
+    }
+
+    /// Number of times a row crossed the threshold.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Records an activation of `row` in `bank` at cycle `now`.
+    ///
+    /// Returns the victim rows (the physical neighbours `row ± 1`) when
+    /// the activation count crosses the threshold, clamped to the
+    /// subarray that contains the aggressor (victims in a different
+    /// subarray cannot be remapped to this subarray's copy rows, and
+    /// rows at subarray edges neighbour sense-amplifier stripes rather
+    /// than other rows).
+    pub fn on_activate(
+        &mut self,
+        bank: u32,
+        row: u32,
+        rows_per_subarray: u32,
+        now: u64,
+    ) -> Vec<u32> {
+        let entry = self.counters.entry((bank, row)).or_insert((0, now));
+        if now.saturating_sub(entry.1) > self.cfg.window_cycles {
+            *entry = (0, now);
+        }
+        entry.0 += 1;
+        if entry.0 == self.cfg.threshold {
+            self.detections += 1;
+            let sa = row / rows_per_subarray;
+            let lo = sa * rows_per_subarray;
+            let hi = lo + rows_per_subarray - 1;
+            let mut victims = Vec::with_capacity(2);
+            if row > lo {
+                victims.push(row - 1);
+            }
+            if row < hi {
+                victims.push(row + 1);
+            }
+            victims
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Clears all counters (called on refresh, which resets disturbance).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard(threshold: u32) -> RowHammerGuard {
+        RowHammerGuard::new(HammerConfig {
+            threshold,
+            window_cycles: 1000,
+        })
+    }
+
+    #[test]
+    fn detects_at_threshold_and_reports_neighbours() {
+        let mut g = guard(3);
+        assert!(g.on_activate(0, 100, 512, 0).is_empty());
+        assert!(g.on_activate(0, 100, 512, 1).is_empty());
+        let victims = g.on_activate(0, 100, 512, 2);
+        assert_eq!(victims, vec![99, 101]);
+        assert_eq!(g.detections(), 1);
+        // Further activations past the threshold do not re-trigger.
+        assert!(g.on_activate(0, 100, 512, 3).is_empty());
+    }
+
+    #[test]
+    fn subarray_edges_clamp_victims() {
+        let mut g = guard(1);
+        // Row 0 is at the bottom edge of subarray 0.
+        assert_eq!(g.on_activate(0, 0, 512, 0), vec![1]);
+        // Row 511 is at the top edge of subarray 0.
+        assert_eq!(g.on_activate(0, 511, 512, 0), vec![510]);
+        // Row 512 is at the bottom edge of subarray 1.
+        assert_eq!(g.on_activate(0, 512, 512, 0), vec![513]);
+    }
+
+    #[test]
+    fn window_expiry_resets_count() {
+        let mut g = guard(2);
+        assert!(g.on_activate(0, 7, 512, 0).is_empty());
+        // The window expires; count restarts.
+        assert!(g.on_activate(0, 7, 512, 2000).is_empty());
+        assert!(!g.on_activate(0, 7, 512, 2001).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut g = guard(2);
+        assert!(g.on_activate(0, 7, 512, 0).is_empty());
+        g.reset();
+        assert!(g.on_activate(0, 7, 512, 1).is_empty());
+    }
+
+    #[test]
+    fn banks_tracked_independently() {
+        let mut g = guard(2);
+        assert!(g.on_activate(0, 7, 512, 0).is_empty());
+        assert!(g.on_activate(1, 7, 512, 0).is_empty());
+        assert!(!g.on_activate(0, 7, 512, 1).is_empty());
+    }
+}

@@ -1,0 +1,62 @@
+//! # crow-core
+//!
+//! The CROW substrate itself — the primary contribution of *CROW: A
+//! Low-Cost Substrate for Improving DRAM Performance, Energy Efficiency,
+//! and Reliability* (Hassan et al., ISCA 2019) — together with the three
+//! mechanisms the paper builds on it:
+//!
+//! * [`CrowTable`] — the set-associative table in the memory controller
+//!   that tracks which regular rows are duplicated or remapped to copy
+//!   rows (paper §3.3), including the entry-sharing optimization of §6.1.
+//! * **CROW-cache** (paper §4.1) — an in-DRAM cache that duplicates
+//!   recently-activated rows into copy rows and re-activates duplicates
+//!   with the low-latency `ACT-t` command, managing partial-restoration
+//!   state (`isFullyRestored`) and the restore-before-evict rule.
+//! * **CROW-ref** (paper §4.2) — remaps retention-weak regular rows to
+//!   strong copy rows so the whole chip can refresh at a doubled
+//!   interval; falls back to the default interval when a subarray has
+//!   more weak rows than copy rows.
+//! * **RowHammer mitigation** (paper §4.3) — detects aggressively
+//!   activated rows with per-row counters and remaps their victim
+//!   neighbours to copy rows.
+//!
+//! All three mechanisms are arbitrated by [`CrowSubstrate`], which the
+//! memory controller consults before every activation
+//! ([`CrowSubstrate::decide`]) and notifies on every precharge
+//! ([`CrowSubstrate::on_precharge`]), exactly mirroring the paper's
+//! controller integration.
+//!
+//! The crate also carries the paper's analytical results: the weak-row
+//! probability model (Eq. 1–2, [`weakrows`]), the CROW-table storage
+//! model (Eq. 3–4, [`overhead`]), and synthetic retention profiles
+//! ([`retention`]).
+//!
+//! ## Example: CROW-cache decision flow
+//!
+//! ```
+//! use crow_core::{CrowConfig, CrowSubstrate, ActDecision};
+//!
+//! let mut crow = CrowSubstrate::new(CrowConfig::paper_default());
+//! // First activation of row 42 misses and installs a duplicate.
+//! match crow.decide(0, 0, 42) {
+//!     ActDecision::CopyInstall { copy } => crow.commit_install(0, 0, 42, copy),
+//!     other => panic!("unexpected: {other:?}"),
+//! }
+//! // Re-activation hits and can use the low-latency ACT-t.
+//! assert!(matches!(crow.decide(0, 0, 42), ActDecision::Twin { .. }));
+//! ```
+
+pub mod hammer;
+pub mod overhead;
+pub mod retention;
+pub mod stats;
+pub mod substrate;
+pub mod table;
+pub mod weakrows;
+
+pub use hammer::{HammerConfig, RowHammerGuard};
+pub use overhead::{crow_table_storage, CrowTableStorage};
+pub use retention::{RetentionProfile, WeakRows};
+pub use stats::CrowStats;
+pub use substrate::{ActDecision, CrowConfig, CrowSubstrate};
+pub use table::{CrowTable, Entry, Owner};

@@ -1,0 +1,85 @@
+//! CROW-table storage model (paper §6.1, Eq. 3–4) and convenience
+//! wrappers around the circuit-level area/timing models of §6.
+
+use crow_circuit::{DecoderAreaModel, SramModel};
+
+/// Storage requirements of a CROW-table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrowTableStorage {
+    /// Bits per entry (Eq. 3): `ceil(log2(RR)) + special + allocated`.
+    pub entry_bits: u32,
+    /// Total bits (Eq. 4): `entry_bits · copy_rows · subarrays`.
+    pub total_bits: u64,
+    /// Total bytes.
+    pub total_bytes: f64,
+    /// SRAM access time from the CACTI-substitute model, ns.
+    pub access_ns: f64,
+}
+
+/// Evaluates Eq. 3 and Eq. 4 for one memory channel.
+///
+/// The paper's configuration (512 regular rows/subarray, 1 special bit,
+/// 8 copy rows, 1024 subarrays) yields 11 bits/entry and ~11.3 KB total,
+/// accessed in 0.14 ns.
+pub fn crow_table_storage(
+    regular_rows_per_subarray: u32,
+    special_bits: u32,
+    copy_rows_per_subarray: u8,
+    total_subarrays: u32,
+) -> CrowTableStorage {
+    assert!(regular_rows_per_subarray.is_power_of_two());
+    let row_bits = regular_rows_per_subarray.ilog2();
+    let entry_bits = row_bits + special_bits + 1;
+    let total_bits =
+        u64::from(entry_bits) * u64::from(copy_rows_per_subarray) * u64::from(total_subarrays);
+    CrowTableStorage {
+        entry_bits,
+        total_bits,
+        total_bytes: total_bits as f64 / 8.0,
+        access_ns: SramModel::calibrated().access_ns(total_bits),
+    }
+}
+
+/// DRAM chip area overhead of the CROW substrate (paper §6.2): the
+/// copy-row decoder added to every subarray.
+pub fn chip_area_overhead(copy_rows_per_subarray: u8) -> f64 {
+    DecoderAreaModel::calibrated().chip_overhead(copy_rows_per_subarray)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_storage() {
+        // 512 regular rows, 1 special bit, 8 copy rows, 1024 subarrays.
+        let s = crow_table_storage(512, 1, 8, 1024);
+        assert_eq!(s.entry_bits, 11);
+        assert_eq!(s.total_bits, 11 * 8 * 1024);
+        // Paper: "11.3 KiB" = 90112 bits = 11264 bytes (11.264 KB).
+        assert!((s.total_bytes - 11_264.0).abs() < 1e-9);
+        // CACTI-substitute access time: 0.14 ns.
+        assert!((s.access_ns - 0.14).abs() < 0.01, "{}", s.access_ns);
+    }
+
+    #[test]
+    fn combined_mechanisms_add_one_bit() {
+        // §8.3: combining CROW-cache and CROW-ref costs one extra Special
+        // bit per entry.
+        let single = crow_table_storage(512, 1, 8, 1024);
+        let combined = crow_table_storage(512, 2, 8, 1024);
+        assert_eq!(combined.entry_bits, single.entry_bits + 1);
+    }
+
+    #[test]
+    fn chip_overhead_matches_paper() {
+        assert!((chip_area_overhead(8) - 0.0048).abs() < 1e-6);
+    }
+
+    #[test]
+    fn storage_scales_linearly_with_copy_rows() {
+        let a = crow_table_storage(512, 1, 1, 1024);
+        let b = crow_table_storage(512, 1, 8, 1024);
+        assert_eq!(b.total_bits, a.total_bits * 8);
+    }
+}

@@ -1,0 +1,238 @@
+//! Synthetic retention profiles: which rows are too weak for an extended
+//! refresh interval (substitute for the experimental profiling of paper
+//! §4.2.1, which we cannot run without hardware).
+//!
+//! The paper itself models weak cells as uniformly distributed with a
+//! measured bit error rate, so a seeded Bernoulli injection reproduces
+//! the statistics the mechanism was designed around. Copy rows are
+//! profiled too (paper footnote 5: a weak copy row must not be used as a
+//! remap target).
+
+use std::collections::{BTreeMap, HashSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::weakrows::p_weak_row;
+
+/// The weak rows of one channel, per (bank, subarray).
+#[derive(Debug, Clone, Default)]
+pub struct WeakRows {
+    weak_regular: BTreeMap<(u32, u32), Vec<u32>>,
+    weak_copy: BTreeMap<(u32, u32), Vec<u8>>,
+}
+
+impl WeakRows {
+    /// Creates an empty (all-strong) profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Weak regular rows (bank-relative row numbers) of a subarray.
+    pub fn weak_regular(&self, bank: u32, subarray: u32) -> &[u32] {
+        self.weak_regular
+            .get(&(bank, subarray))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Weak copy-row indices of a subarray.
+    pub fn weak_copy(&self, bank: u32, subarray: u32) -> &[u8] {
+        self.weak_copy
+            .get(&(bank, subarray))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Marks a regular row weak (used for VRT events discovered at
+    /// runtime, paper §4.2.3). Returns `false` if it was already weak.
+    pub fn add_weak_regular(&mut self, bank: u32, subarray: u32, row: u32) -> bool {
+        let v = self.weak_regular.entry((bank, subarray)).or_default();
+        if v.contains(&row) {
+            false
+        } else {
+            v.push(row);
+            true
+        }
+    }
+
+    /// Total number of weak regular rows in the profile.
+    pub fn total_weak_regular(&self) -> usize {
+        self.weak_regular.values().map(Vec::len).sum()
+    }
+
+    /// Iterates over all (bank, subarray, row) weak regular rows.
+    pub fn iter_regular(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.weak_regular
+            .iter()
+            .flat_map(|(&(b, s), rows)| rows.iter().map(move |&r| (b, s, r)))
+    }
+}
+
+/// A retention profiler configuration: generates [`WeakRows`] for a
+/// channel geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetentionProfile {
+    /// Bernoulli weak-cell injection at a bit error rate (Eq. 1 gives the
+    /// per-row probability).
+    Ber {
+        /// Per-cell failure probability at the extended interval.
+        ber: f64,
+        /// Cells per row.
+        cells_per_row: u64,
+    },
+    /// Exactly `n` weak regular rows per subarray, uniformly placed — the
+    /// deliberately pessimistic assumption of the paper's §8.2 evaluation
+    /// (3 per subarray, "much more than expected").
+    FixedPerSubarray {
+        /// Weak regular rows per subarray.
+        n: u32,
+    },
+}
+
+impl RetentionProfile {
+    /// The paper's evaluation assumption: three weak rows per subarray.
+    pub fn paper_conservative() -> Self {
+        RetentionProfile::FixedPerSubarray { n: 3 }
+    }
+
+    /// The measured-BER-based profile (4·10⁻⁹ at 256 ms, 8 KiB rows).
+    pub fn paper_measured() -> Self {
+        RetentionProfile::Ber {
+            ber: crate::weakrows::PAPER_BER_256MS,
+            cells_per_row: crate::weakrows::PAPER_CELLS_PER_ROW,
+        }
+    }
+
+    /// Generates the weak-row sets for a channel.
+    pub fn generate(
+        &self,
+        banks: u32,
+        subarrays_per_bank: u32,
+        rows_per_subarray: u32,
+        copy_rows: u8,
+        seed: u64,
+    ) -> WeakRows {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = WeakRows::new();
+        for bank in 0..banks {
+            for sa in 0..subarrays_per_bank {
+                let (regular, copy) = match *self {
+                    RetentionProfile::Ber { ber, cells_per_row } => {
+                        let p = p_weak_row(ber, cells_per_row);
+                        (
+                            bernoulli_rows(&mut rng, rows_per_subarray, p),
+                            bernoulli_rows(&mut rng, u32::from(copy_rows), p)
+                                .into_iter()
+                                .map(|r| r as u8)
+                                .collect(),
+                        )
+                    }
+                    RetentionProfile::FixedPerSubarray { n } => {
+                        let mut set = HashSet::new();
+                        while (set.len() as u32) < n.min(rows_per_subarray) {
+                            set.insert(rng.gen_range(0..rows_per_subarray));
+                        }
+                        let mut v: Vec<u32> = set.into_iter().collect();
+                        v.sort_unstable();
+                        (v, Vec::new())
+                    }
+                };
+                if !regular.is_empty() {
+                    let base = sa * rows_per_subarray;
+                    out.weak_regular
+                        .insert((bank, sa), regular.iter().map(|r| base + r).collect());
+                }
+                if !copy.is_empty() {
+                    out.weak_copy.insert((bank, sa), copy);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Samples the indices of weak rows among `rows` candidates with
+/// per-row probability `p`, using geometric gap skipping (exact
+/// Bernoulli process, O(weak count)).
+fn bernoulli_rows(rng: &mut StdRng, rows: u32, p: f64) -> Vec<u32> {
+    let mut out = Vec::new();
+    if p <= 0.0 || rows == 0 {
+        return out;
+    }
+    if p >= 1.0 {
+        return (0..rows).collect();
+    }
+    let ln_q = f64::ln_1p(-p);
+    let mut idx: f64 = 0.0;
+    loop {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        idx += (u.ln() / ln_q).floor();
+        if idx >= f64::from(rows) {
+            return out;
+        }
+        out.push(idx as u32);
+        idx += 1.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_profile_places_exactly_n_rows() {
+        let w = RetentionProfile::paper_conservative().generate(2, 4, 64, 2, 1);
+        for bank in 0..2 {
+            for sa in 0..4 {
+                let rows = w.weak_regular(bank, sa);
+                assert_eq!(rows.len(), 3);
+                for &r in rows {
+                    assert!(r >= sa * 64 && r < (sa + 1) * 64, "row {r} outside subarray {sa}");
+                }
+            }
+        }
+        assert_eq!(w.total_weak_regular(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn ber_profile_matches_expectation_statistically() {
+        // With p_row ~ 2.6e-4 and 128*8 = 1024 subarrays of 512 rows,
+        // expect ~137 weak rows; allow a generous band.
+        let w = RetentionProfile::paper_measured().generate(8, 128, 512, 8, 42);
+        let total = w.total_weak_regular();
+        assert!((60..260).contains(&total), "total weak rows {total}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = RetentionProfile::paper_measured().generate(2, 16, 512, 8, 7);
+        let b = RetentionProfile::paper_measured().generate(2, 16, 512, 8, 7);
+        assert_eq!(a.total_weak_regular(), b.total_weak_regular());
+        let av: Vec<_> = a.iter_regular().collect();
+        let bv: Vec<_> = b.iter_regular().collect();
+        assert_eq!(av, bv);
+    }
+
+    #[test]
+    fn vrt_event_adds_new_weak_row() {
+        let mut w = WeakRows::new();
+        assert!(w.add_weak_regular(0, 1, 70));
+        assert!(!w.add_weak_regular(0, 1, 70));
+        assert_eq!(w.weak_regular(0, 1), &[70]);
+    }
+
+    #[test]
+    fn bernoulli_rows_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(bernoulli_rows(&mut rng, 100, 0.0).is_empty());
+        assert_eq!(bernoulli_rows(&mut rng, 5, 1.0), vec![0, 1, 2, 3, 4]);
+        let v = bernoulli_rows(&mut rng, 1000, 0.5);
+        assert!((300..700).contains(&v.len()));
+        // Strictly increasing, in range.
+        for w in v.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(v.iter().all(|&r| r < 1000));
+    }
+}

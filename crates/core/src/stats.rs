@@ -1,0 +1,98 @@
+//! Counters for the CROW mechanisms.
+
+/// Statistics the substrate collects across a run; the CROW-table hit
+/// rate (paper Fig. 8, bottom) and the full-restoration eviction overhead
+/// (paper §8.1.1: 0.6% of activations for CROW-1) derive from these.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrowStats {
+    /// Activation decisions consulted against the table (cache-eligible
+    /// lookups only).
+    pub cache_lookups: u64,
+    /// Lookups that hit a duplicate (served with `ACT-t`).
+    pub cache_hits: u64,
+    /// Duplications installed (`ACT-c` issues).
+    pub cache_installs: u64,
+    /// Evictions of fully-restored entries (free replacement).
+    pub clean_evictions: u64,
+    /// Evictions that required a full-restore `ACT-t` + `PRE` first
+    /// (paper §4.1.4).
+    pub restore_evictions: u64,
+    /// Activations redirected to a copy row by CROW-ref.
+    pub ref_redirects: u64,
+    /// Activations redirected to a copy row by the RowHammer guard.
+    pub hammer_redirects: u64,
+    /// Victim rows remapped by the RowHammer mechanism.
+    pub hammer_remaps: u64,
+}
+
+impl CrowStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// CROW-table hit rate over cache-eligible activations.
+    pub fn hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Fraction of activations spent on full-restore evictions.
+    pub fn restore_eviction_fraction(&self) -> f64 {
+        let total = self.cache_lookups + self.restore_evictions;
+        if total == 0 {
+            0.0
+        } else {
+            self.restore_evictions as f64 / total as f64
+        }
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, o: &CrowStats) {
+        self.cache_lookups += o.cache_lookups;
+        self.cache_hits += o.cache_hits;
+        self.cache_installs += o.cache_installs;
+        self.clean_evictions += o.clean_evictions;
+        self.restore_evictions += o.restore_evictions;
+        self.ref_redirects += o.ref_redirects;
+        self.hammer_redirects += o.hammer_redirects;
+        self.hammer_remaps += o.hammer_remaps;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_handles_zero() {
+        assert_eq!(CrowStats::new().hit_rate(), 0.0);
+        let s = CrowStats {
+            cache_lookups: 10,
+            cache_hits: 7,
+            ..CrowStats::new()
+        };
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = CrowStats {
+            cache_lookups: 1,
+            cache_hits: 1,
+            ..CrowStats::new()
+        };
+        let b = CrowStats {
+            cache_lookups: 2,
+            restore_evictions: 3,
+            ..CrowStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.cache_lookups, 3);
+        assert_eq!(a.restore_evictions, 3);
+        assert!((a.restore_eviction_fraction() - 0.5).abs() < 1e-12);
+    }
+}

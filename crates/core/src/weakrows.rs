@@ -1,0 +1,120 @@
+//! The weak-row probability model of paper §4.2.1 (Eq. 1 and Eq. 2).
+//!
+//! Retention-weak cells are experimentally shown to be uniformly
+//! distributed (paper's references \[2, 64, 65, 87, 88\]), so the number of
+//! weak rows per subarray is binomial. These functions evaluate the
+//! paper's closed forms with numerically-stable log-space arithmetic.
+
+/// Eq. 1: probability that a row of `cells_per_row` cells contains at
+/// least one weak cell, given a per-cell bit error rate.
+pub fn p_weak_row(ber: f64, cells_per_row: u64) -> f64 {
+    assert!((0.0..1.0).contains(&ber), "BER must be in [0, 1)");
+    // 1 - (1 - ber)^cells, computed as -expm1(cells * ln(1 - ber)).
+    -f64::exp_m1(cells_per_row as f64 * f64::ln_1p(-ber))
+}
+
+/// Eq. 2: probability that a subarray of `rows` rows contains **more
+/// than** `n` weak rows, with per-row weak probability `p_row`.
+pub fn p_subarray_exceeds(n: u32, rows: u32, p_row: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p_row));
+    if p_row == 0.0 {
+        return 0.0;
+    }
+    // 1 - sum_{k=0..n} C(rows, k) p^k (1-p)^(rows-k), built with the
+    // stable term recurrence t_{k+1} = t_k * (rows-k)/(k+1) * p/(1-p).
+    let q = 1.0 - p_row;
+    let mut term = q.powi(rows as i32);
+    if term == 0.0 {
+        // Extremely large rows·p; fall back to log space start.
+        term = (f64::from(rows) * q.ln()).exp();
+    }
+    let mut cdf = term;
+    for k in 0..n {
+        term *= f64::from(rows - k) / f64::from(k + 1) * (p_row / q);
+        cdf += term;
+    }
+    (1.0 - cdf).max(0.0)
+}
+
+/// Probability that **any** of `subarrays` subarrays in the chip exceeds
+/// `n` weak rows (the chip-wide quantities the paper quotes:
+/// 0.99 / 3.1·10⁻¹ / 3.3·10⁻⁴ / 3.3·10⁻¹¹ for n = 1/2/4/8).
+pub fn p_chip_exceeds(n: u32, rows: u32, p_row: f64, subarrays: u32) -> f64 {
+    let p_sub = p_subarray_exceeds(n, rows, p_row);
+    // 1 - (1 - p_sub)^subarrays.
+    -f64::exp_m1(f64::from(subarrays) * f64::ln_1p(-p_sub))
+}
+
+/// The paper's reference scenario: BER of 4·10⁻⁹ when refreshing at
+/// 256 ms (derived from ~1000 weak cells in a 32 GiB module \[65\]).
+pub const PAPER_BER_256MS: f64 = 4e-9;
+
+/// Cells per row for an 8 KiB row.
+pub const PAPER_CELLS_PER_ROW: u64 = 8 * 1024 * 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROWS: u32 = 512;
+    const SUBARRAYS: u32 = 8 * 128; // 8 banks x 128 subarrays
+
+    fn p_row() -> f64 {
+        p_weak_row(PAPER_BER_256MS, PAPER_CELLS_PER_ROW)
+    }
+
+    #[test]
+    fn eq1_matches_hand_calculation() {
+        let p = p_row();
+        // 1 - (1 - 4e-9)^65536 ~= 65536 * 4e-9 = 2.62e-4.
+        assert!((p - 2.62e-4).abs() < 2e-6, "{p}");
+    }
+
+    #[test]
+    fn paper_quartet_reproduced() {
+        let p = p_row();
+        let p1 = p_chip_exceeds(1, ROWS, p, SUBARRAYS);
+        let p2 = p_chip_exceeds(2, ROWS, p, SUBARRAYS);
+        let p4 = p_chip_exceeds(4, ROWS, p, SUBARRAYS);
+        let p8 = p_chip_exceeds(8, ROWS, p, SUBARRAYS);
+        // Paper §4.2.1: 0.99 / 3.1e-1 / 3.3e-4 / 3.3e-11.
+        assert!(p1 > 0.95, "p1 = {p1}");
+        assert!((0.2..0.45).contains(&p2), "p2 = {p2}");
+        assert!((1e-4..1e-3).contains(&p4), "p4 = {p4}");
+        assert!((3e-12..3e-10).contains(&p8), "p8 = {p8}");
+    }
+
+    #[test]
+    fn footnote9_three_weak_rows() {
+        // Paper footnote 9: P(any subarray with > 3 weak rows) = 9.3e-3.
+        let p = p_chip_exceeds(3, ROWS, p_row(), SUBARRAYS);
+        assert!((3e-3..3e-2).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn tail_is_monotone() {
+        let p = p_row();
+        let mut prev = 1.0;
+        for n in 0..10 {
+            let v = p_subarray_exceeds(n, ROWS, p);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn zero_ber_means_no_weak_rows() {
+        assert_eq!(p_weak_row(0.0, 1 << 16), 0.0);
+        assert_eq!(p_subarray_exceeds(0, 512, 0.0), 0.0);
+        assert_eq!(p_chip_exceeds(0, 512, 0.0, 1024), 0.0);
+    }
+
+    #[test]
+    fn exceeds_zero_equals_any_weak() {
+        // P(X > 0) = 1 - (1-p)^rows.
+        let p = 0.01;
+        let direct = 1.0 - (1.0f64 - p).powi(512);
+        let v = p_subarray_exceeds(0, 512, p);
+        assert!((v - direct).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,275 @@
+//! The per-core out-of-order window model.
+
+use std::collections::VecDeque;
+
+use crate::trace::{TraceEntry, TraceSource};
+
+/// A point in time in CPU clock cycles.
+pub type CpuCycle = u64;
+
+const WAITING: CpuCycle = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Cycle at which the instruction may retire (`WAITING` for a load
+    /// whose fill has not returned).
+    ready_at: CpuCycle,
+    /// Identifier used to mark waiting loads ready on completion.
+    seq: u64,
+}
+
+/// A simple out-of-order core: instructions enter an in-order window and
+/// retire in order, up to `ipc` per cycle; only loads can block
+/// retirement (stores are posted, compute instructions are single-cycle).
+///
+/// This is the standard trace-driven model Ramulator uses for CPU traces
+/// and is the core the paper simulates (4-wide, 128-entry window).
+pub struct Core {
+    window: VecDeque<Slot>,
+    window_size: usize,
+    ipc: u32,
+    trace: Box<dyn TraceSource>,
+    /// Bubbles left to dispatch from the current trace record.
+    pending_bubbles: u32,
+    /// The current record's memory access, if not yet dispatched.
+    pending_access: Option<crate::trace::MemAccess>,
+    next_seq: u64,
+    retired: u64,
+    target: u64,
+    finish_cycle: Option<CpuCycle>,
+    /// Demand LLC load misses (for MPKI reporting).
+    pub(crate) demand_misses: u64,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("retired", &self.retired)
+            .field("window", &self.window.len())
+            .finish()
+    }
+}
+
+impl Core {
+    /// Creates a core over an endless trace.
+    pub fn new(trace: Box<dyn TraceSource>, ipc: u32, window_size: usize, target: u64) -> Self {
+        Self {
+            window: VecDeque::with_capacity(window_size),
+            window_size,
+            ipc,
+            trace,
+            pending_bubbles: 0,
+            pending_access: None,
+            next_seq: 0,
+            retired: 0,
+            target,
+            finish_cycle: None,
+            demand_misses: 0,
+        }
+    }
+
+    /// Instructions retired (frozen at the target).
+    pub fn retired(&self) -> u64 {
+        self.retired.min(self.target)
+    }
+
+    /// The cycle the core hit its instruction target, if it has.
+    pub fn finish_cycle(&self) -> Option<CpuCycle> {
+        self.finish_cycle
+    }
+
+    /// Whether the instruction target has been reached.
+    pub fn finished(&self) -> bool {
+        self.finish_cycle.is_some()
+    }
+
+    /// IPC over the measured window (0 until finished if asked early).
+    pub fn ipc_value(&self) -> f64 {
+        match self.finish_cycle {
+            Some(c) if c > 0 => self.target as f64 / c as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Demand misses per kilo-instruction so far.
+    pub fn mpki(&self) -> f64 {
+        if self.retired == 0 {
+            0.0
+        } else {
+            self.demand_misses as f64 * 1000.0 / self.retired.min(self.target) as f64
+        }
+    }
+
+    /// Retires up to `ipc` ready instructions from the window head.
+    pub fn retire(&mut self, now: CpuCycle) {
+        for _ in 0..self.ipc {
+            match self.window.front() {
+                Some(s) if s.ready_at <= now => {
+                    self.window.pop_front();
+                    self.retired += 1;
+                    if self.retired == self.target && self.finish_cycle.is_none() {
+                        self.finish_cycle = Some(now.max(1));
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Whether the window has space for another instruction.
+    pub fn window_has_space(&self) -> bool {
+        self.window.len() < self.window_size
+    }
+
+    /// Pulls trace records until a dispatchable instruction is pending.
+    pub fn refill_pending(&mut self) {
+        while self.pending_bubbles == 0 && self.pending_access.is_none() {
+            let e: TraceEntry = self.trace.next_entry();
+            self.pending_bubbles = e.bubbles;
+            self.pending_access = e.access;
+        }
+    }
+
+    /// The memory access waiting to dispatch, if the current record has
+    /// drained its bubbles.
+    pub fn pending_access(&self) -> Option<crate::trace::MemAccess> {
+        if self.pending_bubbles == 0 {
+            self.pending_access
+        } else {
+            None
+        }
+    }
+
+    /// Dispatches one bubble (compute) instruction.
+    pub fn dispatch_bubble(&mut self, now: CpuCycle) {
+        debug_assert!(self.pending_bubbles > 0 && self.window_has_space());
+        self.pending_bubbles -= 1;
+        let seq = self.alloc_seq();
+        self.window.push_back(Slot { ready_at: now, seq });
+    }
+
+    /// Dispatches the pending memory access as already-satisfied (store,
+    /// or load hit ready at `ready_at`).
+    pub fn dispatch_ready(&mut self, ready_at: CpuCycle) {
+        debug_assert!(self.pending_access().is_some() && self.window_has_space());
+        self.pending_access = None;
+        let seq = self.alloc_seq();
+        self.window.push_back(Slot { ready_at, seq });
+    }
+
+    /// Dispatches the pending load as waiting on memory; returns the seq
+    /// to mark ready later.
+    pub fn dispatch_waiting(&mut self) -> u64 {
+        debug_assert!(self.pending_access().is_some() && self.window_has_space());
+        self.pending_access = None;
+        let seq = self.alloc_seq();
+        self.window.push_back(Slot {
+            ready_at: WAITING,
+            seq,
+        });
+        seq
+    }
+
+    /// Marks a waiting load ready (fill returned).
+    pub fn complete(&mut self, seq: u64, now: CpuCycle) {
+        for s in self.window.iter_mut() {
+            if s.seq == seq {
+                debug_assert_eq!(s.ready_at, WAITING, "completing a non-waiting slot");
+                s.ready_at = now;
+                return;
+            }
+        }
+        debug_assert!(false, "completion for unknown seq {seq}");
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        self.next_seq += 1;
+        self.next_seq
+    }
+
+    /// Zeroes retirement statistics (used after functional warmup so the
+    /// measured window starts clean).
+    pub fn reset_measurement(&mut self) {
+        self.retired = 0;
+        self.finish_cycle = None;
+        self.demand_misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{LoopedTrace, TraceEntry};
+
+    fn core(entries: Vec<TraceEntry>, target: u64) -> Core {
+        Core::new(Box::new(LoopedTrace::new(entries)), 4, 8, target)
+    }
+
+    #[test]
+    fn bubbles_retire_at_ipc() {
+        let mut c = core(vec![TraceEntry::bubbles(100)], 16);
+        for now in 0..10 {
+            c.retire(now);
+            for _ in 0..4 {
+                if !c.window_has_space() {
+                    break;
+                }
+                c.refill_pending();
+                if c.pending_access().is_none() {
+                    c.dispatch_bubble(now);
+                }
+            }
+        }
+        // 4-wide: 16 instructions retire within a handful of cycles.
+        assert!(c.finished());
+        assert!(c.ipc_value() > 2.0, "ipc {}", c.ipc_value());
+    }
+
+    #[test]
+    fn waiting_load_blocks_retirement() {
+        let mut c = core(vec![TraceEntry::load(0, 0x40)], 8);
+        c.refill_pending();
+        assert!(c.pending_access().is_some());
+        let seq = c.dispatch_waiting();
+        // Dispatch more bubbles behind the load.
+        for _ in 0..3 {
+            c.refill_pending();
+            let s2 = c.dispatch_waiting();
+            c.complete(s2, 0); // later loads complete immediately
+        }
+        c.retire(5);
+        assert_eq!(c.retired(), 0, "head load still waiting");
+        c.complete(seq, 6);
+        c.retire(6);
+        assert_eq!(c.retired(), 4);
+    }
+
+    #[test]
+    fn finish_freezes_ipc() {
+        let mut c = core(vec![TraceEntry::bubbles(10)], 8);
+        for now in 0..100 {
+            c.retire(now);
+            while c.window_has_space() {
+                c.refill_pending();
+                c.dispatch_bubble(now);
+            }
+        }
+        assert!(c.finished());
+        let ipc = c.ipc_value();
+        assert!(ipc > 0.0);
+        assert_eq!(c.retired(), 8);
+    }
+
+    #[test]
+    fn window_capacity_respected() {
+        let mut c = core(vec![TraceEntry::bubbles(1000)], 1000);
+        for _ in 0..20 {
+            if !c.window_has_space() {
+                break;
+            }
+            c.refill_pending();
+            c.dispatch_bubble(0);
+        }
+        assert!(!c.window_has_space());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property test: the LLC agrees with a straightforward reference model
+//! of a set-associative LRU cache under arbitrary access/fill streams —
+//! same hit/miss outcomes, same dirty-victim writebacks.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use crow_cpu::{AccessKind, Llc};
+
+/// Reference model: per-set MRU-ordered deque of (tag, dirty).
+struct RefCache {
+    sets: Vec<VecDeque<(u64, bool)>>,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            ways,
+        }
+    }
+
+    fn index(&self, pa: u64) -> (usize, u64) {
+        let line = pa >> 6;
+        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+    }
+
+    fn probe(&self, pa: u64) -> bool {
+        let (s, tag) = self.index(pa);
+        self.sets[s].iter().any(|&(t, _)| t == tag)
+    }
+
+    /// Returns (hit, writeback).
+    fn access(&mut self, pa: u64, write: bool) -> (bool, Option<u64>) {
+        let (s, tag) = self.index(pa);
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.remove(pos).expect("present");
+            set.push_front((t, d || write));
+            return (true, None);
+        }
+        if write {
+            (false, self.install(pa, true))
+        } else {
+            (false, None)
+        }
+    }
+
+    fn install(&mut self, pa: u64, dirty: bool) -> Option<u64> {
+        let (s, tag) = self.index(pa);
+        let sets_count = self.sets.len() as u64;
+        let set = &mut self.sets[s];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == tag) {
+            let (t, d) = set.remove(pos).expect("present");
+            set.push_front((t, d || dirty));
+            return None;
+        }
+        set.push_front((tag, dirty));
+        if set.len() > self.ways {
+            let (vt, vd) = set.pop_back().expect("overfull");
+            if vd {
+                return Some((vt * sets_count + s as u64) << 6);
+            }
+        }
+        None
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn llc_matches_reference_model(
+        ops in proptest::collection::vec((0u64..2048, 0u8..3), 1..500),
+    ) {
+        // 64 sets x 4 ways over 64 B lines.
+        let mut llc = Llc::new(64 * 4 * 64, 4);
+        let mut reference = RefCache::new(64, 4);
+        for (line_sel, op) in ops {
+            let pa = line_sel * 64;
+            match op {
+                // Demand read: on miss, the fill arrives immediately.
+                0 => {
+                    let expected = reference.access(pa, false);
+                    let got = llc.access(pa, AccessKind::Read);
+                    match (expected.0, got) {
+                        (true, crow_cpu::cache::LlcResult::Hit) => {}
+                        (false, crow_cpu::cache::LlcResult::Miss { writeback }) => {
+                            prop_assert_eq!(writeback, None, "read misses defer install");
+                            let wb_model = reference.install(pa, false);
+                            let wb_llc = llc.fill(pa);
+                            prop_assert_eq!(wb_llc, wb_model);
+                        }
+                        (e, g) => prop_assert!(false, "hit mismatch: model {e} vs {g:?}"),
+                    }
+                }
+                // Store (write-validate).
+                1 => {
+                    let (hit_model, wb_model) = reference.access(pa, true);
+                    match llc.access(pa, AccessKind::Write) {
+                        crow_cpu::cache::LlcResult::Hit => prop_assert!(hit_model),
+                        crow_cpu::cache::LlcResult::Miss { writeback } => {
+                            prop_assert!(!hit_model);
+                            prop_assert_eq!(writeback, wb_model);
+                        }
+                    }
+                }
+                // Prefetch fill.
+                _ => {
+                    let wb_model = reference.install(pa, false);
+                    let wb_llc = llc.fill(pa);
+                    prop_assert_eq!(wb_llc, wb_model);
+                }
+            }
+            prop_assert_eq!(llc.probe(pa), reference.probe(pa));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Physical-address to DRAM-coordinate mapping.
+
+use crate::config::DramConfig;
+
+/// A physical byte address in the memory system.
+pub type PhysAddr = u64;
+
+/// Decoded DRAM coordinates of a cache-line-sized access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Regular row within the bank.
+    pub row: u32,
+    /// Column (cache-line slot) within the row.
+    pub col: u32,
+}
+
+impl Addr {
+    /// The subarray containing this address's row.
+    pub fn subarray(&self, rows_per_subarray: u32) -> u32 {
+        self.row / rows_per_subarray
+    }
+}
+
+/// Bit-interleaving scheme, named by field order from most- to
+/// least-significant (after the cache-line offset).
+///
+/// `RoBaRaCoCh` is the scheme Ramulator uses by default for multi-channel
+/// systems: channel bits come from the lowest-order line-address bits so
+/// consecutive cache lines stripe across channels, while row bits are at
+/// the top so a row's columns stay together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MapScheme {
+    /// row : bank : rank : column : channel.
+    #[default]
+    RoBaRaCoCh,
+    /// row : rank : bank : channel : column (channel stripes at row-buffer
+    /// granularity; preserves more row locality per channel).
+    RoRaBaChCo,
+    /// channel : rank : bank : row : column (no channel interleaving;
+    /// useful for single-channel studies).
+    ChRaBaRoCo,
+}
+
+/// Maps physical addresses to DRAM coordinates and back.
+///
+/// The mapper owns the geometry (channel count plus the per-channel
+/// [`DramConfig`] dimensions) so that `decode(encode(a)) == a` for every
+/// in-range address, which the property tests verify.
+#[derive(Debug, Clone)]
+pub struct AddrMapper {
+    scheme: MapScheme,
+    channels: u32,
+    ranks: u32,
+    banks: u32,
+    rows: u32,
+    cols: u32,
+    line_bytes: u32,
+}
+
+impl AddrMapper {
+    /// Creates a mapper for `channels` channels of geometry `cfg`.
+    pub fn new(scheme: MapScheme, channels: u32, cfg: &DramConfig) -> Self {
+        assert!(channels.is_power_of_two(), "channels must be a power of two");
+        Self {
+            scheme,
+            channels,
+            ranks: cfg.ranks,
+            banks: cfg.banks,
+            rows: cfg.rows_per_bank,
+            cols: cfg.cols_per_row(),
+            line_bytes: cfg.col_bytes,
+        }
+    }
+
+    /// Total mappable capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        u64::from(self.channels)
+            * u64::from(self.ranks)
+            * u64::from(self.banks)
+            * u64::from(self.rows)
+            * u64::from(self.cols)
+            * u64::from(self.line_bytes)
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Decodes a physical address into DRAM coordinates.
+    ///
+    /// Addresses beyond the configured capacity wrap (the simulator's
+    /// page allocator never produces them, but synthetic streams might).
+    pub fn decode(&self, pa: PhysAddr) -> Addr {
+        let mut line = (pa / u64::from(self.line_bytes)) % (self.capacity_bytes() / u64::from(self.line_bytes));
+        let mut take = |n: u32| -> u32 {
+            let v = (line % u64::from(n)) as u32;
+            line /= u64::from(n);
+            v
+        };
+        match self.scheme {
+            MapScheme::RoBaRaCoCh => {
+                let channel = take(self.channels);
+                let col = take(self.cols);
+                let rank = take(self.ranks);
+                let bank = take(self.banks);
+                let row = take(self.rows);
+                Addr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+            MapScheme::RoRaBaChCo => {
+                let col = take(self.cols);
+                let channel = take(self.channels);
+                let bank = take(self.banks);
+                let rank = take(self.ranks);
+                let row = take(self.rows);
+                Addr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+            MapScheme::ChRaBaRoCo => {
+                let col = take(self.cols);
+                let row = take(self.rows);
+                let bank = take(self.banks);
+                let rank = take(self.ranks);
+                let channel = take(self.channels);
+                Addr {
+                    channel,
+                    rank,
+                    bank,
+                    row,
+                    col,
+                }
+            }
+        }
+    }
+
+    /// Encodes DRAM coordinates back into a (line-aligned) physical
+    /// address. Inverse of [`AddrMapper::decode`].
+    pub fn encode(&self, a: Addr) -> PhysAddr {
+        let mut line: u64 = 0;
+        let mut put = |v: u32, n: u32| {
+            debug_assert!(v < n, "field {v} out of range {n}");
+            line = line * u64::from(n) + u64::from(v);
+        };
+        match self.scheme {
+            MapScheme::RoBaRaCoCh => {
+                put(a.row, self.rows);
+                put(a.bank, self.banks);
+                put(a.rank, self.ranks);
+                put(a.col, self.cols);
+                put(a.channel, self.channels);
+            }
+            MapScheme::RoRaBaChCo => {
+                put(a.row, self.rows);
+                put(a.rank, self.ranks);
+                put(a.bank, self.banks);
+                put(a.channel, self.channels);
+                put(a.col, self.cols);
+            }
+            MapScheme::ChRaBaRoCo => {
+                put(a.channel, self.channels);
+                put(a.rank, self.ranks);
+                put(a.bank, self.banks);
+                put(a.row, self.rows);
+                put(a.col, self.cols);
+            }
+        }
+        line * u64::from(self.line_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DramConfig;
+
+    fn mapper(scheme: MapScheme) -> AddrMapper {
+        AddrMapper::new(scheme, 4, &DramConfig::lpddr4_default())
+    }
+
+    #[test]
+    fn consecutive_lines_stripe_channels_in_robaracoch() {
+        let m = mapper(MapScheme::RoBaRaCoCh);
+        let a0 = m.decode(0);
+        let a1 = m.decode(64);
+        let a2 = m.decode(128);
+        assert_eq!(a0.channel, 0);
+        assert_eq!(a1.channel, 1);
+        assert_eq!(a2.channel, 2);
+        assert_eq!(a0.row, a1.row);
+    }
+
+    #[test]
+    fn roundtrip_all_schemes() {
+        for scheme in [
+            MapScheme::RoBaRaCoCh,
+            MapScheme::RoRaBaChCo,
+            MapScheme::ChRaBaRoCo,
+        ] {
+            let m = mapper(scheme);
+            for pa in [0u64, 64, 4096, 1 << 20, (1 << 33) + 8 * 64] {
+                let a = m.decode(pa);
+                assert_eq!(m.encode(a), pa & !63, "scheme {scheme:?} pa {pa}");
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        let m = mapper(MapScheme::RoBaRaCoCh);
+        assert_eq!(m.capacity_bytes(), 16 << 30);
+    }
+
+    #[test]
+    fn addresses_wrap_at_capacity() {
+        let m = mapper(MapScheme::RoBaRaCoCh);
+        let a = m.decode(0);
+        let b = m.decode(m.capacity_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fields_within_bounds() {
+        let m = mapper(MapScheme::RoRaBaChCo);
+        for i in 0..10_000u64 {
+            let a = m.decode(i * 64 * 7919);
+            assert!(a.channel < 4);
+            assert!(a.rank < 1);
+            assert!(a.bank < 8);
+            assert!(a.row < 65_536);
+            assert!(a.col < 128);
+        }
+    }
+}

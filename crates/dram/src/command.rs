@@ -1,0 +1,341 @@
+//! The DRAM command set, including CROW's multiple-row-activation commands.
+
+/// A DRAM command mnemonic.
+///
+/// `ActC` and `ActT` are the two commands CROW adds (paper §4.1.5); all
+/// others are the standard LPDDR4 commands of paper §2.2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Command {
+    /// Activate (open) a row.
+    Act,
+    /// Activate-and-copy: open a regular row, then enable the copy-row
+    /// wordline once the sense amplifiers latch, duplicating the row.
+    ActC,
+    /// Activate-two: simultaneously open a regular row and its duplicate
+    /// copy row for reduced activation latency.
+    ActT,
+    /// Read a column of the open row.
+    Rd,
+    /// Write a column of the open row.
+    Wr,
+    /// Precharge (close) the open row.
+    Pre,
+    /// All-bank refresh.
+    Ref,
+    /// Per-bank refresh (LPDDR4 `REFpb`): refreshes one bank while the
+    /// others remain accessible.
+    RefPb,
+}
+
+impl Command {
+    /// All commands, for stats tables and exhaustive iteration.
+    pub const ALL: [Command; 8] = [
+        Command::Act,
+        Command::ActC,
+        Command::ActT,
+        Command::Rd,
+        Command::Wr,
+        Command::Pre,
+        Command::Ref,
+        Command::RefPb,
+    ];
+
+    /// Whether this command opens a row.
+    pub fn is_activate(self) -> bool {
+        matches!(self, Command::Act | Command::ActC | Command::ActT)
+    }
+
+    /// Whether this command transfers data on the data bus.
+    pub fn is_column(self) -> bool {
+        matches!(self, Command::Rd | Command::Wr)
+    }
+
+    /// Dense index for array-based per-command tables.
+    pub fn index(self) -> usize {
+        match self {
+            Command::Act => 0,
+            Command::ActC => 1,
+            Command::ActT => 2,
+            Command::Rd => 3,
+            Command::Wr => 4,
+            Command::Pre => 5,
+            Command::Ref => 6,
+            Command::RefPb => 7,
+        }
+    }
+}
+
+impl std::fmt::Display for Command {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Command::Act => "ACT",
+            Command::ActC => "ACT-c",
+            Command::ActT => "ACT-t",
+            Command::Rd => "RD",
+            Command::Wr => "WR",
+            Command::Pre => "PRE",
+            Command::Ref => "REF",
+            Command::RefPb => "REFpb",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Address of one physical row inside a bank: either a regular row or a
+/// copy row (copy rows have their own small decoder, paper §3.2, so they
+/// are addressed as (subarray, index) rather than by a row number).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowAddr {
+    /// A regular row, numbered within the bank.
+    Regular(u32),
+    /// Copy row `idx` of `subarray`.
+    Copy {
+        /// Subarray index within the bank.
+        subarray: u32,
+        /// Copy-row index within the subarray.
+        idx: u8,
+    },
+}
+
+impl RowAddr {
+    /// The subarray this row belongs to, given `rows_per_subarray`.
+    pub fn subarray(&self, rows_per_subarray: u32) -> u32 {
+        match *self {
+            RowAddr::Regular(r) => r / rows_per_subarray,
+            RowAddr::Copy { subarray, .. } => subarray,
+        }
+    }
+}
+
+/// What an activation opens, and with which timing flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActKind {
+    /// Plain `ACT` of a single row (regular or copy; activating a remapped
+    /// copy row under CROW-ref uses standard single-row timings).
+    Single(RowAddr),
+    /// `ACT-c`: open regular row `src` and duplicate it into copy row
+    /// `copy` of the same subarray.
+    Copy {
+        /// Source regular row.
+        src: u32,
+        /// Destination copy-row index.
+        copy: u8,
+    },
+    /// `ACT-t`: simultaneously open regular row `row` and copy row `copy`
+    /// which hold the same data.
+    Twin {
+        /// The regular row of the duplicate pair.
+        row: u32,
+        /// The copy-row index of the duplicate pair.
+        copy: u8,
+        /// Whether the pair was fully restored when last precharged; the
+        /// controller learns this from the CROW-table `isFullyRestored`
+        /// bit (paper §4.1.4) and it selects the Table 1 timing row.
+        fully_restored: bool,
+    },
+}
+
+impl ActKind {
+    /// Convenience constructor for a plain activation of a regular row.
+    pub fn single(row: u32) -> Self {
+        ActKind::Single(RowAddr::Regular(row))
+    }
+
+    /// The command mnemonic this activation issues.
+    pub fn command(&self) -> Command {
+        match self {
+            ActKind::Single(_) => Command::Act,
+            ActKind::Copy { .. } => Command::ActC,
+            ActKind::Twin { .. } => Command::ActT,
+        }
+    }
+
+    /// The subarray the activation targets.
+    pub fn subarray(&self, rows_per_subarray: u32) -> u32 {
+        match *self {
+            ActKind::Single(addr) => addr.subarray(rows_per_subarray),
+            ActKind::Copy { src, .. } => src / rows_per_subarray,
+            ActKind::Twin { row, .. } => row / rows_per_subarray,
+        }
+    }
+}
+
+/// A fully-specified command ready for legality checking and issue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CmdDesc {
+    /// Command mnemonic.
+    pub cmd: Command,
+    /// Target rank.
+    pub rank: u32,
+    /// Target bank (ignored for `Ref`, which is all-bank).
+    pub bank: u32,
+    /// Activation details (for `Act`/`ActC`/`ActT`).
+    pub act: Option<ActKind>,
+    /// Column address (for `Rd`/`Wr`).
+    pub col: Option<u32>,
+    /// Target subarray (for `Pre` under subarray-level parallelism, and
+    /// derived automatically for activations and column commands).
+    pub subarray: Option<u32>,
+    /// Overrides the activation timing modifier derived from the command
+    /// flavour. Used by organizations whose latency differences come from
+    /// the array structure rather than multiple-row activation (e.g. the
+    /// TL-DRAM baseline's near/far segments, §8.1.4).
+    pub act_mod: Option<crate::timing::ActTimingMod>,
+}
+
+impl CmdDesc {
+    /// Builds an activation command of the appropriate flavour.
+    pub fn act(rank: u32, bank: u32, kind: ActKind) -> Self {
+        Self {
+            cmd: kind.command(),
+            rank,
+            bank,
+            act: Some(kind),
+            col: None,
+            subarray: None,
+            act_mod: None,
+        }
+    }
+
+    /// Builds a read of `col` from the open row of `bank`.
+    pub fn rd(rank: u32, bank: u32, col: u32) -> Self {
+        Self {
+            cmd: Command::Rd,
+            rank,
+            bank,
+            act: None,
+            col: Some(col),
+            subarray: None,
+            act_mod: None,
+        }
+    }
+
+    /// Builds a write of `col` to the open row of `bank`.
+    pub fn wr(rank: u32, bank: u32, col: u32) -> Self {
+        Self {
+            cmd: Command::Wr,
+            rank,
+            bank,
+            act: None,
+            col: Some(col),
+            subarray: None,
+            act_mod: None,
+        }
+    }
+
+    /// Builds a precharge of `bank` (closing its open row).
+    pub fn pre(rank: u32, bank: u32) -> Self {
+        Self {
+            cmd: Command::Pre,
+            rank,
+            bank,
+            act: None,
+            col: None,
+            subarray: None,
+            act_mod: None,
+        }
+    }
+
+    /// Builds a precharge of one subarray's row buffer (SALP mode).
+    pub fn pre_subarray(rank: u32, bank: u32, subarray: u32) -> Self {
+        Self {
+            cmd: Command::Pre,
+            rank,
+            bank,
+            act: None,
+            col: None,
+            subarray: Some(subarray),
+            act_mod: None,
+        }
+    }
+
+    /// Builds an all-bank refresh for `rank`.
+    pub fn refresh(rank: u32) -> Self {
+        Self {
+            cmd: Command::Ref,
+            rank,
+            bank: 0,
+            act: None,
+            col: None,
+            subarray: None,
+            act_mod: None,
+        }
+    }
+
+    /// Builds a per-bank refresh of `bank` (LPDDR4 `REFpb`).
+    pub fn refresh_bank(rank: u32, bank: u32) -> Self {
+        Self {
+            cmd: Command::RefPb,
+            rank,
+            bank,
+            act: None,
+            col: None,
+            subarray: None,
+            act_mod: None,
+        }
+    }
+
+    /// Builds a read targeting a specific subarray's open row (SALP mode).
+    pub fn rd_subarray(rank: u32, bank: u32, subarray: u32, col: u32) -> Self {
+        let mut d = Self::rd(rank, bank, col);
+        d.subarray = Some(subarray);
+        d
+    }
+
+    /// Builds a write targeting a specific subarray's open row (SALP mode).
+    pub fn wr_subarray(rank: u32, bank: u32, subarray: u32, col: u32) -> Self {
+        let mut d = Self::wr(rank, bank, col);
+        d.subarray = Some(subarray);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn act_kind_commands() {
+        assert_eq!(ActKind::single(3).command(), Command::Act);
+        assert_eq!(ActKind::Copy { src: 3, copy: 0 }.command(), Command::ActC);
+        assert_eq!(
+            ActKind::Twin {
+                row: 3,
+                copy: 0,
+                fully_restored: true
+            }
+            .command(),
+            Command::ActT
+        );
+    }
+
+    #[test]
+    fn subarray_derivation() {
+        let k = ActKind::Copy { src: 513, copy: 1 };
+        assert_eq!(k.subarray(512), 1);
+        let r = RowAddr::Copy {
+            subarray: 7,
+            idx: 2,
+        };
+        assert_eq!(r.subarray(512), 7);
+    }
+
+    #[test]
+    fn command_properties() {
+        assert!(Command::ActT.is_activate());
+        assert!(!Command::Pre.is_activate());
+        assert!(Command::Wr.is_column());
+        // Indices are dense and unique.
+        let mut seen = [false; 8];
+        for c in Command::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Command::ActC.to_string(), "ACT-c");
+        assert_eq!(Command::Ref.to_string(), "REF");
+    }
+}

@@ -1,0 +1,48 @@
+//! Error types for command legality checking.
+
+use crate::Cycle;
+
+/// Why a command cannot issue right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssueError {
+    /// All structural conditions hold but a timing constraint is pending;
+    /// the command becomes legal at `ready_at`.
+    TooEarly {
+        /// First cycle at which the command may issue.
+        ready_at: Cycle,
+    },
+    /// The device is in the wrong state for this command (e.g. `RD` with no
+    /// open row, `ACT` while a row is open). The string names the violated
+    /// condition.
+    WrongState(&'static str),
+    /// The command addresses a rank/bank/row outside the configured
+    /// geometry.
+    BadAddress(&'static str),
+}
+
+impl std::fmt::Display for IssueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IssueError::TooEarly { ready_at } => {
+                write!(f, "timing constraint pending until cycle {ready_at}")
+            }
+            IssueError::WrongState(s) => write!(f, "wrong device state: {s}"),
+            IssueError::BadAddress(s) => write!(f, "bad address: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IssueError::TooEarly { ready_at: 42 };
+        assert!(e.to_string().contains("42"));
+        let e = IssueError::WrongState("row not open");
+        assert!(e.to_string().contains("row not open"));
+    }
+}

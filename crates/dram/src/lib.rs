@@ -1,0 +1,71 @@
+//! # crow-dram
+//!
+//! A cycle-accurate LPDDR4 DRAM device and timing model, built from scratch
+//! as the simulation substrate for the CROW reproduction (Hassan et al.,
+//! *CROW: A Low-Cost Substrate for Improving DRAM Performance, Energy
+//! Efficiency, and Reliability*, ISCA 2019).
+//!
+//! The crate models a DRAM **channel** as a hierarchy of ranks, banks, and
+//! subarrays, enforcing all JEDEC-style timing constraints between commands
+//! (`tRCD`, `tRAS`, `tRP`, `tWR`, `tRTP`, `tCCD`, `tRRD`, `tFAW`, `tWTR`,
+//! `tREFI`, `tRFC`, read/write latencies and bus turnarounds). On top of the
+//! standard command set (`ACT`, `RD`, `WR`, `PRE`, `REF`) it implements the
+//! two multiple-row-activation commands that CROW introduces:
+//!
+//! * **`ACT-c`** (activate-and-copy): activates a regular row, then a copy
+//!   row in the same subarray once the sense amplifiers have latched the
+//!   data, duplicating the row RowClone-style (paper §4.1.1).
+//! * **`ACT-t`** (activate-two): simultaneously activates a regular row and
+//!   its duplicate copy row, reducing activation latency (paper §4.1.2).
+//!
+//! Timing deltas for these commands (paper Table 1) are configurable via
+//! [`MraTimings`] and are derived analytically by the `crow-circuit` crate.
+//!
+//! The device also supports **subarray-level parallelism** (multiple live
+//! local row buffers per bank) so that the SALP baseline of the paper's
+//! §8.1.4 can be modeled with the same timing engine.
+//!
+//! An [`oracle::DataOracle`] can be attached to verify functional correctness
+//! of every command stream: reads observe the latest write through any
+//! CROW remapping/duplication, and a partially-restored row is never
+//! activated as a single row (the data-corruption hazard of paper §4.1.4).
+//!
+//! ## Example
+//!
+//! ```
+//! use crow_dram::{DramConfig, DramChannel, CmdDesc, ActKind, Command};
+//!
+//! let cfg = DramConfig::lpddr4_default();
+//! let mut ch = DramChannel::new(cfg);
+//! // Activate row 7 of bank 0 and read column 3.
+//! let act = CmdDesc::act(0, 0, ActKind::single(7));
+//! assert!(ch.check(&act, 0).is_ok());
+//! ch.issue(&act, 0);
+//! let rd = CmdDesc::rd(0, 0, 3);
+//! let ready = ch.ready_at(&rd).unwrap();
+//! ch.issue(&rd, ready);
+//! assert_eq!(ch.stats().issued(Command::Rd), 1);
+//! ```
+
+pub mod addr;
+pub mod bank;
+pub mod channel;
+pub mod command;
+pub mod config;
+pub mod error;
+pub mod oracle;
+pub mod stats;
+pub mod timing;
+
+pub use addr::{Addr, AddrMapper, MapScheme, PhysAddr};
+pub use bank::{Activation, BankState, OpenRow, RestoreState, SubarrayState};
+pub use channel::DramChannel;
+pub use command::{ActKind, CmdDesc, Command, RowAddr};
+pub use config::DramConfig;
+pub use error::IssueError;
+pub use oracle::DataOracle;
+pub use stats::ChannelStats;
+pub use timing::{ActTimingMod, MraTimings, SpeedBin, Timings};
+
+/// A point in time, measured in memory-controller (DRAM bus) clock cycles.
+pub type Cycle = u64;

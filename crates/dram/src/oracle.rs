@@ -1,0 +1,357 @@
+//! Functional data-integrity oracle.
+//!
+//! The oracle shadows the charge and content state of every row that a
+//! command stream touches and flags the correctness hazards the CROW paper
+//! identifies:
+//!
+//! * a **partially-restored** row must never be activated alone (paper
+//!   §4.1.4 — this would read corrupted data);
+//! * `ACT-t` must only pair a regular row with a copy row holding **the
+//!   same data** (paper §3.1);
+//! * `ACT-c` must not source from a partially-restored row.
+//!
+//! Content is tracked as opaque version tokens: a write mints a fresh
+//! token for every open row, and `ACT-c` copies the source token to the
+//! destination. Higher-level tests map tokens back to request streams.
+
+use std::collections::HashMap;
+
+use crate::bank::{OpenRow, RestoreState};
+use crate::command::{ActKind, RowAddr};
+
+/// Key identifying one physical row in the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RowKey {
+    rank: u32,
+    bank: u32,
+    row: RowAddr,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RowInfo {
+    content: u64,
+    restore: RestoreState,
+}
+
+/// Shadow model of row charge and content; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct DataOracle {
+    rows: HashMap<RowKey, RowInfo>,
+    next_token: u64,
+    violations: Vec<String>,
+    reads: u64,
+    /// Subarray width; set by the channel on attach.
+    rows_per_subarray: u32,
+}
+
+impl DataOracle {
+    /// Creates an empty oracle; untouched rows are fully restored with
+    /// unique initial content. Used standalone in tests with
+    /// [`DataOracle::with_geometry`]; the channel attaches its own.
+    pub fn new() -> Self {
+        Self {
+            rows_per_subarray: 512,
+            ..Self::default()
+        }
+    }
+
+    /// Creates an oracle for a given subarray width.
+    pub fn with_geometry(rows_per_subarray: u32) -> Self {
+        Self {
+            rows_per_subarray,
+            ..Self::default()
+        }
+    }
+
+    /// Violations observed so far (empty means the stream is clean).
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Number of reads observed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Panics with a report if any violation has been recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command stream violated a data-integrity invariant.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "data-integrity violations: {:#?}",
+            self.violations
+        );
+    }
+
+    /// The current content token of a row (for test-side verification).
+    pub fn content_of(&mut self, rank: u32, bank: u32, row: RowAddr) -> u64 {
+        self.info(RowKey { rank, bank, row }).content
+    }
+
+    fn info(&mut self, key: RowKey) -> RowInfo {
+        if let Some(i) = self.rows.get(&key) {
+            return *i;
+        }
+        self.next_token += 1;
+        let info = RowInfo {
+            content: self.next_token,
+            restore: RestoreState::Full,
+        };
+        self.rows.insert(key, info);
+        info
+    }
+
+    fn set(&mut self, key: RowKey, info: RowInfo) {
+        self.rows.insert(key, info);
+    }
+
+    fn copy_key(&self, rank: u32, bank: u32, regular_row: u32, idx: u8) -> RowKey {
+        RowKey {
+            rank,
+            bank,
+            row: RowAddr::Copy {
+                subarray: regular_row / self.rows_per_subarray,
+                idx,
+            },
+        }
+    }
+
+    /// Records an activation.
+    pub(crate) fn on_act(&mut self, rank: u32, bank: u32, kind: ActKind) {
+        match kind {
+            ActKind::Single(addr) => {
+                let info = self.info(RowKey {
+                    rank,
+                    bank,
+                    row: addr,
+                });
+                if info.restore == RestoreState::Partial {
+                    self.violations.push(format!(
+                        "single ACT on partially-restored row {addr:?} (rank {rank}, bank {bank})"
+                    ));
+                }
+            }
+            ActKind::Copy { src, copy } => {
+                let skey = RowKey {
+                    rank,
+                    bank,
+                    row: RowAddr::Regular(src),
+                };
+                let sinfo = self.info(skey);
+                if sinfo.restore == RestoreState::Partial {
+                    self.violations.push(format!(
+                        "ACT-c sourcing from partially-restored row {src} \
+                         (rank {rank}, bank {bank})"
+                    ));
+                }
+                // The copy completes during restoration: destination adopts
+                // the source content.
+                let dkey = self.copy_key(rank, bank, src, copy);
+                self.set(
+                    dkey,
+                    RowInfo {
+                        content: sinfo.content,
+                        restore: RestoreState::Full,
+                    },
+                );
+            }
+            ActKind::Twin { row, copy, .. } => {
+                let rkey = RowKey {
+                    rank,
+                    bank,
+                    row: RowAddr::Regular(row),
+                };
+                let ckey = self.copy_key(rank, bank, row, copy);
+                let rinfo = self.info(rkey);
+                let cinfo = self.info(ckey);
+                if rinfo.content != cinfo.content {
+                    self.violations.push(format!(
+                        "ACT-t on rows with different contents: regular {row} \
+                         vs copy {copy} (rank {rank}, bank {bank})"
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Records a write to the open row(s): both rows of a pair receive the
+    /// same fresh content token.
+    pub(crate) fn on_write(&mut self, rank: u32, bank: u32, open: OpenRow) {
+        self.next_token += 1;
+        let token = self.next_token;
+        for key in self.keys_of(rank, bank, open) {
+            let mut info = self.info(key);
+            info.content = token;
+            self.set(key, info);
+        }
+    }
+
+    /// Records a precharge and the restoration outcome of the closed rows.
+    pub(crate) fn on_pre(&mut self, rank: u32, bank: u32, open: OpenRow, restore: RestoreState) {
+        for key in self.keys_of(rank, bank, open) {
+            let mut info = self.info(key);
+            info.restore = restore;
+            self.set(key, info);
+        }
+    }
+
+    /// Records a read (counted; content verification is caller-driven via
+    /// [`DataOracle::content_of`]).
+    pub(crate) fn note_read(&mut self, _rank: u32, _bank: u32) {
+        self.reads += 1;
+    }
+
+    fn keys_of(&self, rank: u32, bank: u32, open: OpenRow) -> Vec<RowKey> {
+        match open {
+            OpenRow::Single(addr) => vec![RowKey {
+                rank,
+                bank,
+                row: addr,
+            }],
+            OpenRow::Pair { row, copy } => vec![
+                RowKey {
+                    rank,
+                    bank,
+                    row: RowAddr::Regular(row),
+                },
+                self.copy_key(rank, bank, row, copy),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_act_on_partial_row_flagged() {
+        let mut o = DataOracle::new();
+        // Close row 5 partially restored.
+        o.on_pre(
+            0,
+            0,
+            OpenRow::Pair { row: 5, copy: 0 },
+            RestoreState::Partial,
+        );
+        o.on_act(0, 0, ActKind::single(5));
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn act_t_after_act_c_is_clean() {
+        let mut o = DataOracle::new();
+        o.on_act(0, 0, ActKind::Copy { src: 9, copy: 1 });
+        o.on_pre(0, 0, OpenRow::Pair { row: 9, copy: 1 }, RestoreState::Full);
+        o.on_act(
+            0,
+            0,
+            ActKind::Twin {
+                row: 9,
+                copy: 1,
+                fully_restored: true,
+            },
+        );
+        o.assert_clean();
+    }
+
+    #[test]
+    fn act_t_without_prior_copy_flagged() {
+        let mut o = DataOracle::new();
+        o.on_act(
+            0,
+            0,
+            ActKind::Twin {
+                row: 9,
+                copy: 1,
+                fully_restored: true,
+            },
+        );
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn write_updates_both_rows_of_pair() {
+        let mut o = DataOracle::new();
+        o.on_act(0, 0, ActKind::Copy { src: 9, copy: 1 });
+        o.on_write(0, 0, OpenRow::Pair { row: 9, copy: 1 });
+        let r = o.content_of(0, 0, RowAddr::Regular(9));
+        let c = o.content_of(
+            0,
+            0,
+            RowAddr::Copy {
+                subarray: 0,
+                idx: 1,
+            },
+        );
+        assert_eq!(r, c);
+        // A later ACT-t stays clean because contents still match.
+        o.on_pre(0, 0, OpenRow::Pair { row: 9, copy: 1 }, RestoreState::Full);
+        o.on_act(
+            0,
+            0,
+            ActKind::Twin {
+                row: 9,
+                copy: 1,
+                fully_restored: true,
+            },
+        );
+        o.assert_clean();
+    }
+
+    #[test]
+    fn stale_copy_after_single_row_write_flagged() {
+        let mut o = DataOracle::new();
+        // Duplicate row 9, close fully restored.
+        o.on_act(0, 0, ActKind::Copy { src: 9, copy: 0 });
+        o.on_pre(0, 0, OpenRow::Pair { row: 9, copy: 0 }, RestoreState::Full);
+        // Write row 9 alone (e.g. after the CROW-table entry was evicted).
+        o.on_act(0, 0, ActKind::single(9));
+        o.on_write(0, 0, OpenRow::Single(RowAddr::Regular(9)));
+        o.on_pre(
+            0,
+            0,
+            OpenRow::Single(RowAddr::Regular(9)),
+            RestoreState::Full,
+        );
+        // ACT-t with the stale copy row must be flagged.
+        o.on_act(
+            0,
+            0,
+            ActKind::Twin {
+                row: 9,
+                copy: 0,
+                fully_restored: true,
+            },
+        );
+        assert_eq!(o.violations().len(), 1);
+    }
+
+    #[test]
+    fn copy_rows_in_different_subarrays_are_distinct() {
+        let mut o = DataOracle::with_geometry(64);
+        o.on_act(0, 0, ActKind::Copy { src: 3, copy: 0 });
+        o.on_act(0, 0, ActKind::Copy { src: 70, copy: 0 });
+        let c0 = o.content_of(
+            0,
+            0,
+            RowAddr::Copy {
+                subarray: 0,
+                idx: 0,
+            },
+        );
+        let c1 = o.content_of(
+            0,
+            0,
+            RowAddr::Copy {
+                subarray: 1,
+                idx: 0,
+            },
+        );
+        assert_ne!(c0, c1);
+        o.assert_clean();
+    }
+}

@@ -1,0 +1,73 @@
+//! Per-channel command statistics.
+
+use crate::command::Command;
+
+/// Counters of commands issued on one channel, used by the energy model and
+/// by experiment reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    issued: [u64; 8],
+}
+
+impl ChannelStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one issue of `cmd`.
+    pub fn record(&mut self, cmd: Command) {
+        self.issued[cmd.index()] += 1;
+    }
+
+    /// Number of times `cmd` has issued.
+    pub fn issued(&self, cmd: Command) -> u64 {
+        self.issued[cmd.index()]
+    }
+
+    /// Total activations of any flavour (`ACT` + `ACT-c` + `ACT-t`).
+    pub fn total_activations(&self) -> u64 {
+        self.issued(Command::Act) + self.issued(Command::ActC) + self.issued(Command::ActT)
+    }
+
+    /// Total column accesses (`RD` + `WR`).
+    pub fn total_column_accesses(&self) -> u64 {
+        self.issued(Command::Rd) + self.issued(Command::Wr)
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        for i in 0..self.issued.len() {
+            self.issued[i] += other.issued[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = ChannelStats::new();
+        s.record(Command::Act);
+        s.record(Command::ActT);
+        s.record(Command::Rd);
+        s.record(Command::Rd);
+        assert_eq!(s.issued(Command::Act), 1);
+        assert_eq!(s.total_activations(), 2);
+        assert_eq!(s.total_column_accesses(), 2);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = ChannelStats::new();
+        a.record(Command::Pre);
+        let mut b = ChannelStats::new();
+        b.record(Command::Pre);
+        b.record(Command::Ref);
+        a.merge(&b);
+        assert_eq!(a.issued(Command::Pre), 2);
+        assert_eq!(a.issued(Command::Ref), 1);
+    }
+}

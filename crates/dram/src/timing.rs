@@ -1,0 +1,467 @@
+//! DRAM timing parameters: speed bins in nanoseconds and their conversion to
+//! memory-clock cycles, plus the CROW multiple-row-activation timing
+//! modifiers of paper Table 1.
+
+/// A JEDEC-style speed bin: timing parameters in nanoseconds (or clocks
+/// where the standard specifies clocks).
+///
+/// Values follow the LPDDR4-3200 numbers used in the paper's Table 2
+/// (`tRCD`/`tRAS`/`tWR` = 18/42/18 ns → 29/67/29 cycles at 1600 MHz).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedBin {
+    /// Bus clock period in nanoseconds (0.625 ns at 1600 MHz DDR-3200).
+    pub t_ck_ns: f64,
+    /// ACT to internal read/write delay (ns).
+    pub trcd_ns: f64,
+    /// Precharge latency (ns).
+    pub trp_ns: f64,
+    /// ACT to PRE minimum (full single-row restoration) (ns).
+    pub tras_ns: f64,
+    /// Write recovery: last write data to PRE (ns).
+    pub twr_ns: f64,
+    /// Read to PRE minimum (ns).
+    pub trtp_ns: f64,
+    /// ACT-to-ACT different banks, same rank (ns).
+    pub trrd_ns: f64,
+    /// Four-activate window (ns).
+    pub tfaw_ns: f64,
+    /// Write-to-read turnaround after last write data (ns).
+    pub twtr_ns: f64,
+    /// Read latency in clocks (RL).
+    pub rl_ck: u32,
+    /// Write latency in clocks (WL).
+    pub wl_ck: u32,
+    /// Burst occupancy of the data bus in clocks (BL16 DDR = 8).
+    pub tbl_ck: u32,
+    /// Column-to-column delay in clocks.
+    pub tccd_ck: u32,
+    /// Average refresh interval (ns); LPDDR4 refresh window is 32 ms over
+    /// 8192 REF commands → 3906 ns.
+    pub trefi_ns: f64,
+    /// Same-bank-group column spacing in clocks (`tCCD_L`); equal to
+    /// `tccd_ck` on standards without bank groups.
+    pub tccd_l_ck: u32,
+    /// Same-bank-group ACT spacing (ns, `tRRD_L`); equal to `trrd_ns`
+    /// without bank groups.
+    pub trrd_l_ns: f64,
+    /// All-bank refresh busy time at 8 Gbit (ns); scaled with density by
+    /// the historical ~1.4x-per-doubling trend.
+    pub trfc8_ns: f64,
+}
+
+impl SpeedBin {
+    /// LPDDR4-3200 speed bin (1600 MHz bus clock).
+    pub fn lpddr4_3200() -> Self {
+        Self {
+            t_ck_ns: 0.625,
+            trcd_ns: 18.0,
+            trp_ns: 18.0,
+            tras_ns: 42.0,
+            twr_ns: 18.0,
+            trtp_ns: 7.5,
+            trrd_ns: 10.0,
+            tfaw_ns: 40.0,
+            twtr_ns: 10.0,
+            rl_ck: 28,
+            wl_ck: 14,
+            tbl_ck: 8,
+            tccd_ck: 8,
+            trefi_ns: 3906.0,
+            tccd_l_ck: 8,
+            trrd_l_ns: 10.0,
+            trfc8_ns: 280.0,
+        }
+    }
+
+    /// DDR4-2400 speed bin (1200 MHz bus clock), with bank groups:
+    /// column/activate spacing is tighter across groups (`tCCD_S`,
+    /// `tRRD_S`) than within one (`tCCD_L`, `tRRD_L`).
+    pub fn ddr4_2400() -> Self {
+        Self {
+            t_ck_ns: 0.833,
+            trcd_ns: 13.32,
+            trp_ns: 13.32,
+            tras_ns: 32.0,
+            twr_ns: 15.0,
+            trtp_ns: 7.5,
+            trrd_ns: 3.3,  // tRRD_S (4 ck)
+            tfaw_ns: 21.0,
+            twtr_ns: 2.5,  // tWTR_S
+            rl_ck: 16,
+            wl_ck: 12,
+            tbl_ck: 4, // BL8 DDR
+            tccd_ck: 4, // tCCD_S
+            trefi_ns: 7800.0,
+            tccd_l_ck: 6,
+            trrd_l_ns: 4.9, // tRRD_L (6 ck)
+            trfc8_ns: 350.0,
+        }
+    }
+
+    /// All-bank refresh cycle time for a given chip density, in ns
+    /// (the LPDDR4 8/16 Gbit anchors; 32/64 Gbit are futuristic
+    /// densities, paper Fig. 13, extrapolated on the historical ~1.4×
+    /// per-doubling trend).
+    pub fn trfc_ns(density_gbit: u32) -> f64 {
+        Self::lpddr4_3200().trfc_scaled(density_gbit)
+    }
+
+    /// Density-scaled all-bank refresh time for this speed bin, ns.
+    pub fn trfc_scaled(&self, density_gbit: u32) -> f64 {
+        let factor = match density_gbit {
+            0..=8 => 1.0,
+            16 => 380.0 / 280.0,
+            32 => 530.0 / 280.0,
+            _ => 740.0 / 280.0,
+        };
+        self.trfc8_ns * factor
+    }
+
+    /// Converts this speed bin to integer clock-cycle [`Timings`] for the
+    /// given chip density, rounding each nanosecond parameter *up*.
+    pub fn timings(&self, density_gbit: u32) -> Timings {
+        let ck = |ns: f64| -> u32 { (ns / self.t_ck_ns).ceil() as u32 };
+        let trcd = ck(self.trcd_ns);
+        let trp = ck(self.trp_ns);
+        let tras = ck(self.tras_ns);
+        Timings {
+            t_ck_ns: self.t_ck_ns,
+            trcd,
+            trp,
+            tras,
+            trc: tras + trp,
+            twr: ck(self.twr_ns),
+            trtp: ck(self.trtp_ns),
+            trrd: ck(self.trrd_ns),
+            tfaw: ck(self.tfaw_ns),
+            twtr: ck(self.twtr_ns),
+            rl: self.rl_ck,
+            wl: self.wl_ck,
+            tbl: self.tbl_ck,
+            tccd: self.tccd_ck,
+            trefi: ck(self.trefi_ns),
+            trfc: ck(self.trfc_scaled(density_gbit)),
+            trfc_pb: ck(self.trfc_scaled(density_gbit) / 2.0),
+            tpbr2pbr: ck(self.trfc_scaled(density_gbit) * 0.32),
+            tccd_l: self.tccd_l_ck,
+            trrd_l: ck(self.trrd_l_ns),
+        }
+    }
+}
+
+/// DRAM timing parameters in integer memory-clock cycles, as enforced by
+/// the timing engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timings {
+    /// Clock period in nanoseconds (for reporting only).
+    pub t_ck_ns: f64,
+    /// ACT → RD/WR.
+    pub trcd: u32,
+    /// PRE → ACT.
+    pub trp: u32,
+    /// ACT → PRE (full restoration).
+    pub tras: u32,
+    /// ACT → ACT same bank (`tRAS + tRP`).
+    pub trc: u32,
+    /// Last write data → PRE.
+    pub twr: u32,
+    /// RD → PRE.
+    pub trtp: u32,
+    /// ACT → ACT different bank, same rank.
+    pub trrd: u32,
+    /// Rolling four-activate window per rank.
+    pub tfaw: u32,
+    /// End of write burst → RD, same rank.
+    pub twtr: u32,
+    /// Read latency.
+    pub rl: u32,
+    /// Write latency.
+    pub wl: u32,
+    /// Data-bus burst occupancy.
+    pub tbl: u32,
+    /// Column command spacing.
+    pub tccd: u32,
+    /// Average refresh command interval.
+    pub trefi: u32,
+    /// All-bank refresh busy time.
+    pub trfc: u32,
+    /// Per-bank refresh busy time (LPDDR4 `tRFCpb`, roughly half the
+    /// all-bank figure).
+    pub trfc_pb: u32,
+    /// Minimum spacing between per-bank refreshes (`tpbR2pbR`).
+    pub tpbr2pbr: u32,
+    /// Same-bank-group column spacing (`tCCD_L` >= `tccd`).
+    pub tccd_l: u32,
+    /// Same-bank-group ACT spacing (`tRRD_L` >= `trrd`).
+    pub trrd_l: u32,
+}
+
+impl Timings {
+    /// Checks internal consistency (e.g. `tRC = tRAS + tRP`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated relation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.trc != self.tras + self.trp {
+            return Err(format!(
+                "tRC ({}) must equal tRAS + tRP ({})",
+                self.trc,
+                self.tras + self.trp
+            ));
+        }
+        if self.tras < self.trcd {
+            return Err("tRAS must cover tRCD".into());
+        }
+        if self.trefi <= self.trfc {
+            return Err("tREFI must exceed tRFC".into());
+        }
+        if self.tccd_l < self.tccd || self.trrd_l < self.trrd {
+            return Err("same-group spacings must be >= cross-group ones".into());
+        }
+        Ok(())
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.t_ck_ns
+    }
+
+    /// Converts a duration in nanoseconds to cycles, rounding up.
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns / self.t_ck_ns).ceil() as u64
+    }
+}
+
+impl Default for Timings {
+    fn default() -> Self {
+        SpeedBin::lpddr4_3200().timings(8)
+    }
+}
+
+/// Timing modifiers for one activation flavour, as fractional scale factors
+/// applied to the baseline `tRCD`/`tRAS`/`tWR`.
+///
+/// A scale of `0.62` means "38% reduction"; `1.18` means "18% increase".
+/// The `*_early` variants apply when charge restoration is terminated early
+/// (paper §4.1.3); the `*_full` variants when restoration runs to
+/// completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActTimingMod {
+    /// Scale on `tRCD`.
+    pub trcd: f64,
+    /// Scale on `tRAS` when fully restoring the charge.
+    pub tras_full: f64,
+    /// Scale on `tRAS` when terminating restoration early (earliest legal
+    /// PRE). Equal to `tras_full` when partial restoration is disabled.
+    pub tras_early: f64,
+    /// Scale on `tWR` when fully restoring.
+    pub twr_full: f64,
+    /// Scale on `tWR` when terminating write restoration early.
+    pub twr_early: f64,
+}
+
+impl ActTimingMod {
+    /// The identity modifier (plain single-row `ACT`).
+    pub fn identity() -> Self {
+        Self {
+            trcd: 1.0,
+            tras_full: 1.0,
+            tras_early: 1.0,
+            twr_full: 1.0,
+            twr_early: 1.0,
+        }
+    }
+
+    /// Checks that scales are positive and `early <= full`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated bound.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("trcd", self.trcd),
+            ("tras_full", self.tras_full),
+            ("tras_early", self.tras_early),
+            ("twr_full", self.twr_full),
+            ("twr_early", self.twr_early),
+        ] {
+            if !(0.05..=4.0).contains(&v) {
+                return Err(format!("{name} scale {v} out of sane range"));
+            }
+        }
+        if self.tras_early > self.tras_full {
+            return Err("tras_early must not exceed tras_full".into());
+        }
+        if self.twr_early > self.twr_full {
+            return Err("twr_early must not exceed twr_full".into());
+        }
+        Ok(())
+    }
+}
+
+/// The full set of multiple-row-activation timing modifiers (paper Table 1),
+/// plus the switch controlling whether early restoration termination
+/// (partial restoration, §4.1.3) is permitted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MraTimings {
+    /// `ACT-t` on a fully-restored regular/copy row pair.
+    pub act_t_full: ActTimingMod,
+    /// `ACT-t` on a partially-restored pair.
+    pub act_t_partial: ActTimingMod,
+    /// `ACT-c` (activate-and-copy).
+    pub act_c: ActTimingMod,
+    /// Whether the controller may precharge before full restoration.
+    pub allow_partial_restore: bool,
+}
+
+impl MraTimings {
+    /// The values of paper Table 1 (derived from the authors' SPICE model;
+    /// our `crow-circuit` crate reproduces them analytically).
+    pub fn paper_table1() -> Self {
+        Self {
+            act_t_full: ActTimingMod {
+                trcd: 0.62,       // -38%
+                tras_full: 0.93,  // -7%
+                tras_early: 0.67, // -33%
+                twr_full: 1.14,   // +14%
+                twr_early: 0.87,  // -13%
+            },
+            act_t_partial: ActTimingMod {
+                trcd: 0.79,       // -21%
+                tras_full: 0.93,  // -7%
+                tras_early: 0.75, // -25%
+                twr_full: 1.14,   // +14%
+                twr_early: 0.87,  // -13%
+            },
+            act_c: ActTimingMod {
+                trcd: 1.0,        // unchanged
+                tras_full: 1.18,  // +18%
+                tras_early: 0.93, // -7%
+                twr_full: 1.14,   // +14%
+                twr_early: 0.87,  // -13%
+            },
+            allow_partial_restore: true,
+        }
+    }
+
+    /// The evaluated CROW-cache operating point (paper §5.1): with early
+    /// termination enabled the controller uses the −21% `tRCD` / −33% `tRAS`
+    /// point for fully-restored pairs.
+    ///
+    /// Note the trade-off: committing to early termination costs `tRCD`
+    /// (−21% instead of −38%) but buys a large `tRAS` cut.
+    pub fn paper_operating_point() -> Self {
+        let mut t = Self::paper_table1();
+        t.act_t_full.trcd = 0.79; // -21%, the early-termination trade-off
+        t
+    }
+
+    /// Modifiers with partial restoration disabled (ablation: isolate the
+    /// contribution of §4.1.3). `tRAS`/`tWR` must always run to `*_full`.
+    pub fn no_partial_restore() -> Self {
+        let mut t = Self::paper_table1();
+        t.allow_partial_restore = false;
+        t.act_t_full.tras_early = t.act_t_full.tras_full;
+        t.act_t_full.twr_early = t.act_t_full.twr_full;
+        t.act_t_partial.tras_early = t.act_t_partial.tras_full;
+        t.act_t_partial.twr_early = t.act_t_partial.twr_full;
+        t.act_c.tras_early = t.act_c.tras_full;
+        t.act_c.twr_early = t.act_c.twr_full;
+        t
+    }
+
+    /// Validates every contained modifier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first invalid [`ActTimingMod`].
+    pub fn validate(&self) -> Result<(), String> {
+        self.act_t_full.validate()?;
+        self.act_t_partial.validate()?;
+        self.act_c.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for MraTimings {
+    fn default() -> Self {
+        Self::paper_operating_point()
+    }
+}
+
+/// Scales a cycle count by a factor, rounding up and never below 1.
+pub(crate) fn scale_cycles(base: u32, scale: f64) -> u32 {
+    ((f64::from(base) * scale).ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cycle_counts_match_table2() {
+        // Paper Table 2: tRCD/tRAS/tWR = 29 (18) / 67 (42) / 29 (18)
+        // cycles (ns).
+        let t = SpeedBin::lpddr4_3200().timings(8);
+        assert_eq!(t.trcd, 29);
+        assert_eq!(t.tras, 68); // ceil(42/0.625) = 67.2 -> 68; paper rounds to 67
+        assert_eq!(t.twr, 29);
+        assert_eq!(t.trp, 29);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn trfc_monotone_in_density() {
+        let mut prev = 0.0;
+        for d in [8, 16, 32, 64] {
+            let v = SpeedBin::trfc_ns(d);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn table1_deltas() {
+        let m = MraTimings::paper_table1();
+        m.validate().unwrap();
+        assert!((m.act_t_full.trcd - 0.62).abs() < 1e-9);
+        assert!((m.act_c.tras_full - 1.18).abs() < 1e-9);
+    }
+
+    #[test]
+    fn operating_point_uses_relaxed_trcd() {
+        let m = MraTimings::paper_operating_point();
+        assert!((m.act_t_full.trcd - 0.79).abs() < 1e-9);
+        assert!((m.act_t_full.tras_early - 0.67).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_partial_restore_pins_early_to_full() {
+        let m = MraTimings::no_partial_restore();
+        assert!(!m.allow_partial_restore);
+        assert_eq!(m.act_c.tras_early, m.act_c.tras_full);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn scale_cycles_rounds_up_and_floors_at_one() {
+        assert_eq!(scale_cycles(29, 0.62), 18);
+        assert_eq!(scale_cycles(10, 0.01), 1);
+        assert_eq!(scale_cycles(68, 1.18), 81);
+    }
+
+    #[test]
+    fn ns_cycle_roundtrip() {
+        let t = Timings::default();
+        assert_eq!(t.ns_to_cycles(t.cycles_to_ns(120)), 120);
+    }
+
+    #[test]
+    fn invalid_mod_rejected() {
+        let mut m = ActTimingMod::identity();
+        m.tras_early = 1.5;
+        m.tras_full = 1.0;
+        assert!(m.validate().is_err());
+    }
+}

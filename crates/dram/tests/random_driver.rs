@@ -1,0 +1,222 @@
+//! Property test: a randomized but *protocol-correct* driver issues long
+//! interleaved command streams against the device. The device's
+//! `ready_at` supplies legal issue times (and `issue` debug-asserts
+//! legality, so any timing-engine inconsistency panics), while the
+//! attached data-integrity oracle verifies the CROW content/charge
+//! semantics end to end:
+//!
+//! * a partially-restored pair is only ever re-activated with `ACT-t`;
+//! * `ACT-t` only pairs rows whose contents are in sync (the driver
+//!   deliberately desynchronizes duplicates by writing through
+//!   single-row activations, then must re-copy before pairing again);
+//! * `ACT-c` never sources a partially-restored row.
+
+use proptest::prelude::*;
+
+use crow_dram::{
+    ActKind, CmdDesc, Command, DramChannel, DramConfig, OpenRow, RestoreState, RowAddr,
+};
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RowShadow {
+    /// No duplicate; fully restored.
+    Plain,
+    /// Duplicated into copy row `idx`, contents in sync, fully restored.
+    DupSynced { idx: u8 },
+    /// Duplicated, contents in sync, pair partially restored (must ACT-t).
+    DupPartial { idx: u8 },
+    /// Duplicate exists but holds stale data (row was written alone).
+    DupStale { idx: u8 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OpenShadow {
+    row: u32,
+    wrote: bool,
+}
+
+fn driver(ops: Vec<(u8, u8, u8, u8)>) {
+    let cfg = DramConfig::tiny_test(); // 2 banks, 8 subarrays x 64 rows, 2 copy rows
+    let rows_per_sa = cfg.rows_per_subarray;
+    let tras_full_deadline = |ch: &DramChannel, rank: u32, bank: u32| {
+        ch.open_activation(rank, bank)
+            .map(|(_, a)| a.full_restore_at)
+            .expect("bank open")
+    };
+    let mut ch = DramChannel::new(cfg);
+    ch.attach_oracle();
+    let mut now: u64 = 0;
+    let mut shadow: std::collections::HashMap<(u32, u32), RowShadow> =
+        std::collections::HashMap::new();
+    // Which regular row currently owns each copy-row slot.
+    let mut slots: std::collections::HashMap<(u32, u32, u8), u32> =
+        std::collections::HashMap::new();
+    let mut open: [Option<OpenShadow>; 2] = [None, None];
+
+    let issue_at = |ch: &mut DramChannel, d: &CmdDesc, now: &mut u64, at_least: u64| {
+        let ready = ch.ready_at(d).unwrap_or_else(|e| panic!("{d:?}: {e}"));
+        *now = (*now).max(ready).max(at_least);
+        ch.issue(d, *now)
+    };
+
+    for (bank_sel, row_sel, col_sel, action) in ops {
+        let bank = u32::from(bank_sel) % 2;
+        // Keep rows within two subarrays to force copy-row contention.
+        let row = u32::from(row_sel) % (2 * rows_per_sa);
+        let col = u32::from(col_sel) % 16;
+        now += 1;
+        match open[bank as usize] {
+            Some(os) => match action % 4 {
+                // Column accesses to the open row.
+                0 => {
+                    let d = CmdDesc::rd(0, bank, col);
+                    issue_at(&mut ch, &d, &mut now, 0);
+                }
+                1 => {
+                    let d = CmdDesc::wr(0, bank, col);
+                    issue_at(&mut ch, &d, &mut now, 0);
+                    open[bank as usize].as_mut().expect("open").wrote = true;
+                }
+                // Precharge, sometimes waiting for full restoration.
+                wait_full => {
+                    let at_least = if wait_full == 3 {
+                        tras_full_deadline(&ch, 0, bank)
+                    } else {
+                        0
+                    };
+                    let d = CmdDesc::pre(0, bank);
+                    let fx = issue_at(&mut ch, &d, &mut now, at_least);
+                    let closed = fx.closed.expect("PRE closes");
+                    let key = (bank, os.row);
+                    let entry = shadow.entry(key).or_insert(RowShadow::Plain);
+                    match (closed.open, closed.restore) {
+                        (OpenRow::Pair { copy, .. }, RestoreState::Full) => {
+                            *entry = RowShadow::DupSynced { idx: copy };
+                        }
+                        (OpenRow::Pair { copy, .. }, RestoreState::Partial) => {
+                            *entry = RowShadow::DupPartial { idx: copy };
+                        }
+                        (OpenRow::Single(RowAddr::Regular(_)), _) => {
+                            // A single activation that wrote desyncs any
+                            // duplicate.
+                            if os.wrote {
+                                if let RowShadow::DupSynced { idx }
+                                | RowShadow::DupStale { idx } = *entry
+                                {
+                                    *entry = RowShadow::DupStale { idx };
+                                }
+                            }
+                        }
+                        (OpenRow::Single(RowAddr::Copy { .. }), _) => {}
+                    }
+                    open[bank as usize] = None;
+                }
+            },
+            None => {
+                // Activate `row`, choosing a protocol-correct flavour.
+                let state = *shadow.get(&(bank, row)).unwrap_or(&RowShadow::Plain);
+                let copy_slot = (row / rows_per_sa) as u8 % 2;
+                let kind = match state {
+                    RowShadow::DupPartial { idx } => ActKind::Twin {
+                        row,
+                        copy: idx,
+                        fully_restored: false,
+                    },
+                    RowShadow::DupSynced { idx } => {
+                        if action % 2 == 0 {
+                            ActKind::Twin {
+                                row,
+                                copy: idx,
+                                fully_restored: true,
+                            }
+                        } else {
+                            ActKind::single(row)
+                        }
+                    }
+                    RowShadow::DupStale { .. } | RowShadow::Plain => {
+                        // (Re-)copying steals the slot from its current
+                        // owner — legal only if the owner is fully
+                        // restored (the controller's restore-before-evict
+                        // rule, paper Sec. 4.1.4). Our driver simply
+                        // declines the copy when the owner is partial.
+                        let sa = row / rows_per_sa;
+                        let owner = slots.get(&(bank, sa, copy_slot)).copied();
+                        let owner_partial = owner.is_some_and(|o| {
+                            matches!(
+                                shadow.get(&(bank, o)),
+                                Some(RowShadow::DupPartial { .. })
+                            )
+                        });
+                        if action % 3 == 0 && !owner_partial {
+                            ActKind::Copy {
+                                src: row,
+                                copy: copy_slot,
+                            }
+                        } else {
+                            ActKind::single(row)
+                        }
+                    }
+                };
+                let d = CmdDesc::act(0, bank, kind);
+                issue_at(&mut ch, &d, &mut now, 0);
+                if matches!(kind, ActKind::Copy { .. }) {
+                    let sa = row / rows_per_sa;
+                    // Demote the displaced owner: its duplicate is gone.
+                    if let Some(prev) = slots.insert((bank, sa, copy_slot), row) {
+                        if prev != row {
+                            shadow.insert((bank, prev), RowShadow::Plain);
+                        }
+                    }
+                    shadow.insert((bank, row), RowShadow::DupSynced { idx: copy_slot });
+                }
+                open[bank as usize] = Some(OpenShadow { row, wrote: false });
+            }
+        }
+    }
+    // Close everything and verify the oracle.
+    for bank in 0..2u32 {
+        if open[bank as usize].is_some() {
+            let d = CmdDesc::pre(0, bank);
+            let ready = ch.ready_at(&d).expect("pre legal");
+            now = now.max(ready);
+            ch.issue(&d, now);
+        }
+    }
+    let refresh = CmdDesc::refresh(0);
+    let ready = ch.ready_at(&refresh).expect("refresh legal");
+    ch.issue(&refresh, now.max(ready));
+    ch.oracle().expect("attached").assert_clean();
+    assert_eq!(
+        ch.stats().total_activations() + ch.stats().issued(Command::Pre) + 1,
+        ch.stats().total_activations() * 2 + 1,
+        "every activation was precharged exactly once"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_protocol_streams_stay_legal_and_clean(
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..400),
+    ) {
+        driver(ops);
+    }
+}
+
+#[test]
+fn long_deterministic_stream() {
+    // A fixed long stream as a regression companion (runs in debug CI
+    // with the issue-time legality debug-asserts active).
+    let ops: Vec<(u8, u8, u8, u8)> = (0..3000u32)
+        .map(|i| {
+            (
+                (i % 7) as u8,
+                (i.wrapping_mul(2654435761) >> 8) as u8,
+                (i % 13) as u8,
+                (i.wrapping_mul(40503) >> 4) as u8,
+            )
+        })
+        .collect();
+    driver(ops);
+}

@@ -1,0 +1,336 @@
+//! # crow-energy
+//!
+//! DRAM energy accounting in the style of DRAMPower \[5\], which the CROW
+//! paper uses to estimate DRAM energy. Energy is decomposed the standard
+//! way (Micron TN-41-01 / DRAMPower methodology):
+//!
+//! * a **background** component drawn every cycle, whose level depends on
+//!   how many row buffers are open (`IDD2N` precharge standby vs `IDD3N`
+//!   active standby — the paper notes an idle LPDDR4 chip with one open
+//!   bank draws 10.9% more current than with all banks closed, which is
+//!   what makes the SALP baseline energy-hungry in §8.1.4);
+//! * **incremental event energies** for `ACT`/`PRE` pairs, `RD`/`WR`
+//!   bursts, and `REF` (which scales with chip density through `tRFC`).
+//!
+//! The CROW multiple-row-activation commands (`ACT-c`, `ACT-t`) consume
+//! 5.8% more activation energy than a plain `ACT` (paper §6.2), supplied
+//! by the `crow-circuit` power model through
+//! [`EnergySpec::mra_act_factor`].
+//!
+//! ## Example
+//!
+//! ```
+//! use crow_energy::{EnergyCounter, EnergyModel, EnergySpec};
+//! use crow_dram::{Command, Timings};
+//!
+//! let model = EnergyModel::new(EnergySpec::lpddr4(), Timings::default());
+//! let mut counter = EnergyCounter::new();
+//! counter.on_command(&model, Command::Act);
+//! counter.on_command(&model, Command::Rd);
+//! counter.add_background(&model, 1000, 400);
+//! assert!(counter.total_nj() > 0.0);
+//! ```
+
+use crow_dram::{Command, Timings};
+
+/// LPDDR4 current/voltage specification (per-chip, milliamps and volts).
+///
+/// Values follow a Micron 8 Gb LPDDR4-3200 x16 datasheet \[73\], collapsed
+/// to a single effective rail for simplicity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergySpec {
+    /// Effective supply voltage (V).
+    pub vdd: f64,
+    /// Activate-precharge cycling current (mA).
+    pub idd0: f64,
+    /// Precharge standby current (mA).
+    pub idd2n: f64,
+    /// Active standby current, one bank open (mA).
+    pub idd3n: f64,
+    /// Read burst current (mA).
+    pub idd4r: f64,
+    /// Write burst current (mA).
+    pub idd4w: f64,
+    /// Refresh burst current (mA).
+    pub idd5: f64,
+    /// Activation energy multiplier for `ACT-c`/`ACT-t` (paper §6.2:
+    /// 1.058 for two-row activation).
+    pub mra_act_factor: f64,
+}
+
+impl EnergySpec {
+    /// The LPDDR4-3200 specification used throughout the evaluation.
+    ///
+    /// `IDD3N` is derived from the paper's observation that one open bank
+    /// raises standby current by 10.9% over the all-banks-closed level.
+    pub fn lpddr4() -> Self {
+        let idd2n = 32.0;
+        Self {
+            vdd: 1.1,
+            idd0: 64.0,
+            idd2n,
+            idd3n: idd2n * 1.109,
+            idd4r: 230.0,
+            idd4w: 215.0,
+            idd5: 155.0,
+            mra_act_factor: 1.058,
+        }
+    }
+}
+
+/// Converts (mA, ns) to nanojoules at a voltage.
+fn nj(vdd: f64, ma: f64, ns: f64) -> f64 {
+    // mA * V * ns = pJ; divide by 1000 for nJ.
+    ma * vdd * ns / 1000.0
+}
+
+/// Per-command and background energy evaluator for one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    spec: EnergySpec,
+    timings: Timings,
+    banks: u32,
+}
+
+impl EnergyModel {
+    /// Builds a model from a current spec and the channel's timings
+    /// (whose `tRFC` already reflects the chip density). Assumes the
+    /// standard 8 banks; see [`EnergyModel::with_banks`].
+    pub fn new(spec: EnergySpec, timings: Timings) -> Self {
+        Self {
+            spec,
+            timings,
+            banks: 8,
+        }
+    }
+
+    /// Overrides the bank count (used to apportion per-bank refresh
+    /// energy).
+    pub fn with_banks(mut self, banks: u32) -> Self {
+        assert!(banks >= 1);
+        self.banks = banks;
+        self
+    }
+
+    /// The current specification.
+    pub fn spec(&self) -> &EnergySpec {
+        &self.spec
+    }
+
+    /// Incremental energy of one command, in nJ (0 for `PRE`, whose cost
+    /// is folded into the activation pair energy).
+    pub fn command_nj(&self, cmd: Command) -> f64 {
+        let s = &self.spec;
+        let t = &self.timings;
+        let ns = |cycles: u32| f64::from(cycles) * t.t_ck_ns;
+        match cmd {
+            Command::Act => nj(s.vdd, s.idd0 - s.idd3n, ns(t.tras))
+                + nj(s.vdd, s.idd0 - s.idd2n, ns(t.trp)),
+            Command::ActC | Command::ActT => self.command_nj(Command::Act) * s.mra_act_factor,
+            Command::Rd => nj(s.vdd, s.idd4r - s.idd3n, ns(t.tbl)),
+            Command::Wr => nj(s.vdd, s.idd4w - s.idd3n, ns(t.tbl)),
+            Command::Pre => 0.0,
+            Command::Ref => nj(s.vdd, s.idd5 - s.idd2n, ns(t.trfc)),
+            // One bank's share of the rows per command; same charge per
+            // row as the all-bank refresh.
+            Command::RefPb => {
+                nj(s.vdd, s.idd5 - s.idd2n, ns(t.trfc)) / f64::from(self.banks)
+            }
+        }
+    }
+
+    /// Energy of one activate/precharge pair whose sense amplifiers drove
+    /// restoration for `restore_cycles` (early-terminated restoration
+    /// transfers proportionally less charge, paper §4.1.3; an `ACT-c`'s
+    /// longer restoration transfers more). `mra` applies the two-row
+    /// power uplift of §6.2.
+    pub fn act_pair_nj(&self, restore_cycles: u64, mra: bool) -> f64 {
+        let s = &self.spec;
+        let t = &self.timings;
+        let e = nj(
+            s.vdd,
+            s.idd0 - s.idd3n,
+            restore_cycles as f64 * t.t_ck_ns,
+        ) + nj(s.vdd, s.idd0 - s.idd2n, f64::from(t.trp) * t.t_ck_ns);
+        if mra {
+            e * s.mra_act_factor
+        } else {
+            e
+        }
+    }
+
+    /// Background energy over `cycles` total cycles of which
+    /// `open_buffer_cycles` is the time-integral of the number of open
+    /// row buffers (so SALP's multiple live local row buffers, and longer
+    /// open times in general, cost energy).
+    pub fn background_nj(&self, cycles: u64, open_buffer_cycles: u64) -> f64 {
+        let s = &self.spec;
+        let t = &self.timings;
+        nj(s.vdd, s.idd2n, cycles as f64 * t.t_ck_ns)
+            + nj(
+                s.vdd,
+                s.idd3n - s.idd2n,
+                open_buffer_cycles as f64 * t.t_ck_ns,
+            )
+    }
+}
+
+/// Accumulated energy for one channel, by component (nJ).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyCounter {
+    /// Activation + precharge energy (all `ACT` flavours).
+    pub act_nj: f64,
+    /// Read burst energy.
+    pub rd_nj: f64,
+    /// Write burst energy.
+    pub wr_nj: f64,
+    /// Refresh energy.
+    pub ref_nj: f64,
+    /// Background (standby) energy.
+    pub background_nj: f64,
+}
+
+impl EnergyCounter {
+    /// New zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts one activate/precharge pair at precharge time (see
+    /// [`EnergyModel::act_pair_nj`]).
+    pub fn on_act_pair(&mut self, model: &EnergyModel, restore_cycles: u64, mra: bool) {
+        self.act_nj += model.act_pair_nj(restore_cycles, mra);
+    }
+
+    /// Accounts one issued command.
+    pub fn on_command(&mut self, model: &EnergyModel, cmd: Command) {
+        let e = model.command_nj(cmd);
+        match cmd {
+            Command::Act | Command::ActC | Command::ActT => self.act_nj += e,
+            Command::Rd => self.rd_nj += e,
+            Command::Wr => self.wr_nj += e,
+            Command::Ref | Command::RefPb => self.ref_nj += e,
+            Command::Pre => {}
+        }
+    }
+
+    /// Accounts background energy for an interval (see
+    /// [`EnergyModel::background_nj`]).
+    pub fn add_background(&mut self, model: &EnergyModel, cycles: u64, open_buffer_cycles: u64) {
+        self.background_nj += model.background_nj(cycles, open_buffer_cycles);
+    }
+
+    /// Total energy, nJ.
+    pub fn total_nj(&self) -> f64 {
+        self.act_nj + self.rd_nj + self.wr_nj + self.ref_nj + self.background_nj
+    }
+
+    /// Fraction of total energy spent on refresh.
+    pub fn refresh_fraction(&self) -> f64 {
+        let t = self.total_nj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.ref_nj / t
+        }
+    }
+
+    /// Merges another counter (e.g. across channels).
+    pub fn merge(&mut self, o: &EnergyCounter) {
+        self.act_nj += o.act_nj;
+        self.rd_nj += o.rd_nj;
+        self.wr_nj += o.wr_nj;
+        self.ref_nj += o.ref_nj;
+        self.background_nj += o.background_nj;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crow_dram::SpeedBin;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(EnergySpec::lpddr4(), Timings::default())
+    }
+
+    #[test]
+    fn command_energies_positive_and_ordered() {
+        let m = model();
+        let act = m.command_nj(Command::Act);
+        let rd = m.command_nj(Command::Rd);
+        let reff = m.command_nj(Command::Ref);
+        assert!(act > 0.0 && rd > 0.0 && reff > 0.0);
+        assert_eq!(m.command_nj(Command::Pre), 0.0);
+        // A refresh (many rows) costs far more than one activation.
+        assert!(reff > act);
+    }
+
+    #[test]
+    fn mra_activation_costs_5_8_percent_more() {
+        let m = model();
+        let ratio = m.command_nj(Command::ActT) / m.command_nj(Command::Act);
+        assert!((ratio - 1.058).abs() < 1e-9);
+        assert_eq!(m.command_nj(Command::ActT), m.command_nj(Command::ActC));
+    }
+
+    #[test]
+    fn refresh_energy_scales_with_density() {
+        let e8 = EnergyModel::new(EnergySpec::lpddr4(), SpeedBin::lpddr4_3200().timings(8))
+            .command_nj(Command::Ref);
+        let e64 = EnergyModel::new(EnergySpec::lpddr4(), SpeedBin::lpddr4_3200().timings(64))
+            .command_nj(Command::Ref);
+        assert!(e64 > e8 * 2.0, "64 Gbit refresh {e64} vs 8 Gbit {e8}");
+    }
+
+    #[test]
+    fn open_buffers_raise_background() {
+        let m = model();
+        let closed = m.background_nj(10_000, 0);
+        let one_open = m.background_nj(10_000, 10_000);
+        let eight_open = m.background_nj(10_000, 80_000);
+        assert!(one_open > closed);
+        // The paper's 10.9% uplift for one open bank.
+        assert!((one_open / closed - 1.109).abs() < 1e-9);
+        assert!(eight_open > one_open);
+    }
+
+    #[test]
+    fn act_pair_energy_scales_with_restore_drive() {
+        let m = model();
+        let t = Timings::default();
+        let full = m.act_pair_nj(u64::from(t.tras), false);
+        let early = m.act_pair_nj(u64::from(t.tras) * 2 / 3, false);
+        assert!(early < full, "early termination must cost less charge");
+        // MRA uplift applies on top.
+        let mra = m.act_pair_nj(u64::from(t.tras), true);
+        assert!((mra / full - 1.058).abs() < 1e-9);
+        // Consistent with the per-command estimate at nominal tRAS.
+        assert!((full - m.command_nj(Command::Act)).abs() / full < 1e-6);
+    }
+
+    #[test]
+    fn per_bank_refresh_energy_sums_to_all_bank() {
+        let m = model().with_banks(8);
+        let pb_total = m.command_nj(Command::RefPb) * 8.0;
+        assert!((pb_total - m.command_nj(Command::Ref)).abs() < 1e-9);
+        let m2 = model().with_banks(2);
+        assert!(
+            (m2.command_nj(Command::RefPb) * 2.0 - m2.command_nj(Command::Ref)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn counter_accumulates_and_merges() {
+        let m = model();
+        let mut a = EnergyCounter::new();
+        a.on_command(&m, Command::Act);
+        a.on_command(&m, Command::Rd);
+        a.on_command(&m, Command::Ref);
+        a.add_background(&m, 100, 50);
+        assert!(a.refresh_fraction() > 0.0 && a.refresh_fraction() < 1.0);
+        let mut b = a;
+        b.merge(&a);
+        assert!((b.total_nj() - 2.0 * a.total_nj()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! # crow-mem
+//!
+//! The DRAM memory controller of the CROW reproduction: request queues,
+//! FR-FCFS(-Cap) scheduling, row-buffer management policies, refresh
+//! scheduling, and the integration point where the CROW substrate's
+//! activation decisions (`ACT` / `ACT-c` / `ACT-t` / remapped copy-row
+//! activation) are turned into DRAM commands.
+//!
+//! One [`MemController`] drives one [`crow_dram::DramChannel`]. The paper's
+//! Table 2 controller is the default configuration: 64-entry read/write
+//! queues, the FR-FCFS-Cap scheduler of footnote 6, and the 75 ns
+//! timeout-based row-buffer policy of footnote 7.
+//!
+//! The controller also performs CROW's two maintenance flows:
+//!
+//! * **restore-before-evict** (paper §4.1.4): before evicting a
+//!   partially-restored row from the CROW-table, it issues an `ACT-t`
+//!   honouring the default `tRAS` followed by a `PRE`;
+//! * **RowHammer victim copies** (paper §4.3): on detector alarms it
+//!   issues `ACT-c` to move victim rows to copy rows.
+//!
+//! ## Example
+//!
+//! ```
+//! use crow_dram::DramConfig;
+//! use crow_mem::{McConfig, MemController, MemRequest, ReqKind};
+//!
+//! let mut mc = MemController::new(McConfig::paper_default(), DramConfig::tiny_test(), None);
+//! mc.try_enqueue(MemRequest::new(1, ReqKind::Read, 0, 0, 5, 0, 0)).unwrap();
+//! let mut done = Vec::new();
+//! for now in 0..200 {
+//!     mc.tick(now, &mut done);
+//! }
+//! assert_eq!(done.len(), 1);
+//! ```
+
+pub mod config;
+pub mod controller;
+pub mod request;
+pub mod stats;
+
+pub use config::{McConfig, RowPolicy, SchedKind};
+pub use controller::MemController;
+pub use request::{Completion, MemRequest, ReqKind};
+pub use stats::McStats;

@@ -1,0 +1,159 @@
+//! Memory-controller statistics.
+
+/// Number of power-of-two latency buckets tracked (bucket `i` holds
+/// latencies in `[2^i, 2^(i+1))` memory cycles; the last bucket is
+/// open-ended).
+pub const LATENCY_BUCKETS: usize = 16;
+
+/// Counters for one controller (one channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct McStats {
+    /// Reads serviced (data returned).
+    pub reads: u64,
+    /// Writes serviced (burst issued).
+    pub writes: u64,
+    /// Column accesses served from an already-open row.
+    pub row_hits: u64,
+    /// Activations issued on a closed bank/subarray.
+    pub row_misses: u64,
+    /// Precharges forced by a conflicting request.
+    pub row_conflicts: u64,
+    /// Refresh commands issued.
+    pub refreshes: u64,
+    /// Requests rejected because a queue was full.
+    pub rejections: u64,
+    /// Sum of read latencies (arrival to data completion), cycles.
+    pub read_latency_sum: u64,
+    /// Maximum single read latency, cycles.
+    pub read_latency_max: u64,
+    /// Activations issued solely to fully restore an eviction victim
+    /// (paper §4.1.1/§8.1.1 overhead).
+    pub restore_activations: u64,
+    /// RowHammer victim copy activations.
+    pub hammer_copies: u64,
+    /// Log2-bucketed read-latency histogram (memory cycles).
+    pub latency_hist: [u64; LATENCY_BUCKETS],
+}
+
+impl McStats {
+    /// New zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one read latency into the histogram.
+    pub fn record_latency(&mut self, cycles: u64) {
+        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1)
+            .min(LATENCY_BUCKETS - 1);
+        self.latency_hist[bucket] += 1;
+    }
+
+    /// Approximate latency percentile (upper bound of the bucket holding
+    /// the `p`-quantile; `p` in (0, 1]). Returns 0 with no samples.
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&p) && p > 0.0, "p must be in (0, 1]");
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (p * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.latency_hist.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << LATENCY_BUCKETS
+    }
+
+    /// Mean read latency in cycles.
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads as f64
+        }
+    }
+
+    /// Row-buffer hit rate over column accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Merges another counter set.
+    pub fn merge(&mut self, o: &McStats) {
+        self.reads += o.reads;
+        self.writes += o.writes;
+        self.row_hits += o.row_hits;
+        self.row_misses += o.row_misses;
+        self.row_conflicts += o.row_conflicts;
+        self.refreshes += o.refreshes;
+        self.rejections += o.rejections;
+        self.read_latency_sum += o.read_latency_sum;
+        self.read_latency_max = self.read_latency_max.max(o.read_latency_max);
+        self.restore_activations += o.restore_activations;
+        self.hammer_copies += o.hammer_copies;
+        for (a, b) in self.latency_hist.iter_mut().zip(&o.latency_hist) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let s = McStats {
+            reads: 4,
+            read_latency_sum: 400,
+            row_hits: 3,
+            row_misses: 1,
+            ..McStats::new()
+        };
+        assert!((s.avg_read_latency() - 100.0).abs() < 1e-12);
+        assert!((s.row_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(McStats::new().avg_read_latency(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let mut s = McStats::new();
+        for lat in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 5000] {
+            s.record_latency(lat);
+        }
+        // 1 -> bucket 0; 2,3 -> bucket 1; 100 -> bucket 6; 5000 -> bucket 12.
+        assert_eq!(s.latency_hist[0], 1);
+        assert_eq!(s.latency_hist[1], 2);
+        assert_eq!(s.latency_hist[6], 6);
+        assert_eq!(s.latency_hist[12], 1);
+        // Median lands in the 100s bucket (upper bound 128).
+        assert_eq!(s.latency_percentile(0.5), 128);
+        // Tail reaches the 5000 sample.
+        assert_eq!(s.latency_percentile(1.0), 8192);
+        assert_eq!(McStats::new().latency_percentile(0.99), 0);
+    }
+
+    #[test]
+    fn merge_takes_max_latency() {
+        let mut a = McStats {
+            read_latency_max: 10,
+            ..McStats::new()
+        };
+        let b = McStats {
+            read_latency_max: 99,
+            reads: 1,
+            ..McStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.read_latency_max, 99);
+        assert_eq!(a.reads, 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! System configuration and mechanism presets.
+
+use crow_core::retention::RetentionProfile;
+use crow_core::HammerConfig;
+use crow_cpu::CpuConfig;
+use crow_dram::{DramConfig, MapScheme, MraTimings};
+use crow_mem::McConfig;
+
+/// Which memory-system mechanism the run evaluates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mechanism {
+    /// Commodity LPDDR4 (paper baseline).
+    Baseline,
+    /// CROW-cache with `copy_rows` per subarray and a CROW-table entry
+    /// sharing factor (§6.1; 1 = dedicated entries).
+    CrowCache {
+        /// Copy rows per subarray (CROW-1 / CROW-8 / CROW-255).
+        copy_rows: u8,
+        /// Entry sharing factor.
+        share_factor: u32,
+    },
+    /// CROW-ref weak-row remapping (doubles the refresh interval).
+    CrowRef {
+        /// How weak rows are injected.
+        profile: RetentionProfile,
+    },
+    /// CROW-cache + CROW-ref sharing the same copy rows (§8.3).
+    CrowCombined {
+        /// Copy rows per subarray.
+        copy_rows: u8,
+        /// Weak-row injection.
+        profile: RetentionProfile,
+    },
+    /// Hypothetical 100%-hit-rate CROW-cache (paper's *Ideal
+    /// CROW-cache*).
+    IdealCache,
+    /// Ideal CROW-cache plus no refresh at all (the Fig. 14 ideal).
+    IdealCacheNoRefresh,
+    /// Refresh disabled only (ablation).
+    NoRefresh,
+    /// TL-DRAM \[58\] with a near segment of `near_rows` per subarray.
+    TlDram {
+        /// Near-segment rows.
+        near_rows: u8,
+    },
+    /// SALP-MASA \[53\] with `subarrays` subarrays per bank.
+    Salp {
+        /// Subarrays per bank (baseline organization has 128).
+        subarrays: u32,
+        /// Use the open-page policy (`SALP-N-O` in §8.1.4).
+        open_page: bool,
+    },
+    /// CROW-based RowHammer mitigation (§4.3) on top of CROW-cache.
+    RowHammer {
+        /// Copy rows per subarray.
+        copy_rows: u8,
+        /// Detector configuration.
+        hammer: HammerConfig,
+    },
+}
+
+impl Mechanism {
+    /// CROW-cache with dedicated table entries.
+    pub fn crow_cache(copy_rows: u8) -> Self {
+        Mechanism::CrowCache {
+            copy_rows,
+            share_factor: 1,
+        }
+    }
+
+    /// CROW-ref with the paper's pessimistic three-weak-rows profile.
+    pub fn crow_ref() -> Self {
+        Mechanism::CrowRef {
+            profile: RetentionProfile::paper_conservative(),
+        }
+    }
+
+    /// The combined mechanism with the paper's defaults (CROW-8).
+    pub fn crow_combined() -> Self {
+        Mechanism::CrowCombined {
+            copy_rows: 8,
+            profile: RetentionProfile::paper_conservative(),
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Mechanism::Baseline => "baseline".into(),
+            Mechanism::CrowCache {
+                copy_rows,
+                share_factor: 1,
+            } => format!("CROW-{copy_rows}"),
+            Mechanism::CrowCache {
+                copy_rows,
+                share_factor,
+            } => format!("CROW-{copy_rows}/share{share_factor}"),
+            Mechanism::CrowRef { .. } => "CROW-ref".into(),
+            Mechanism::CrowCombined { copy_rows, .. } => {
+                format!("CROW-{copy_rows}+ref")
+            }
+            Mechanism::IdealCache => "Ideal CROW-cache".into(),
+            Mechanism::IdealCacheNoRefresh => "Ideal (no refresh)".into(),
+            Mechanism::NoRefresh => "no-refresh".into(),
+            Mechanism::TlDram { near_rows } => format!("TL-DRAM-{near_rows}"),
+            Mechanism::Salp {
+                subarrays,
+                open_page,
+            } => format!("SALP-{subarrays}{}", if *open_page { "-O" } else { "" }),
+            Mechanism::RowHammer { copy_rows, .. } => format!("CROW-{copy_rows}+hammer"),
+        }
+    }
+}
+
+/// Full-system configuration (paper Table 2 defaults).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of memory channels.
+    pub channels: u32,
+    /// Per-channel DRAM geometry/timings.
+    pub dram: DramConfig,
+    /// Memory-controller configuration.
+    pub mc: McConfig,
+    /// CPU/cache configuration.
+    pub cpu: CpuConfig,
+    /// Address-interleaving scheme.
+    pub scheme: MapScheme,
+    /// Mechanism under evaluation.
+    pub mechanism: Mechanism,
+    /// Master seed (traces, page tables, retention profiles).
+    pub seed: u64,
+    /// Attach the data-integrity oracle (slower; for tests).
+    pub oracle: bool,
+    /// Inject one variable-retention-time (VRT) weak-row discovery every
+    /// this many CPU cycles (paper §4.2.3: newly-identified weak rows are
+    /// remapped at runtime with `ACT-c`). `None` disables VRT events.
+    pub vrt_interval_cycles: Option<u64>,
+    /// Overrides the multiple-row-activation timing set (ablations, e.g.
+    /// [`MraTimings::no_partial_restore`]); `None` uses the paper
+    /// operating point.
+    pub mra_override: Option<MraTimings>,
+}
+
+impl SystemConfig {
+    /// The paper's Table 2 system with the given mechanism.
+    pub fn paper_default(mechanism: Mechanism) -> Self {
+        Self {
+            channels: 4,
+            dram: DramConfig::lpddr4_default(),
+            mc: McConfig::paper_default(),
+            cpu: CpuConfig::paper_default(),
+            scheme: MapScheme::RoBaRaCoCh,
+            mechanism,
+            seed: 0xC0DE,
+            oracle: false,
+            vrt_interval_cycles: None,
+            mra_override: None,
+        }
+    }
+
+    /// A DDR4-2400 platform (16 banks in 4 bank groups, 2 ranks, 64 ms
+    /// refresh): CROW is not LPDDR4-specific (§7), and bank-group timing
+    /// changes the scheduling landscape.
+    pub fn ddr4(mechanism: Mechanism) -> Self {
+        Self {
+            channels: 4,
+            dram: DramConfig::ddr4_default(),
+            mc: McConfig::paper_default(),
+            cpu: CpuConfig::paper_default(),
+            scheme: MapScheme::RoBaRaCoCh,
+            mechanism,
+            seed: 0xC0DE,
+            oracle: false,
+            vrt_interval_cycles: None,
+            mra_override: None,
+        }
+    }
+
+    /// A scaled-down system for fast tests: one channel, smaller DRAM
+    /// and LLC, short instruction targets.
+    pub fn quick_test(mechanism: Mechanism) -> Self {
+        let mut dram = DramConfig::lpddr4_default();
+        dram.rows_per_bank = 16_384; // 32 subarrays of 512 rows per bank
+        dram.rows_per_subarray = 512;
+        let mut cpu = CpuConfig::paper_default();
+        cpu.llc_bytes = 1 << 20;
+        cpu.target_insts = 30_000;
+        Self {
+            channels: 1,
+            dram,
+            mc: McConfig::paper_default(),
+            cpu,
+            scheme: MapScheme::RoBaRaCoCh,
+            mechanism,
+            seed: 0xC0DE,
+            oracle: false,
+            vrt_interval_cycles: None,
+            mra_override: None,
+        }
+    }
+
+    /// Returns a copy at a different chip density (Fig. 13).
+    pub fn with_density(mut self, gbit: u32) -> Self {
+        self.dram = self.dram.with_density(gbit);
+        self
+    }
+
+    /// Returns a copy with a different LLC capacity (Fig. 14).
+    pub fn with_llc_bytes(mut self, bytes: u64) -> Self {
+        self.cpu = self.cpu.with_llc_bytes(bytes);
+        self
+    }
+
+    /// Returns a copy with the stride prefetcher enabled (Fig. 12).
+    pub fn with_prefetcher(mut self) -> Self {
+        self.cpu = self.cpu.with_prefetcher();
+        self
+    }
+
+    /// CPU cycles per memory-bus cycle numerator/denominator
+    /// (4 GHz / 1.6 GHz = 5:2).
+    pub const CLOCK_RATIO: (u64, u64) = (5, 2);
+
+    /// Resolves the effective DRAM configuration for the mechanism
+    /// (copy rows, subarray parallelism, MRA timing set).
+    pub fn effective_dram(&self) -> DramConfig {
+        let mut d = self.dram.clone();
+        match self.mechanism {
+            Mechanism::Baseline | Mechanism::NoRefresh | Mechanism::IdealCache
+            | Mechanism::IdealCacheNoRefresh => {
+                d.copy_rows_per_subarray = if matches!(
+                    self.mechanism,
+                    Mechanism::IdealCache | Mechanism::IdealCacheNoRefresh
+                ) {
+                    1
+                } else {
+                    0
+                };
+            }
+            Mechanism::CrowCache { copy_rows, .. }
+            | Mechanism::CrowCombined { copy_rows, .. }
+            | Mechanism::RowHammer { copy_rows, .. } => {
+                d.copy_rows_per_subarray = copy_rows;
+            }
+            Mechanism::CrowRef { .. } => {
+                d.copy_rows_per_subarray = 8;
+            }
+            Mechanism::TlDram { near_rows } => {
+                d.copy_rows_per_subarray = near_rows;
+            }
+            Mechanism::Salp { subarrays, .. } => {
+                d.copy_rows_per_subarray = 0;
+                d.subarray_parallelism = true;
+                assert!(
+                    d.rows_per_bank.is_multiple_of(subarrays),
+                    "subarray count must divide rows per bank"
+                );
+                d.rows_per_subarray = d.rows_per_bank / subarrays;
+            }
+        }
+        d.mra = self.mra_override.unwrap_or_else(MraTimings::paper_operating_point);
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(Mechanism::crow_cache(8).label(), "CROW-8");
+        assert_eq!(
+            Mechanism::Salp {
+                subarrays: 128,
+                open_page: true
+            }
+            .label(),
+            "SALP-128-O"
+        );
+        assert_eq!(Mechanism::TlDram { near_rows: 8 }.label(), "TL-DRAM-8");
+        assert_eq!(Mechanism::crow_combined().label(), "CROW-8+ref");
+    }
+
+    #[test]
+    fn effective_dram_per_mechanism() {
+        let base = SystemConfig::paper_default(Mechanism::Baseline).effective_dram();
+        assert_eq!(base.copy_rows_per_subarray, 0);
+        let crow = SystemConfig::paper_default(Mechanism::crow_cache(8)).effective_dram();
+        assert_eq!(crow.copy_rows_per_subarray, 8);
+        let salp = SystemConfig::paper_default(Mechanism::Salp {
+            subarrays: 256,
+            open_page: false,
+        })
+        .effective_dram();
+        assert!(salp.subarray_parallelism);
+        assert_eq!(salp.rows_per_subarray, 256);
+        salp.validate().unwrap();
+    }
+
+    #[test]
+    fn quick_test_config_is_valid() {
+        let c = SystemConfig::quick_test(Mechanism::crow_cache(8));
+        c.effective_dram().validate().unwrap();
+        c.cpu.validate().unwrap();
+        c.mc.validate().unwrap();
+    }
+}

@@ -1,0 +1,139 @@
+//! Canned experiment runners shared by the per-figure harness binaries.
+
+use crow_workloads::AppProfile;
+
+use crate::config::{Mechanism, SystemConfig};
+use crate::report::SimReport;
+use crate::system::System;
+
+/// Simulation scale knobs, overridable from the environment:
+///
+/// * `CROW_INSTS` — instructions per core (default 400 000);
+/// * `CROW_WARMUP` — functional warmup instructions (default 50 000);
+/// * `CROW_MIXES` — mixes per four-core group (default 3, paper uses 20).
+///
+/// The paper simulates 200 M instructions per app; the defaults keep a
+/// full figure regeneration in the minutes range while preserving the
+/// relative behaviour (see `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Instructions each core must retire.
+    pub insts: u64,
+    /// Functional warmup instructions per core.
+    pub warmup: u64,
+    /// Mixes per multi-core group.
+    pub mixes_per_group: usize,
+    /// Hard cap on simulated CPU cycles.
+    pub max_cycles: u64,
+}
+
+impl Scale {
+    /// The default evaluation scale (env-overridable).
+    pub fn from_env() -> Self {
+        let get = |k: &str, d: u64| -> u64 {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
+        };
+        Self {
+            insts: get("CROW_INSTS", 400_000),
+            warmup: get("CROW_WARMUP", 50_000),
+            mixes_per_group: get("CROW_MIXES", 3) as usize,
+            max_cycles: get("CROW_MAX_CYCLES", 2_000_000_000),
+        }
+    }
+
+    /// A tiny scale for integration tests.
+    pub fn tiny() -> Self {
+        Self {
+            insts: 30_000,
+            warmup: 5_000,
+            mixes_per_group: 1,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+/// Runs one application alone on the paper platform under `mechanism`.
+pub fn run_single(app: &AppProfile, mechanism: Mechanism, scale: Scale) -> SimReport {
+    let cfg = SystemConfig::paper_default(mechanism);
+    run_with_config(cfg, &[app], scale)
+}
+
+/// Runs a four-application mix on the paper platform.
+pub fn run_mix(apps: &[&AppProfile], mechanism: Mechanism, scale: Scale) -> SimReport {
+    let cfg = SystemConfig::paper_default(mechanism);
+    run_with_config(cfg, apps, scale)
+}
+
+/// Runs an explicit configuration (density/LLC/prefetcher sweeps).
+pub fn run_with_config(mut cfg: SystemConfig, apps: &[&AppProfile], scale: Scale) -> SimReport {
+    cfg.cpu.target_insts = scale.insts;
+    let mut sys = System::new(cfg, apps);
+    if scale.warmup > 0 {
+        sys.warm(scale.warmup);
+    }
+    sys.run(scale.max_cycles)
+}
+
+/// Runs independent jobs on worker threads (deterministic per job).
+pub fn run_many<J, R, F>(jobs: Vec<J>, worker: F) -> Vec<R>
+where
+    J: Send,
+    R: Send,
+    F: Fn(J) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let jobs: Vec<std::sync::Mutex<Option<J>>> =
+        jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let job = jobs[i].lock().unwrap().take().expect("job taken once");
+                let r = worker(job);
+                *results[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("worker finished"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_defaults() {
+        let s = Scale::from_env();
+        assert!(s.insts > 0 && s.warmup < s.insts * 10);
+    }
+
+    #[test]
+    fn run_many_preserves_order() {
+        let out = run_many((0..32u64).collect(), |x| x * 2);
+        assert_eq!(out, (0..32u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_run_on_tiny_scale() {
+        // Uses the full paper platform but a tiny instruction budget.
+        let app = AppProfile::by_name("gcc").unwrap();
+        let r = run_single(app, Mechanism::Baseline, Scale::tiny());
+        assert!(r.finished);
+        assert!(r.ipc[0] > 0.0);
+    }
+}

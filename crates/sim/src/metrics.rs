@@ -1,0 +1,67 @@
+//! Evaluation metrics.
+
+/// Weighted speedup \[104\]: `Σ IPC_shared_i / IPC_alone_i`.
+///
+/// The paper uses this as its multi-core job-throughput metric (§7,
+/// citing \[13\]). Mechanism speedups are ratios of weighted speedups with
+/// common alone-run denominators.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an alone IPC is not
+/// positive.
+pub fn weighted_speedup(shared: &[f64], alone: &[f64]) -> f64 {
+    assert_eq!(shared.len(), alone.len(), "core count mismatch");
+    shared
+        .iter()
+        .zip(alone)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+/// Geometric mean of a slice of positive ratios (used to average
+/// speedups across workloads, as architecture papers conventionally do).
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty());
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_basics() {
+        let ws = weighted_speedup(&[1.0, 2.0], &[2.0, 2.0]);
+        assert!((ws - 1.5).abs() < 1e-12);
+        // All cores at alone speed: WS = number of cores.
+        let ws = weighted_speedup(&[3.0, 3.0, 3.0, 3.0], &[3.0; 4]);
+        assert!((ws - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        let _ = weighted_speedup(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Aggregated run reports.
+
+use crow_core::CrowStats;
+use crow_dram::ChannelStats;
+use crow_energy::EnergyCounter;
+use crow_mem::McStats;
+
+/// Everything a finished run reports.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-core IPC over each core's measured window.
+    pub ipc: Vec<f64>,
+    /// Per-core demand MPKI.
+    pub mpki: Vec<f64>,
+    /// CPU cycles simulated (to the last core's finish or the cap).
+    pub cpu_cycles: u64,
+    /// Memory-bus cycles simulated.
+    pub mem_cycles: u64,
+    /// Merged controller statistics across channels.
+    pub mc: McStats,
+    /// Merged DRAM command counts across channels.
+    pub commands: ChannelStats,
+    /// Merged CROW mechanism statistics (zeros when CROW is off).
+    pub crow: CrowStats,
+    /// Merged DRAM energy across channels.
+    pub energy: EnergyCounter,
+    /// Whether every core reached its instruction target.
+    pub finished: bool,
+}
+
+impl SimReport {
+    /// Sum of per-core IPCs (throughput).
+    pub fn ipc_sum(&self) -> f64 {
+        self.ipc.iter().sum()
+    }
+
+    /// CROW-table hit rate (0 when CROW-cache is off).
+    pub fn crow_hit_rate(&self) -> f64 {
+        self.crow.hit_rate()
+    }
+
+    /// Total DRAM energy in millijoules.
+    pub fn energy_mj(&self) -> f64 {
+        self.energy.total_nj() / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_values() {
+        let r = SimReport {
+            ipc: vec![1.0, 2.0],
+            mpki: vec![5.0, 1.0],
+            cpu_cycles: 100,
+            mem_cycles: 40,
+            mc: McStats::new(),
+            commands: ChannelStats::new(),
+            crow: CrowStats::new(),
+            energy: EnergyCounter::new(),
+            finished: true,
+        };
+        assert!((r.ipc_sum() - 3.0).abs() < 1e-12);
+        assert_eq!(r.energy_mj(), 0.0);
+    }
+}

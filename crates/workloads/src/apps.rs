@@ -1,0 +1,260 @@
+//! The 44-application workload suite plus the two microbenchmarks.
+//!
+//! Names follow the paper's suite (SPEC CPU2006, TPC, STREAM,
+//! MediaBench). Each profile carries the target LLC MPKI (which places
+//! the app in the paper's L/M/H intensity classes) and a cold-region
+//! pattern chosen to match the app's qualitative row-buffer behaviour
+//! (e.g. `libq`/`h264-dec` are memory-intensive *streaming* apps with
+//! high row locality — the paper notes exactly this pair benefits less
+//! from CROW-cache, §8.1.1).
+
+use crow_cpu::trace::TraceSource;
+
+use crate::gen::{GenParams, Pattern, SyntheticTrace};
+
+/// Memory-intensity class (paper §7): `L` < 1 MPKI, `M` in [1, 10),
+/// `H` ≥ 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Low intensity.
+    L,
+    /// Medium intensity.
+    M,
+    /// High intensity.
+    H,
+}
+
+/// A named application profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppProfile {
+    /// Application name (paper suite).
+    pub name: &'static str,
+    /// Intensity class.
+    pub class: Class,
+    /// Target LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Fraction of accesses to the cold (missing) region.
+    pub cold_frac: f64,
+    /// Store fraction.
+    pub write_frac: f64,
+    /// Cold-region pattern.
+    pub pattern: Pattern,
+    /// Cold footprint in MiB.
+    pub footprint_mib: u32,
+}
+
+const fn reuse(pages: u32, switch_prob: f64) -> Pattern {
+    Pattern::PageReuse {
+        pages,
+        switch_prob,
+        refresh_prob: 0.01,
+    }
+}
+
+const fn app(
+    name: &'static str,
+    class: Class,
+    mpki: f64,
+    cold_frac: f64,
+    write_frac: f64,
+    pattern: Pattern,
+    footprint_mib: u32,
+) -> AppProfile {
+    AppProfile {
+        name,
+        class,
+        mpki,
+        cold_frac,
+        write_frac,
+        pattern,
+        footprint_mib,
+    }
+}
+
+/// The full 44-application suite.
+pub static APPS: &[AppProfile] = &[
+    // --- SPEC CPU2006 (29) ---
+    app("astar", Class::M, 4.5, 0.5, 0.20, reuse(64, 0.6), 128),
+    app("bwaves", Class::H, 18.0, 0.9, 0.25, Pattern::Sequential, 256),
+    app("bzip2", Class::M, 3.1, 0.5, 0.30, reuse(48, 0.4), 128),
+    app("cactusADM", Class::M, 5.2, 0.5, 0.30, reuse(32, 0.3), 128),
+    app("calculix", Class::L, 0.6, 0.3, 0.20, reuse(16, 0.3), 64),
+    app("dealII", Class::M, 1.4, 0.5, 0.20, reuse(32, 0.4), 128),
+    app("gamess", Class::L, 0.05, 0.3, 0.15, reuse(8, 0.2), 64),
+    app("gcc", Class::M, 2.1, 0.5, 0.25, reuse(64, 0.5), 128),
+    app("GemsFDTD", Class::H, 18.0, 0.8, 0.30, reuse(96, 0.4), 256),
+    app("gobmk", Class::L, 0.4, 0.3, 0.20, reuse(16, 0.3), 64),
+    app("gromacs", Class::L, 0.7, 0.3, 0.20, reuse(16, 0.3), 64),
+    app("h264ref", Class::L, 0.5, 0.3, 0.20, reuse(12, 0.25), 64),
+    app("hmmer", Class::M, 1.2, 0.5, 0.15, reuse(8, 0.2), 128),
+    app("lbm", Class::H, 32.0, 0.95, 0.40, Pattern::Sequential, 256),
+    app("leslie3d", Class::H, 13.0, 0.85, 0.30, Pattern::Sequential, 256),
+    app("libq", Class::H, 25.4, 1.0, 0.10, Pattern::Sequential, 256),
+    app("mcf", Class::H, 66.9, 0.85, 0.15, reuse(512, 0.8), 512),
+    app("milc", Class::H, 26.0, 0.8, 0.30, reuse(128, 0.5), 256),
+    app("namd", Class::L, 0.08, 0.3, 0.15, reuse(8, 0.2), 64),
+    app("omnetpp", Class::H, 21.0, 0.8, 0.25, reuse(256, 0.7), 256),
+    app("perlbench", Class::L, 0.8, 0.3, 0.25, reuse(24, 0.4), 64),
+    app("povray", Class::L, 0.04, 0.3, 0.15, reuse(8, 0.2), 64),
+    app("sjeng", Class::L, 0.4, 0.3, 0.20, reuse(16, 0.35), 64),
+    app("soplex", Class::H, 27.0, 0.8, 0.20, reuse(64, 0.4), 256),
+    app("sphinx3", Class::H, 12.0, 0.75, 0.10, reuse(48, 0.35), 256),
+    app("tonto", Class::L, 0.3, 0.3, 0.20, reuse(12, 0.25), 64),
+    app("wrf", Class::M, 6.2, 0.5, 0.30, reuse(32, 0.3), 128),
+    app("xalancbmk", Class::M, 2.8, 0.5, 0.20, reuse(128, 0.6), 128),
+    app("zeusmp", Class::M, 4.9, 0.5, 0.30, reuse(24, 0.3), 128),
+    // --- TPC (4) ---
+    app("tpcc64", Class::H, 10.5, 0.8, 0.35, reuse(512, 0.85), 512),
+    app("tpch2", Class::H, 14.0, 0.8, 0.15, reuse(128, 0.5), 256),
+    app("tpch6", Class::H, 20.0, 0.9, 0.10, Pattern::Sequential, 256),
+    app("tpch17", Class::M, 5.5, 0.5, 0.15, reuse(96, 0.5), 128),
+    // --- STREAM (4) ---
+    app("stream-add", Class::H, 30.0, 1.0, 0.33, Pattern::Sequential, 256),
+    app("stream-copy", Class::H, 28.0, 1.0, 0.50, Pattern::Sequential, 256),
+    app("stream-scale", Class::H, 28.0, 1.0, 0.50, Pattern::Sequential, 256),
+    app("stream-triad", Class::H, 31.0, 1.0, 0.33, Pattern::Sequential, 256),
+    // --- MediaBench (7) ---
+    app("h264-enc", Class::L, 0.8, 0.3, 0.30, reuse(16, 0.25), 64),
+    app("h264-dec", Class::H, 11.0, 0.9, 0.30, Pattern::Sequential, 128),
+    app("jp2-encode", Class::M, 4.2, 0.5, 0.30, reuse(16, 0.2), 128),
+    app("jp2-decode", Class::M, 3.6, 0.5, 0.30, reuse(16, 0.2), 128),
+    app("mpeg2-enc", Class::M, 1.8, 0.5, 0.30, reuse(16, 0.25), 128),
+    app("mpeg2-dec", Class::L, 0.6, 0.3, 0.25, reuse(12, 0.25), 64),
+    app("adpcm", Class::L, 0.1, 0.3, 0.15, reuse(8, 0.2), 64),
+];
+
+/// The `random` microbenchmark of \[75\]: random lines, very limited
+/// row-level locality.
+pub static RANDOM: AppProfile = app(
+    "random",
+    Class::H,
+    80.0,
+    1.0,
+    0.20,
+    Pattern::UniformRandom,
+    512,
+);
+
+/// The `streaming` microbenchmark of \[75\]: contiguous accesses spaced
+/// far enough apart that the timeout policy closes the row in between.
+pub static STREAMING: AppProfile = app(
+    "streaming",
+    Class::M,
+    2.5,
+    1.0,
+    0.20,
+    Pattern::Sequential,
+    256,
+);
+
+impl AppProfile {
+    /// All 44 suite applications.
+    pub fn all() -> &'static [AppProfile] {
+        APPS
+    }
+
+    /// The applications of one intensity class.
+    pub fn by_class(class: Class) -> Vec<&'static AppProfile> {
+        APPS.iter().filter(|a| a.class == class).collect()
+    }
+
+    /// Finds a profile by name (including `random` / `streaming`).
+    pub fn by_name(name: &str) -> Option<&'static AppProfile> {
+        if name == "random" {
+            return Some(&RANDOM);
+        }
+        if name == "streaming" {
+            return Some(&STREAMING);
+        }
+        APPS.iter().find(|a| a.name == name)
+    }
+
+    /// Derives the generator parameters that hit the target MPKI: with
+    /// one access per record and `cold_frac` of them missing,
+    /// `MPKI ≈ 1000·cold_frac/(bubbles+1)`.
+    pub fn gen_params(&self) -> GenParams {
+        let bubbles = ((1000.0 * self.cold_frac / self.mpki) - 1.0).round();
+        GenParams {
+            bubbles: bubbles.clamp(0.0, 1_000_000.0) as u32,
+            cold_frac: self.cold_frac,
+            write_frac: self.write_frac,
+            footprint: u64::from(self.footprint_mib) << 20,
+            hot_bytes: 1 << 20,
+            pattern: self.pattern,
+        }
+    }
+
+    /// Builds the endless trace for this application.
+    pub fn trace(&self, seed: u64) -> Box<dyn TraceSource> {
+        // Mix the app name into the seed so co-scheduled copies of
+        // different apps never correlate.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.name.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+        Box::new(SyntheticTrace::new(self.gen_params(), seed ^ h))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn suite_has_44_unique_apps() {
+        assert_eq!(APPS.len(), 44);
+        let names: HashSet<_> = APPS.iter().map(|a| a.name).collect();
+        assert_eq!(names.len(), 44);
+    }
+
+    #[test]
+    fn classes_match_mpki_bands() {
+        for a in APPS {
+            match a.class {
+                Class::L => assert!(a.mpki < 1.0, "{}", a.name),
+                Class::M => assert!((1.0..10.0).contains(&a.mpki), "{}", a.name),
+                Class::H => assert!(a.mpki >= 10.0, "{}", a.name),
+            }
+        }
+        // The paper's classification needs all three classes populated.
+        assert!(!AppProfile::by_class(Class::L).is_empty());
+        assert!(!AppProfile::by_class(Class::M).is_empty());
+        assert!(!AppProfile::by_class(Class::H).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(AppProfile::by_name("mcf").unwrap().class, Class::H);
+        assert_eq!(AppProfile::by_name("random").unwrap().name, "random");
+        assert_eq!(AppProfile::by_name("streaming").unwrap().name, "streaming");
+        assert!(AppProfile::by_name("quake").is_none());
+    }
+
+    #[test]
+    fn gen_params_valid_for_every_app() {
+        for a in APPS.iter().chain([&RANDOM, &STREAMING]) {
+            a.gen_params().validate().unwrap_or_else(|e| {
+                panic!("{}: {e}", a.name);
+            });
+        }
+    }
+
+    #[test]
+    fn bubble_derivation_tracks_mpki() {
+        let libq = AppProfile::by_name("libq").unwrap().gen_params();
+        let mcf = AppProfile::by_name("mcf").unwrap().gen_params();
+        let povray = AppProfile::by_name("povray").unwrap().gen_params();
+        // Higher MPKI → fewer bubbles between accesses.
+        assert!(mcf.bubbles < libq.bubbles);
+        assert!(libq.bubbles < povray.bubbles);
+    }
+
+    #[test]
+    fn traces_differ_across_apps_with_same_seed() {
+        let mut a = AppProfile::by_name("mcf").unwrap().trace(1);
+        let mut b = AppProfile::by_name("milc").unwrap().trace(1);
+        let same = (0..200).filter(|_| a.next_entry() == b.next_entry()).count();
+        assert!(same < 50);
+    }
+}

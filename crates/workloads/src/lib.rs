@@ -1,0 +1,46 @@
+//! # crow-workloads
+//!
+//! Deterministic synthetic workload generators standing in for the Pin
+//! traces of the paper's methodology (§7: 44 applications from SPEC
+//! CPU2006, TPC, STREAM, and MediaBench, plus the `random` and
+//! `streaming` microbenchmarks of \[75\]).
+//!
+//! We cannot redistribute SPEC traces, so each application is modeled by
+//! a seeded generator that reproduces the two first-order statistics the
+//! CROW mechanisms are sensitive to:
+//!
+//! * **memory intensity** (LLC misses per kilo-instruction — the paper's
+//!   L/M/H classification), controlled by the bubble count between
+//!   accesses and the fraction of accesses falling outside the
+//!   LLC-resident hot set;
+//! * **in-DRAM locality** (how soon and how often recently-activated
+//!   rows are re-activated — what the CROW-table hit rate measures),
+//!   controlled by the size of the active-page working set and the
+//!   page-switch probability.
+//!
+//! Patterns: [`Pattern::Sequential`] streams through memory
+//! (high row locality, every line new to the LLC — STREAM, `libq`),
+//! [`Pattern::PageReuse`] cycles a working set of hot pages (pointer-ish
+//! irregular apps with medium/high reuse — `mcf`, `omnetpp`), and
+//! [`Pattern::UniformRandom`] touches lines uniformly (the `random`
+//! microbenchmark; worst case for CROW-cache).
+//!
+//! ## Example
+//!
+//! ```
+//! use crow_workloads::AppProfile;
+//!
+//! let mcf = AppProfile::by_name("mcf").unwrap();
+//! let mut trace = mcf.trace(42);
+//! // Traces are endless and deterministic per seed.
+//! let e = trace.next_entry();
+//! assert!(e.instruction_count() >= 1);
+//! ```
+
+pub mod apps;
+pub mod gen;
+pub mod mixes;
+
+pub use apps::{AppProfile, Class};
+pub use gen::{GenParams, Pattern, SyntheticTrace};
+pub use mixes::{mixes_for_group, MixGroup};

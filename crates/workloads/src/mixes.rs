@@ -1,0 +1,142 @@
+//! Multi-programmed four-core workload groups (paper §7: eight groups of
+//! 20 mixes each, named by the intensity classes of their members, e.g.
+//! `LLHH` = two low-intensity plus two high-intensity applications).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::apps::{AppProfile, Class};
+
+/// The eight four-core mix groups evaluated in the paper's Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MixGroup {
+    /// Four low-intensity applications.
+    Llll,
+    /// Three low, one high.
+    Lllh,
+    /// Two low, two medium.
+    Llmm,
+    /// Two low, two high.
+    Llhh,
+    /// Four medium.
+    Mmmm,
+    /// Two medium, two high.
+    Mmhh,
+    /// One low, three high.
+    Lhhh,
+    /// Four high-intensity applications.
+    Hhhh,
+}
+
+impl MixGroup {
+    /// All groups, in increasing aggregate intensity.
+    pub const ALL: [MixGroup; 8] = [
+        MixGroup::Llll,
+        MixGroup::Lllh,
+        MixGroup::Llmm,
+        MixGroup::Llhh,
+        MixGroup::Mmmm,
+        MixGroup::Mmhh,
+        MixGroup::Lhhh,
+        MixGroup::Hhhh,
+    ];
+
+    /// The class of each of the four cores.
+    pub fn classes(self) -> [Class; 4] {
+        use Class::{H, L, M};
+        match self {
+            MixGroup::Llll => [L, L, L, L],
+            MixGroup::Lllh => [L, L, L, H],
+            MixGroup::Llmm => [L, L, M, M],
+            MixGroup::Llhh => [L, L, H, H],
+            MixGroup::Mmmm => [M, M, M, M],
+            MixGroup::Mmhh => [M, M, H, H],
+            MixGroup::Lhhh => [L, H, H, H],
+            MixGroup::Hhhh => [H, H, H, H],
+        }
+    }
+
+    /// The paper's group label (`LLHH` style).
+    pub fn label(self) -> &'static str {
+        match self {
+            MixGroup::Llll => "LLLL",
+            MixGroup::Lllh => "LLLH",
+            MixGroup::Llmm => "LLMM",
+            MixGroup::Llhh => "LLHH",
+            MixGroup::Mmmm => "MMMM",
+            MixGroup::Mmhh => "MMHH",
+            MixGroup::Lhhh => "LHHH",
+            MixGroup::Hhhh => "HHHH",
+        }
+    }
+}
+
+/// Draws `count` random four-application mixes for a group (the paper
+/// uses 20 per group). Deterministic per seed.
+pub fn mixes_for_group(
+    group: MixGroup,
+    count: usize,
+    seed: u64,
+) -> Vec<[&'static AppProfile; 4]> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (group as u64).wrapping_mul(0x9e3779b97f4a7c15));
+    let pools: [Vec<&'static AppProfile>; 3] = [
+        AppProfile::by_class(Class::L),
+        AppProfile::by_class(Class::M),
+        AppProfile::by_class(Class::H),
+    ];
+    let pool_of = |c: Class| -> &Vec<&'static AppProfile> {
+        match c {
+            Class::L => &pools[0],
+            Class::M => &pools[1],
+            Class::H => &pools[2],
+        }
+    };
+    (0..count)
+        .map(|_| {
+            let classes = group.classes();
+            let mut mix = [pools[0][0]; 4];
+            for (slot, &c) in classes.iter().enumerate() {
+                let pool = pool_of(c);
+                mix[slot] = pool[rng.gen_range(0..pool.len())];
+            }
+            mix
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixes_respect_class_slots() {
+        for group in MixGroup::ALL {
+            let mixes = mixes_for_group(group, 20, 1);
+            assert_eq!(mixes.len(), 20);
+            for mix in mixes {
+                for (app, class) in mix.iter().zip(group.classes()) {
+                    assert_eq!(app.class, class, "group {group:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_and_group_dependent() {
+        let a = mixes_for_group(MixGroup::Llhh, 5, 7);
+        let b = mixes_for_group(MixGroup::Llhh, 5, 7);
+        let names = |m: &Vec<[&AppProfile; 4]>| -> Vec<&str> {
+            m.iter().flat_map(|x| x.iter().map(|a| a.name)).collect()
+        };
+        assert_eq!(names(&a), names(&b));
+        let c = mixes_for_group(MixGroup::Llhh, 5, 8);
+        assert_ne!(names(&a), names(&c));
+    }
+
+    #[test]
+    fn labels_match_classes() {
+        assert_eq!(MixGroup::Hhhh.label(), "HHHH");
+        assert_eq!(MixGroup::Llmm.label(), "LLMM");
+        assert_eq!(MixGroup::ALL.len(), 8);
+    }
+}

@@ -1,0 +1,17 @@
+//! # crow
+//!
+//! Facade crate for the CROW reproduction (Hassan et al., ISCA 2019):
+//! re-exports every subsystem of the workspace under one roof.
+//!
+//! See the workspace `README.md` for an architecture overview and
+//! `DESIGN.md` for the paper-to-module mapping.
+
+pub use crow_baselines as baselines;
+pub use crow_circuit as circuit;
+pub use crow_core as core;
+pub use crow_cpu as cpu;
+pub use crow_dram as dram;
+pub use crow_energy as energy;
+pub use crow_mem as mem;
+pub use crow_sim as sim;
+pub use crow_workloads as workloads;

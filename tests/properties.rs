@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * address mapping is a bijection for every scheme;
+//! * the CROW-table never exceeds capacity, never loses pinned entries,
+//!   and lookups agree with installs under arbitrary operation streams;
+//! * the memory controller completes every request of an arbitrary
+//!   stream without violating a single DRAM timing constraint (the
+//!   device debug-asserts legality) and without corrupting data (the
+//!   oracle checks every CROW command against a functional model);
+//! * the weak-row math is monotone in its arguments.
+
+use proptest::prelude::*;
+
+use crow::core::{weakrows, CrowConfig, CrowSubstrate, Owner};
+use crow::dram::{Addr, AddrMapper, DramConfig, MapScheme};
+use crow::mem::{McConfig, MemController, MemRequest, ReqKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn address_mapping_roundtrips(
+        pa in 0u64..(16u64 << 30),
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = [
+            MapScheme::RoBaRaCoCh,
+            MapScheme::RoRaBaChCo,
+            MapScheme::ChRaBaRoCo,
+        ][scheme_idx];
+        let m = AddrMapper::new(scheme, 4, &DramConfig::lpddr4_default());
+        let a = m.decode(pa);
+        prop_assert!(a.channel < 4 && a.bank < 8 && a.row < 65_536 && a.col < 128);
+        prop_assert_eq!(m.encode(a), pa & !63);
+    }
+
+    #[test]
+    fn distinct_lines_decode_distinctly(
+        line_a in 0u64..(1u64 << 28),
+        line_b in 0u64..(1u64 << 28),
+    ) {
+        prop_assume!(line_a != line_b);
+        let m = AddrMapper::new(MapScheme::RoBaRaCoCh, 4, &DramConfig::lpddr4_default());
+        let a = m.decode(line_a * 64);
+        let b = m.decode(line_b * 64);
+        let key = |x: &Addr| (x.channel, x.rank, x.bank, x.row, x.col);
+        prop_assert_ne!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn crow_table_invariants_under_random_ops(
+        ops in proptest::collection::vec((0u32..8, 0u32..64), 1..200),
+    ) {
+        let mut s = CrowSubstrate::new(CrowConfig::tiny_test());
+        // Pin one ref entry; it must survive any cache churn.
+        let mut weak = crow::core::retention::WeakRows::new();
+        weak.add_weak_regular(0, 0, 63);
+        s.install_ref_plan(&weak);
+        for (sa, row_in_sa) in ops {
+            let row = sa * 64 + row_in_sa;
+            match s.decide(0, sa, row) {
+                crow::core::ActDecision::CopyInstall { copy } => {
+                    s.commit_install(0, sa, row, copy);
+                    s.on_precharge(0, sa, row, (row % 3) != 0);
+                }
+                crow::core::ActDecision::Twin { .. } => {
+                    s.on_precharge(0, sa, row, (row % 2) != 0);
+                }
+                crow::core::ActDecision::RestoreFirst { victim_row, .. } => {
+                    s.on_precharge(0, sa, victim_row, true);
+                }
+                _ => {}
+            }
+            // Capacity invariant.
+            prop_assert!(s.table().occupancy(0, sa) <= 2);
+        }
+        // The pinned CROW-ref entry is still present and still pinned.
+        let (_, entry) = s.table().lookup(0, 0, 63).expect("pinned entry evicted");
+        prop_assert_eq!(entry.owner, Owner::Ref);
+        // Hit counting never exceeds lookups.
+        prop_assert!(s.stats().cache_hits <= s.stats().cache_lookups);
+    }
+
+    #[test]
+    fn controller_completes_arbitrary_streams_without_violations(
+        reqs in proptest::collection::vec(
+            (0u32..2, 0u32..512, 0u32..16, proptest::bool::ANY),
+            1..80,
+        ),
+    ) {
+        let dram = DramConfig::tiny_test();
+        let crow = CrowSubstrate::new(CrowConfig::tiny_test());
+        let mut mc = MemController::new(McConfig::paper_default(), dram, Some(crow));
+        mc.attach_oracle();
+        let mut out = Vec::new();
+        let mut now = 0u64;
+        let mut expected_reads = 0u64;
+        for (i, (bank, row, col, is_write)) in reqs.iter().enumerate() {
+            let kind = if *is_write { ReqKind::Write } else { ReqKind::Read };
+            if !*is_write {
+                expected_reads += 1;
+            }
+            let req = MemRequest::new(i as u64, kind, 0, *bank, *row, *col, 0);
+            // Retry on backpressure.
+            let mut r = req;
+            loop {
+                match mc.try_enqueue(r) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        r = back;
+                        mc.tick(now, &mut out);
+                        now += 1;
+                        prop_assert!(now < 3_000_000, "enqueue stuck");
+                    }
+                }
+            }
+        }
+        while mc.pending() > 0 {
+            mc.tick(now, &mut out);
+            now += 1;
+            prop_assert!(now < 5_000_000, "drain stuck with {} pending", mc.pending());
+        }
+        prop_assert_eq!(out.len() as u64, expected_reads);
+        mc.channel().oracle().unwrap().assert_clean();
+    }
+
+    #[test]
+    fn weak_row_probability_is_monotone(
+        ber_exp in -12.0f64..-6.0,
+        cells_pow in 10u32..18,
+        n in 0u32..8,
+    ) {
+        let ber = 10f64.powf(ber_exp);
+        let cells = 1u64 << cells_pow;
+        let p1 = weakrows::p_weak_row(ber, cells);
+        let p2 = weakrows::p_weak_row(ber * 2.0, cells);
+        prop_assert!(p2 >= p1, "BER monotone");
+        let p3 = weakrows::p_weak_row(ber, cells * 2);
+        prop_assert!(p3 >= p1, "cells monotone");
+        let t1 = weakrows::p_subarray_exceeds(n, 512, p1);
+        let t2 = weakrows::p_subarray_exceeds(n + 1, 512, p1);
+        prop_assert!(t2 <= t1, "tail monotone in n");
+        prop_assert!((0.0..=1.0).contains(&t1));
+        let chip = weakrows::p_chip_exceeds(n, 512, p1, 1024);
+        prop_assert!(chip >= t1 * 0.999, "union over subarrays grows");
+    }
+}
+
+#[test]
+fn controller_stream_regression_seed() {
+    // A fixed dense stream exercising conflicts + evictions, kept as a
+    // deterministic regression companion to the proptest above.
+    let dram = DramConfig::tiny_test();
+    let crow = CrowSubstrate::new(CrowConfig::tiny_test());
+    let mut mc = MemController::new(McConfig::paper_default(), dram, Some(crow));
+    mc.attach_oracle();
+    let mut out = Vec::new();
+    let mut now = 0u64;
+    for i in 0..200u64 {
+        let row = ((i * 7) % 5) as u32 + ((i % 8) as u32) * 64;
+        let bank = (i % 2) as u32;
+        let kind = if i % 4 == 3 {
+            ReqKind::Write
+        } else {
+            ReqKind::Read
+        };
+        let mut r = MemRequest::new(i, kind, 0, bank, row, (i % 16) as u32, 0);
+        loop {
+            match mc.try_enqueue(r) {
+                Ok(()) => break,
+                Err(back) => {
+                    r = back;
+                    mc.tick(now, &mut out);
+                    now += 1;
+                }
+            }
+        }
+    }
+    while mc.pending() > 0 && now < 5_000_000 {
+        mc.tick(now, &mut out);
+        now += 1;
+    }
+    assert_eq!(mc.pending(), 0);
+    assert_eq!(out.len(), 150);
+    mc.channel().oracle().unwrap().assert_clean();
+    let crow_stats = mc.crow().unwrap().stats();
+    assert!(crow_stats.cache_hits > 0, "stream must exercise ACT-t");
+}
