@@ -36,10 +36,8 @@ pub struct TlDramConfig {
 
 impl TlDramConfig {
     /// The TL-DRAM-1 and TL-DRAM-8 points evaluated in Fig. 11.
-    pub const PAPER_POINTS: [TlDramConfig; 2] = [
-        TlDramConfig { near_rows: 1 },
-        TlDramConfig { near_rows: 8 },
-    ];
+    pub const PAPER_POINTS: [TlDramConfig; 2] =
+        [TlDramConfig { near_rows: 1 }, TlDramConfig { near_rows: 8 }];
 
     /// Display label (`TL-DRAM-8`).
     pub fn label(&self) -> String {
@@ -269,7 +267,11 @@ mod tests {
         let ch = mc.channel().stats();
         assert!(ch.issued(crow_dram::Command::ActC) >= 1, "install copies");
         assert!(ch.issued(crow_dram::Command::Act) >= 1, "near-row hits");
-        assert_eq!(ch.issued(crow_dram::Command::ActT), 0, "no ACT-t in TL mode");
+        assert_eq!(
+            ch.issued(crow_dram::Command::ActT),
+            0,
+            "no ACT-t in TL mode"
+        );
     }
 
     #[test]

@@ -1,9 +1,14 @@
-//! Criterion microbenchmarks for the hot data structures of the
-//! simulation stack: CROW-table operations, the DRAM timing engine,
-//! address mapping, LLC accesses, the circuit model, and trace
-//! generation.
+//! Microbenchmarks for the hot data structures of the simulation stack:
+//! CROW-table operations, the DRAM timing engine, address mapping, LLC
+//! accesses, the circuit model, and trace generation.
+//!
+//! Plain timing harness (`harness = false`): criterion is unavailable in
+//! the offline build environment. Run with `cargo bench --bench
+//! microbench`; each benchmark reports ns/iter over a fixed iteration
+//! count after a warmup pass.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use crow_circuit::CircuitModel;
 use crow_core::{CrowConfig, CrowSubstrate};
@@ -11,7 +16,21 @@ use crow_cpu::{AccessKind, Llc};
 use crow_dram::{ActKind, AddrMapper, CmdDesc, DramChannel, DramConfig, MapScheme};
 use crow_workloads::AppProfile;
 
-fn bench_crow_table(c: &mut Criterion) {
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    // Warmup.
+    for _ in 0..iters / 10 + 1 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<28} {per_iter:>12.1} ns/iter   ({iters} iters)");
+}
+
+fn bench_crow_table() {
     let mut s = CrowSubstrate::new(CrowConfig::paper_default());
     // Pre-populate a few subarrays.
     for row in 0..64u32 {
@@ -20,77 +39,69 @@ fn bench_crow_table(c: &mut Criterion) {
         }
     }
     let mut row = 0u32;
-    c.bench_function("crow_table_peek", |b| {
-        b.iter(|| {
-            row = (row + 1) % 64;
-            black_box(s.peek(0, row % 8, row))
-        })
+    bench("crow_table_peek", 1_000_000, || {
+        row = (row + 1) % 64;
+        black_box(s.peek(0, row % 8, row));
     });
 }
 
-fn bench_timing_engine(c: &mut Criterion) {
+fn bench_timing_engine() {
     let cfg = DramConfig::lpddr4_default();
-    c.bench_function("dram_act_rd_pre_cycle", |b| {
-        let mut ch = DramChannel::new(cfg.clone());
-        let mut now = 0u64;
-        let _ = now;
-        b.iter(|| {
-            let act = CmdDesc::act(0, 0, ActKind::single(5));
-            now = ch.ready_at(&act).unwrap();
-            ch.issue(&act, now);
-            let rd = CmdDesc::rd(0, 0, 3);
-            let t = ch.ready_at(&rd).unwrap();
-            ch.issue(&rd, t);
-            let pre = CmdDesc::pre(0, 0);
-            let t = ch.ready_at(&pre).unwrap();
-            ch.issue(&pre, t);
-            black_box(t)
-        })
+    let mut ch = DramChannel::new(cfg);
+    bench("dram_act_rd_pre_cycle", 200_000, || {
+        let act = CmdDesc::act(0, 0, ActKind::single(5));
+        let now = ch.ready_at(&act).unwrap();
+        ch.issue(&act, now);
+        let rd = CmdDesc::rd(0, 0, 3);
+        let t = ch.ready_at(&rd).unwrap();
+        ch.issue(&rd, t);
+        let pre = CmdDesc::pre(0, 0);
+        let t = ch.ready_at(&pre).unwrap();
+        ch.issue(&pre, t);
+        black_box(t);
     });
 }
 
-fn bench_addr_map(c: &mut Criterion) {
+fn bench_addr_map() {
     let m = AddrMapper::new(MapScheme::RoBaRaCoCh, 4, &DramConfig::lpddr4_default());
     let mut pa = 0u64;
-    c.bench_function("addr_decode", |b| {
-        b.iter(|| {
-            pa = pa.wrapping_add(0x1_2345_6740);
-            black_box(m.decode(pa))
-        })
+    bench("addr_decode", 2_000_000, || {
+        pa = pa.wrapping_add(0x1_2345_6740);
+        black_box(m.decode(pa));
     });
 }
 
-fn bench_llc(c: &mut Criterion) {
+fn bench_llc() {
     let mut llc = Llc::new(8 << 20, 8);
     let mut a = 0u64;
-    c.bench_function("llc_access", |b| {
-        b.iter(|| {
-            a = a.wrapping_add(4096 + 64);
-            black_box(llc.access(a % (64 << 20), AccessKind::Read))
-        })
+    bench("llc_access", 1_000_000, || {
+        a = a.wrapping_add(4096 + 64);
+        black_box(llc.access(a % (64 << 20), AccessKind::Read));
     });
 }
 
-fn bench_circuit(c: &mut Criterion) {
-    c.bench_function("circuit_calibration", |b| {
-        b.iter(|| black_box(CircuitModel::calibrated()))
+fn bench_circuit() {
+    bench("circuit_calibration", 2_000, || {
+        black_box(CircuitModel::calibrated());
     });
     let m = CircuitModel::calibrated();
-    c.bench_function("circuit_mra_sweep", |b| b.iter(|| black_box(m.mra_sweep(9))));
+    bench("circuit_mra_sweep", 10_000, || {
+        black_box(m.mra_sweep(9));
+    });
 }
 
-fn bench_trace_gen(c: &mut Criterion) {
+fn bench_trace_gen() {
     let mut t = AppProfile::by_name("mcf").unwrap().trace(7);
-    c.bench_function("trace_next_entry", |b| b.iter(|| black_box(t.next_entry())));
+    bench("trace_next_entry", 2_000_000, || {
+        black_box(t.next_entry());
+    });
 }
 
-criterion_group!(
-    benches,
-    bench_crow_table,
-    bench_timing_engine,
-    bench_addr_map,
-    bench_llc,
-    bench_circuit,
-    bench_trace_gen
-);
-criterion_main!(benches);
+fn main() {
+    bench_crow_table();
+    bench_timing_engine();
+    bench_addr_map();
+    bench_llc();
+    bench_circuit();
+    bench_trace_gen();
+}

@@ -1,69 +1,76 @@
 //! End-to-end simulation throughput benchmarks: how fast the full
 //! system simulates one application under each mechanism, and the raw
 //! controller command rate.
+//!
+//! Plain timing harness (`harness = false`): criterion is unavailable in
+//! the offline build environment. Run with `cargo bench --bench
+//! simbench`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use crow_mem::{McConfig, MemController, MemRequest, ReqKind};
 use crow_sim::{Mechanism, System, SystemConfig};
 use crow_workloads::AppProfile;
 
-fn bench_full_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("system_30k_insts");
-    group.sample_size(10);
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    f(); // warmup
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_secs_f64() * 1e3 / iters as f64;
+    println!("{name:<36} {per_iter:>10.2} ms/iter   ({iters} iters)");
+}
+
+fn bench_full_system() {
     for mech in [
         Mechanism::Baseline,
         Mechanism::crow_cache(8),
         Mechanism::crow_combined(),
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(mech.label()),
-            &mech,
-            |b, &mech| {
-                let app = AppProfile::by_name("mcf").unwrap();
-                b.iter(|| {
-                    let cfg = SystemConfig::quick_test(mech);
-                    let mut sys = System::new(cfg, &[app]);
-                    black_box(sys.run(20_000_000))
-                })
-            },
-        );
+        let app = AppProfile::by_name("mcf").unwrap();
+        bench(&format!("system_30k_insts/{}", mech.label()), 10, || {
+            let cfg = SystemConfig::quick_test(mech);
+            let mut sys = System::new(cfg, &[app]);
+            black_box(sys.run(20_000_000));
+        });
     }
-    group.finish();
 }
 
-fn bench_controller_stream(c: &mut Criterion) {
-    c.bench_function("controller_1k_random_reads", |b| {
-        b.iter(|| {
-            let mut dram = crow_dram::DramConfig::tiny_test();
-            dram.copy_rows_per_subarray = 0;
-            let mut mc = MemController::new(McConfig::paper_default(), dram, None);
-            let mut out = Vec::new();
-            let mut next = 0u64;
-            let mut now = 0u64;
-            while out.len() < 1000 {
-                if mc.can_accept_read() && next < 1000 {
-                    let row = (next * 97) % 512;
-                    let bank = (next * 13) % 2;
-                    mc.try_enqueue(MemRequest::new(
-                        next,
-                        ReqKind::Read,
-                        0,
-                        bank as u32,
-                        row as u32,
-                        (next % 16) as u32,
-                        0,
-                    ))
-                    .ok();
-                    next += 1;
-                }
-                mc.tick(now, &mut out);
-                now += 1;
+fn bench_controller_stream() {
+    bench("controller_1k_random_reads", 50, || {
+        let mut dram = crow_dram::DramConfig::tiny_test();
+        dram.copy_rows_per_subarray = 0;
+        let mut mc = MemController::new(McConfig::paper_default(), dram, None);
+        let mut out = Vec::new();
+        let mut next = 0u64;
+        let mut now = 0u64;
+        while out.len() < 1000 {
+            if mc.can_accept_read() && next < 1000 {
+                let row = (next * 97) % 512;
+                let bank = (next * 13) % 2;
+                mc.try_enqueue(MemRequest::new(
+                    next,
+                    ReqKind::Read,
+                    0,
+                    bank as u32,
+                    row as u32,
+                    (next % 16) as u32,
+                    0,
+                ))
+                .ok();
+                next += 1;
             }
-            black_box(now)
-        })
+            mc.tick(now, &mut out);
+            now += 1;
+        }
+        black_box(now);
     });
 }
 
-criterion_group!(benches, bench_full_system, bench_controller_stream);
-criterion_main!(benches);
+fn main() {
+    bench_full_system();
+    bench_controller_stream();
+}

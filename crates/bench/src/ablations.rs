@@ -94,7 +94,11 @@ pub fn scheduler(scale: Scale) -> String {
         cfg.mc = cfg.mc.with_sched(sched);
         run_with_config(cfg, &apps, scale)
     });
-    let mut tab = Table::new(vec!["scheduler", "throughput vs FCFS", "max read latency (rel)"]);
+    let mut tab = Table::new(vec![
+        "scheduler",
+        "throughput vs FCFS",
+        "max read latency (rel)",
+    ]);
     for (k, (name, _)) in scheds.iter().enumerate() {
         let ratios: Vec<f64> = reports
             .chunks(scheds.len())
@@ -138,7 +142,11 @@ pub fn row_policy(scale: Scale) -> String {
         cfg.mc.policy = policy;
         run_with_config(cfg, &[app], scale)
     });
-    let mut tab = Table::new(vec!["policy", "geomean IPC vs timeout", "avg energy vs timeout"]);
+    let mut tab = Table::new(vec![
+        "policy",
+        "geomean IPC vs timeout",
+        "avg energy vs timeout",
+    ]);
     for (k, (name, _)) in policies.iter().enumerate() {
         let ratios: Vec<f64> = reports
             .chunks(policies.len())
@@ -181,7 +189,12 @@ pub fn table_sharing(scale: Scale) -> String {
         run_with_config(SystemConfig::paper_default(mech), &[app], scale)
     });
     let stride = factors.len() + 1;
-    let mut tab = Table::new(vec!["sharing factor", "geomean speedup", "avg hit rate", "table KB"]);
+    let mut tab = Table::new(vec![
+        "sharing factor",
+        "geomean speedup",
+        "avg hit rate",
+        "table KB",
+    ]);
     for (k, &f) in factors.iter().enumerate() {
         let sp: Vec<f64> = reports
             .chunks(stride)
@@ -273,7 +286,11 @@ pub fn standards(scale: Scale) -> String {
         Lpddr4,
         Ddr4,
     }
-    let mechs = [Mechanism::Baseline, Mechanism::crow_cache(8), Mechanism::crow_combined()];
+    let mechs = [
+        Mechanism::Baseline,
+        Mechanism::crow_cache(8),
+        Mechanism::crow_combined(),
+    ];
     let mut jobs = Vec::new();
     for &app in &apps {
         for std in [Std::Lpddr4, Std::Ddr4] {
@@ -340,7 +357,10 @@ pub fn mapping(scale: Scale) -> String {
             .chunks(schemes.len())
             .map(|c| c[k].ipc[0] / c[0].ipc[0])
             .collect();
-        tab.row(vec![(*name).to_string(), format!("{:.3}", geomean(&ratios))]);
+        tab.row(vec![
+            (*name).to_string(),
+            format!("{:.3}", geomean(&ratios)),
+        ]);
     }
     let mut out = heading("Ablation: address interleaving (baseline DRAM)");
     out.push_str(&tab.render());
@@ -349,7 +369,6 @@ pub fn mapping(scale: Scale) -> String {
 
 #[cfg(test)]
 mod tests {
-    
 
     #[test]
     fn sharing_table_math_in_report() {

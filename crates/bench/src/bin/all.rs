@@ -15,18 +15,54 @@ fn main() {
         ("overheads", Box::new(crow_bench::circuit_figs::overheads)),
         ("fig8", Box::new(move || crow_bench::perf_figs::fig8(scale))),
         ("fig9", Box::new(move || crow_bench::perf_figs::fig9(scale))),
-        ("fig10", Box::new(move || crow_bench::perf_figs::fig10(scale))),
-        ("fig11", Box::new(move || crow_bench::compare_figs::fig11(scale))),
-        ("fig12", Box::new(move || crow_bench::compare_figs::fig12(scale))),
-        ("fig13", Box::new(move || crow_bench::refresh_figs::fig13(scale))),
-        ("fig14", Box::new(move || crow_bench::refresh_figs::fig14(scale))),
-        ("ablation_partial_restore", Box::new(move || crow_bench::ablations::partial_restore(scale))),
-        ("ablation_scheduler", Box::new(move || crow_bench::ablations::scheduler(scale))),
-        ("ablation_row_policy", Box::new(move || crow_bench::ablations::row_policy(scale))),
-        ("ablation_table_sharing", Box::new(move || crow_bench::ablations::table_sharing(scale))),
-        ("ablation_refresh_granularity", Box::new(move || crow_bench::ablations::refresh_granularity(scale))),
-        ("ablation_standards", Box::new(move || crow_bench::ablations::standards(scale))),
-        ("ablation_mapping", Box::new(move || crow_bench::ablations::mapping(scale))),
+        (
+            "fig10",
+            Box::new(move || crow_bench::perf_figs::fig10(scale)),
+        ),
+        (
+            "fig11",
+            Box::new(move || crow_bench::compare_figs::fig11(scale)),
+        ),
+        (
+            "fig12",
+            Box::new(move || crow_bench::compare_figs::fig12(scale)),
+        ),
+        (
+            "fig13",
+            Box::new(move || crow_bench::refresh_figs::fig13(scale)),
+        ),
+        (
+            "fig14",
+            Box::new(move || crow_bench::refresh_figs::fig14(scale)),
+        ),
+        (
+            "ablation_partial_restore",
+            Box::new(move || crow_bench::ablations::partial_restore(scale)),
+        ),
+        (
+            "ablation_scheduler",
+            Box::new(move || crow_bench::ablations::scheduler(scale)),
+        ),
+        (
+            "ablation_row_policy",
+            Box::new(move || crow_bench::ablations::row_policy(scale)),
+        ),
+        (
+            "ablation_table_sharing",
+            Box::new(move || crow_bench::ablations::table_sharing(scale)),
+        ),
+        (
+            "ablation_refresh_granularity",
+            Box::new(move || crow_bench::ablations::refresh_granularity(scale)),
+        ),
+        (
+            "ablation_standards",
+            Box::new(move || crow_bench::ablations::standards(scale)),
+        ),
+        (
+            "ablation_mapping",
+            Box::new(move || crow_bench::ablations::mapping(scale)),
+        ),
     ];
     std::fs::create_dir_all("results").ok();
     let mut combined = String::new();

@@ -198,7 +198,11 @@ fn main() {
     println!(
         "== {} | {} | {} insts/core | {} Gbit | {} MiB LLC | {} ch{}{} ==",
         mech.label(),
-        if args.ddr4 { "DDR4-2400" } else { "LPDDR4-3200" },
+        if args.ddr4 {
+            "DDR4-2400"
+        } else {
+            "LPDDR4-3200"
+        },
         args.insts,
         args.density,
         args.llc_mib,

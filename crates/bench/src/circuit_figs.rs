@@ -52,7 +52,14 @@ pub fn table1() -> String {
 pub fn fig5() -> String {
     let m = CircuitModel::calibrated();
     let mc = MonteCarlo::paper_setup(CircuitParams::calibrated()).with_iterations(2_000);
-    let mut tab = Table::new(vec!["rows", "tRCD", "tRAS", "restore", "tWR", "tRCD(mc-worst)"]);
+    let mut tab = Table::new(vec![
+        "rows",
+        "tRCD",
+        "tRAS",
+        "restore",
+        "tWR",
+        "tRCD(mc-worst)",
+    ]);
     let base_worst = mc.worst_trcd(1).worst_ns;
     for p in m.mra_sweep(9) {
         let worst = mc.worst_trcd(p.n).worst_ns / base_worst;

@@ -18,7 +18,12 @@ pub fn fig11(scale: Scale) -> String {
             v.push((format!("CROW-{n}"), Mechanism::crow_cache(n)));
         }
         for t in TlDramConfig::PAPER_POINTS {
-            v.push((t.label(), Mechanism::TlDram { near_rows: t.near_rows }));
+            v.push((
+                t.label(),
+                Mechanism::TlDram {
+                    near_rows: t.near_rows,
+                },
+            ));
         }
         for s in SalpConfig::paper_points() {
             v.push((

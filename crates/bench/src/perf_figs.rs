@@ -2,8 +2,8 @@
 //! hit rate), Fig. 9 (four-core weighted speedup), Fig. 10 (DRAM
 //! energy).
 
-use crow_sim::{run_many, run_mix, run_single, weighted_speedup, Mechanism, Scale, SimReport};
 use crow_sim::metrics::geomean;
+use crow_sim::{run_many, run_mix, run_single, weighted_speedup, Mechanism, Scale, SimReport};
 use crow_workloads::{mixes_for_group, AppProfile, MixGroup};
 
 use crate::util::{energy_norm, fig_apps, heading, speedup1, AloneIpcCache, Table};
@@ -106,7 +106,14 @@ pub fn fig9(scale: Scale) -> String {
         m
     };
     let mut alone = AloneIpcCache::new();
-    let mut tab = Table::new(vec!["group", "CROW-1", "CROW-8", "CROW-128", "Ideal", "(min..max CROW-8)"]);
+    let mut tab = Table::new(vec![
+        "group",
+        "CROW-1",
+        "CROW-8",
+        "CROW-128",
+        "Ideal",
+        "(min..max CROW-8)",
+    ]);
     let mut out = heading("Fig. 9: four-core weighted speedup by mix group");
     for group in MixGroup::ALL {
         let mixes = mixes_for_group(group, scale.mixes_per_group, 77);
@@ -120,9 +127,7 @@ pub fn fig9(scale: Scale) -> String {
                 jobs.push((*mix, mech));
             }
         }
-        let reports = run_many(jobs, |(mix, mech)| {
-            run_mix(mix.as_ref(), mech, scale)
-        });
+        let reports = run_many(jobs, |(mix, mech)| run_mix(mix.as_ref(), mech, scale));
         // Weighted speedups normalized to the baseline run of each mix.
         let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); mechs.len() - 1];
         for (mix, chunk) in mixes.iter().zip(reports.chunks(mechs.len())) {
@@ -160,7 +165,10 @@ pub fn fig10(scale: Scale) -> String {
     let apps = fig_apps();
     let mechs = [Mechanism::Baseline, Mechanism::crow_cache(8)];
     let grid = run_grid(&apps, &mechs, scale);
-    let singles: Vec<f64> = grid.iter().map(|row| energy_norm(&row[1], &row[0])).collect();
+    let singles: Vec<f64> = grid
+        .iter()
+        .map(|row| energy_norm(&row[1], &row[0]))
+        .collect();
 
     let mixes = mixes_for_group(MixGroup::Hhhh, scale.mixes_per_group, 78);
     let mut jobs = Vec::new();
@@ -178,8 +186,14 @@ pub fn fig10(scale: Scale) -> String {
     let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let mut out = heading("Fig. 10: normalized DRAM energy with CROW-cache");
     let mut tab = Table::new(vec!["system", "energy vs baseline"]);
-    tab.row(vec!["single-core avg".to_string(), format!("{:.3}", avg(&singles))]);
-    tab.row(vec!["four-core (HHHH) avg".to_string(), format!("{:.3}", avg(&fours))]);
+    tab.row(vec![
+        "single-core avg".to_string(),
+        format!("{:.3}", avg(&singles)),
+    ]);
+    tab.row(vec![
+        "four-core (HHHH) avg".to_string(),
+        format!("{:.3}", avg(&fours)),
+    ]);
     out.push_str(&tab.render());
     out.push_str("\npaper: 0.918 single-core, 0.931 four-core (-8.2% / -6.9%)\n");
     out

@@ -45,7 +45,10 @@ pub fn fig13(scale: Scale) -> String {
             .chunks(2)
             .map(|c| throughput_speedup(&c[1], &c[0]))
             .collect();
-        let en1: Vec<f64> = singles.chunks(2).map(|c| energy_norm(&c[1], &c[0])).collect();
+        let en1: Vec<f64> = singles
+            .chunks(2)
+            .map(|c| energy_norm(&c[1], &c[0]))
+            .collect();
         let sp4: Vec<f64> = fours
             .chunks(2)
             .map(|c| throughput_speedup(&c[1], &c[0]))
@@ -144,6 +147,8 @@ mod tests {
             crow: Default::default(),
             energy: Default::default(),
             finished: true,
+            wall_seconds: 0.0,
+            sim_cycles_per_sec: 0.0,
         };
         assert!((throughput_speedup(&mk(2.0), &mk(1.0)) - 2.0).abs() < 1e-12);
     }

@@ -123,7 +123,9 @@ impl MonteCarlo {
 
     /// Worst-case `tRAS` (sense + full restore) for `n` rows.
     pub fn worst_tras(&self, n: u32) -> McSummary {
-        self.run(|m| m.sense_time_ns(n, m.params().v_full) + m.restore_time_ns(n, m.params().v_full))
+        self.run(|m| {
+            m.sense_time_ns(n, m.params().v_full) + m.restore_time_ns(n, m.params().v_full)
+        })
     }
 }
 

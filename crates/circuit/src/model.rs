@@ -219,7 +219,10 @@ impl CircuitModel {
     pub fn restore_time_ns(&self, n: u32, v_end: f64) -> f64 {
         let p = &self.params;
         let v0 = p.vdd / 2.0;
-        assert!(v_end > v0 && v_end < p.vdd, "v_end must lie in (Vdd/2, Vdd)");
+        assert!(
+            v_end > v0 && v_end < p.vdd,
+            "v_end must lie in (Vdd/2, Vdd)"
+        );
         p.tau_restore_ns * (1.0 + f64::from(n) * p.r_cap) * (v0 / (p.vdd - v_end)).ln()
     }
 
@@ -335,7 +338,11 @@ mod tests {
         let m = CircuitModel::calibrated();
         let t = m.derived_table1();
         // Calibration anchors: exact to numerical precision.
-        assert!(close(t.act_t_full.trcd, 0.62, 1e-6), "{}", t.act_t_full.trcd);
+        assert!(
+            close(t.act_t_full.trcd, 0.62, 1e-6),
+            "{}",
+            t.act_t_full.trcd
+        );
         assert!(close(t.act_t_full.tras_full, 0.93, 1e-6));
         assert!(close(t.act_t_full.twr_full, 1.14, 1e-6));
         assert!(close(t.act_t_full.twr_early, 0.87, 1e-6));
@@ -355,7 +362,11 @@ mod tests {
             "{}",
             t.act_t_full.tras_early
         );
-        assert!(close(t.act_c.tras_early, 0.93, 0.02), "{}", t.act_c.tras_early);
+        assert!(
+            close(t.act_c.tras_early, 0.93, 0.02),
+            "{}",
+            t.act_c.tras_early
+        );
     }
 
     #[test]

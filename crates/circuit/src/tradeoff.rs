@@ -91,7 +91,12 @@ mod tests {
         let c4 = TradeoffCurve::sweep(&m, 4, 64);
         let t2 = c2.best_under_trcd(0.85).unwrap();
         let t4 = c4.best_under_trcd(0.85).unwrap();
-        assert!(t4.tras_norm < t2.tras_norm, "{} vs {}", t4.tras_norm, t2.tras_norm);
+        assert!(
+            t4.tras_norm < t2.tras_norm,
+            "{} vs {}",
+            t4.tras_norm,
+            t2.tras_norm
+        );
     }
 
     #[test]

@@ -1,49 +1,51 @@
-//! Property tests for the analytical circuit model: the physical
-//! monotonicities must hold not just at the calibrated point but across
-//! the whole Monte-Carlo perturbation envelope.
+//! Seeded randomized tests for the analytical circuit model: the
+//! physical monotonicities must hold not just at the calibrated point
+//! but across the whole Monte-Carlo perturbation envelope.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crow_circuit::{CircuitModel, CircuitParams, TradeoffCurve};
 
-fn perturbed(f: impl Fn(&mut CircuitParams, f64)) -> impl Strategy<Value = CircuitModel> {
-    (-0.05f64..0.05).prop_map(move |eps| {
-        let mut p = CircuitParams::calibrated();
-        f(&mut p, eps);
-        CircuitModel::with_params(p)
-    })
+fn perturbed(rng: &mut StdRng, f: impl Fn(&mut CircuitParams, f64)) -> CircuitModel {
+    let eps = rng.gen_range(-0.05f64..0.05);
+    let mut p = CircuitParams::calibrated();
+    f(&mut p, eps);
+    CircuitModel::with_params(p)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sense_time_improves_with_more_rows_under_variation(
-        m in perturbed(|p, e| p.r_cap *= 1.0 + e),
-        n in 1u32..9,
-    ) {
+#[test]
+fn sense_time_improves_with_more_rows_under_variation() {
+    let mut rng = StdRng::seed_from_u64(0x5E25E);
+    for _ in 0..64 {
+        let m = perturbed(&mut rng, |p, e| p.r_cap *= 1.0 + e);
+        let n = rng.gen_range(1u32..9);
         let p = m.params().clone();
         let a = m.sense_time_ns(n, p.v_full);
         let b = m.sense_time_ns(n + 1, p.v_full);
-        prop_assert!(b < a, "tRCD must fall with extra rows: {a} vs {b}");
-        prop_assert!(a > 0.0);
+        assert!(b < a, "tRCD must fall with extra rows: {a} vs {b}");
+        assert!(a > 0.0);
     }
+}
 
-    #[test]
-    fn restore_time_grows_with_rows_and_depth(
-        m in perturbed(|p, e| p.tau_restore_ns *= 1.0 + e),
-        n in 1u32..9,
-    ) {
+#[test]
+fn restore_time_grows_with_rows_and_depth() {
+    let mut rng = StdRng::seed_from_u64(0x8E5708E);
+    for _ in 0..64 {
+        let m = perturbed(&mut rng, |p, e| p.tau_restore_ns *= 1.0 + e);
+        let n = rng.gen_range(1u32..9);
         let p = m.params().clone();
-        prop_assert!(m.restore_time_ns(n + 1, p.v_full) > m.restore_time_ns(n, p.v_full));
-        prop_assert!(m.restore_time_ns(n, p.v_full) > m.restore_time_ns(n, p.v_early));
+        assert!(m.restore_time_ns(n + 1, p.v_full) > m.restore_time_ns(n, p.v_full));
+        assert!(m.restore_time_ns(n, p.v_full) > m.restore_time_ns(n, p.v_early));
     }
+}
 
-    #[test]
-    fn tradeoff_curve_stays_monotone_under_variation(
-        m in perturbed(|p, e| p.v_ready *= 1.0 + e / 2.0),
-        n in 2u32..9,
-    ) {
+#[test]
+fn tradeoff_curve_stays_monotone_under_variation() {
+    let mut rng = StdRng::seed_from_u64(0x78ADE0FF);
+    for _ in 0..64 {
+        let m = perturbed(&mut rng, |p, e| p.v_ready *= 1.0 + e / 2.0);
+        let n = rng.gen_range(2u32..9);
         let c = TradeoffCurve::sweep(&m, n, 16);
         // The next-activation tRCD penalty grows strictly with deeper
         // truncation. Total tRAS = sense + restore may turn back *up* at
@@ -51,7 +53,7 @@ proptest! {
         // outweighs the restore saving), so the guaranteed property is
         // that some truncation beats full restoration, not monotonicity.
         for w in c.points.windows(2) {
-            prop_assert!(w[1].trcd_norm > w[0].trcd_norm);
+            assert!(w[1].trcd_norm > w[0].trcd_norm);
         }
         let first = c.points.first().expect("nonempty").tras_norm;
         let best = c
@@ -59,25 +61,29 @@ proptest! {
             .iter()
             .map(|p| p.tras_norm)
             .fold(f64::MAX, f64::min);
-        prop_assert!(best < first, "truncation must be able to shorten tRAS");
+        assert!(best < first, "truncation must be able to shorten tRAS");
     }
+}
 
-    #[test]
-    fn retention_bound_is_monotone_in_rows(
-        m in perturbed(|p, e| p.v_full *= 1.0 + e / 10.0),
-        n in 2u32..9,
-    ) {
-        prop_assert!(m.retention_min_v_end(n + 1) < m.retention_min_v_end(n));
+#[test]
+fn retention_bound_is_monotone_in_rows() {
+    let mut rng = StdRng::seed_from_u64(0x8E7E0710);
+    for _ in 0..64 {
+        let m = perturbed(&mut rng, |p, e| p.v_full *= 1.0 + e / 10.0);
+        let n = rng.gen_range(2u32..9);
+        assert!(m.retention_min_v_end(n + 1) < m.retention_min_v_end(n));
         let vdd = m.params().vdd;
-        prop_assert!(m.retention_min_v_end(n) > vdd / 2.0);
+        assert!(m.retention_min_v_end(n) > vdd / 2.0);
     }
+}
 
-    #[test]
-    fn write_time_grows_with_rows(
-        m in perturbed(|p, e| p.tau_write_ns *= 1.0 + e),
-        n in 1u32..9,
-    ) {
+#[test]
+fn write_time_grows_with_rows() {
+    let mut rng = StdRng::seed_from_u64(0x3817E);
+    for _ in 0..64 {
+        let m = perturbed(&mut rng, |p, e| p.tau_write_ns *= 1.0 + e);
+        let n = rng.gen_range(1u32..9);
         let p = m.params().clone();
-        prop_assert!(m.write_time_ns(n + 1, p.v_full_write) > m.write_time_ns(n, p.v_full_write));
+        assert!(m.write_time_ns(n + 1, p.v_full_write) > m.write_time_ns(n, p.v_full_write));
     }
 }

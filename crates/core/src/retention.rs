@@ -188,7 +188,10 @@ mod tests {
                 let rows = w.weak_regular(bank, sa);
                 assert_eq!(rows.len(), 3);
                 for &r in rows {
-                    assert!(r >= sa * 64 && r < (sa + 1) * 64, "row {r} outside subarray {sa}");
+                    assert!(
+                        r >= sa * 64 && r < (sa + 1) * 64,
+                        "row {r} outside subarray {sa}"
+                    );
                 }
             }
         }

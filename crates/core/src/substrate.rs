@@ -418,9 +418,7 @@ mod tests {
         // Close fully restored.
         s.on_precharge(0, 0, 5, true);
         match s.decide(0, 0, 5) {
-            ActDecision::Twin {
-                fully_restored, ..
-            } => assert!(fully_restored),
+            ActDecision::Twin { fully_restored, .. } => assert!(fully_restored),
             d => panic!("expected twin, got {d:?}"),
         }
         assert_eq!(s.stats().cache_hits, 1);
@@ -436,9 +434,7 @@ mod tests {
         }
         s.on_precharge(0, 0, 5, false);
         match s.decide(0, 0, 5) {
-            ActDecision::Twin {
-                fully_restored, ..
-            } => assert!(!fully_restored),
+            ActDecision::Twin { fully_restored, .. } => assert!(!fully_restored),
             d => panic!("{d:?}"),
         }
     }
@@ -493,8 +489,7 @@ mod tests {
     #[test]
     fn ref_plan_remaps_and_extends_refresh() {
         let mut s = substrate();
-        let weak =
-            RetentionProfile::FixedPerSubarray { n: 1 }.generate(2, 8, 64, 2, 3);
+        let weak = RetentionProfile::FixedPerSubarray { n: 1 }.generate(2, 8, 64, 2, 3);
         let n = s.install_ref_plan(&weak);
         assert_eq!(n, 16);
         assert_eq!(s.refresh_multiplier(), 2);
@@ -510,8 +505,7 @@ mod tests {
     #[test]
     fn oversubscribed_subarray_falls_back_chip_wide() {
         let mut s = substrate(); // 2 copy rows per subarray
-        let weak =
-            RetentionProfile::FixedPerSubarray { n: 3 }.generate(2, 8, 64, 2, 3);
+        let weak = RetentionProfile::FixedPerSubarray { n: 3 }.generate(2, 8, 64, 2, 3);
         let n = s.install_ref_plan(&weak);
         assert_eq!(n, 0);
         assert_eq!(s.refresh_multiplier(), 1);

@@ -103,9 +103,10 @@ impl CrowTable {
     /// Looks up the entry mapping regular row `row`, returning its way.
     pub fn lookup(&self, bank: u32, subarray: u32, row: u32) -> Option<(u8, Entry)> {
         let set = &self.sets[self.set_index(bank, subarray)];
-        set.entries.iter().enumerate().find_map(|(w, e)| {
-            e.filter(|e| e.row == row).map(|e| (w as u8, e))
-        })
+        set.entries
+            .iter()
+            .enumerate()
+            .find_map(|(w, e)| e.filter(|e| e.row == row).map(|e| (w as u8, e)))
     }
 
     /// The entry stored at a specific way, if any.

@@ -98,7 +98,10 @@ impl Llc {
 
     fn index(&self, pa: u64) -> (usize, u64) {
         let line = pa >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Accesses the cache. Write misses install the line immediately;
@@ -230,7 +233,7 @@ mod tests {
         let mut c = Llc::new(64 * 2, 2); // 1 set, 2 ways
         c.fill(0);
         c.fill(64); // different tag, wait: same set needs stride of sets*64 = 64
-        // With one set, every line maps to set 0.
+                    // With one set, every line maps to set 0.
         assert!(c.probe(0) && c.probe(64));
         c.access(0, AccessKind::Read); // 0 becomes MRU
         c.fill(128); // evicts 64

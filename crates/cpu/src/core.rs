@@ -187,6 +187,90 @@ impl Core {
         self.next_seq
     }
 
+    /// How many cycles starting at `now` this core is provably *inert*:
+    /// its per-cycle behaviour is either a full stall (window full, head
+    /// not yet retirable — the cycle does nothing at all) or a purely
+    /// mechanical bubble stretch (retire `ipc` ready slots, dispatch
+    /// `ipc` bubbles — no trace refill, no memory access, no LLC touch).
+    /// Such cycles can be replayed in closed form by
+    /// [`Core::advance_inert`] with bit-identical results.
+    ///
+    /// Returns 0 if the next cycle must run normally; `u64::MAX` means
+    /// inert until an external completion arrives.
+    pub fn inert_cycles(&self, now: CpuCycle) -> u64 {
+        if self.is_mechanical(now) {
+            let n = u64::from(self.ipc);
+            let mut k = u64::from(self.pending_bubbles) / n;
+            if self.finish_cycle.is_none() {
+                // Stop strictly before the retirement target so the
+                // finishing cycle itself runs through the normal path and
+                // records `finish_cycle` exactly as the naive stepper
+                // would.
+                k = k.min(self.target.saturating_sub(self.retired + 1) / n);
+            }
+            return k;
+        }
+        if !self.window_has_space() {
+            // Fully stalled: nothing can dispatch, and retirement resumes
+            // only once the head slot becomes ready.
+            return match self.window.front() {
+                Some(s) if s.ready_at == WAITING => u64::MAX,
+                Some(s) if s.ready_at > now => s.ready_at - now,
+                _ => 0,
+            };
+        }
+        0
+    }
+
+    /// Mechanical-stretch preconditions: enough queued bubbles that no
+    /// trace refill or access dispatch happens, a window deep enough
+    /// that exactly `ipc` slots retire per cycle, and every slot already
+    /// retirable (so retirement never blocks mid-stretch). The window
+    /// length is then invariant cycle over cycle: retire `ipc`, dispatch
+    /// `ipc` bubbles.
+    fn is_mechanical(&self, now: CpuCycle) -> bool {
+        let n = u64::from(self.ipc);
+        u64::from(self.pending_bubbles) >= n
+            && self.window.len() as u64 >= n
+            && !self.window.iter().any(|s| s.ready_at > now)
+    }
+
+    /// Replays `k` cycles agreed inert by [`Core::inert_cycles`] in
+    /// closed form. For a stalled core this is a no-op; for a mechanical
+    /// bubble stretch it applies the exact retire/dispatch effects of
+    /// cycles `now .. now + k`.
+    pub fn advance_inert(&mut self, now: CpuCycle, k: u64) {
+        if k == 0 || !self.is_mechanical(now) {
+            return;
+        }
+        let n = u64::from(self.ipc);
+        let pushes = n * k;
+        debug_assert!(u64::from(self.pending_bubbles) >= pushes);
+        // Each cycle retires `ipc` ready slots and dispatches `ipc`
+        // bubbles, so the window length is invariant and its final
+        // content is the most recent `len` dispatches (possibly with a
+        // prefix of surviving old slots if the stretch was short).
+        let len = self.window.len() as u64;
+        self.retired += pushes;
+        self.pending_bubbles -= pushes as u32;
+        let kept_new = pushes.min(len);
+        if pushes >= len {
+            self.window.clear();
+        } else {
+            self.window.drain(..pushes as usize);
+        }
+        // Bubble `i` (0-based within the stretch) dispatches in cycle
+        // `now + i / ipc` with seq `next_seq + 1 + i`; keep the last
+        // `kept_new` of them.
+        for i in (pushes - kept_new)..pushes {
+            self.window.push_back(Slot {
+                ready_at: now + i / n,
+                seq: self.next_seq + 1 + i,
+            });
+        }
+        self.next_seq += pushes;
+    }
+
     /// Zeroes retirement statistics (used after functional warmup so the
     /// measured window starts clean).
     pub fn reset_measurement(&mut self) {

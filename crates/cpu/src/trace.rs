@@ -167,8 +167,7 @@ pub fn load_trace(path: &std::path::Path) -> std::io::Result<Vec<TraceEntry>> {
                 };
                 let addr = it.next().ok_or_else(|| err("missing address"))?;
                 let addr = addr.strip_prefix("0x").unwrap_or(addr);
-                let vaddr =
-                    u64::from_str_radix(addr, 16).map_err(|_| err("bad hex address"))?;
+                let vaddr = u64::from_str_radix(addr, 16).map_err(|_| err("bad hex address"))?;
                 Some(MemAccess { vaddr, is_write })
             }
         };

@@ -1,11 +1,12 @@
-//! Property tests for the CPU cluster: arbitrary trace content must
-//! retire to the instruction target with bounded MSHR usage, no lost
-//! completions, and deterministic results.
+//! Seeded randomized tests for the CPU cluster: arbitrary trace content
+//! must retire to the instruction target with bounded MSHR usage, no
+//! lost completions, and deterministic results.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-use crow_cpu::{CpuCluster, CpuConfig, CpuMemReq, MemPort};
 use crow_cpu::trace::{LoopedTrace, TraceEntry, TraceSource};
+use crow_cpu::{CpuCluster, CpuConfig, CpuMemReq, MemPort};
 
 /// Memory double with a fixed service delay and finite capacity.
 struct TestMem {
@@ -95,34 +96,51 @@ fn run_cluster(entries: Vec<TraceEntry>, delay: u64, target: u64) -> (CpuCluster
     (cl, mem, now)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_ops(rng: &mut StdRng, max_len: usize) -> Vec<(u8, u32, bool)> {
+    let n = rng.gen_range(1usize..max_len);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0u8..=255),
+                rng.gen_range(0u32..=u32::MAX),
+                rng.gen_bool(0.5),
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn arbitrary_traces_retire_to_target(
-        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..120),
-        delay in 1u64..400,
-    ) {
+#[test]
+fn arbitrary_traces_retire_to_target() {
+    for case in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xC1_0572 ^ case.wrapping_mul(0x6a09));
+        let ops = random_ops(&mut rng, 120);
+        let delay = rng.gen_range(1u64..400);
         let entries = entries_from(&ops);
         let (cl, mem, _) = run_cluster(entries, delay, 5_000);
-        prop_assert!(cl.done(), "cluster stalled");
-        prop_assert!(cl.ipc(0) > 0.0 && cl.ipc(0) <= 4.0);
+        assert!(cl.done(), "cluster stalled");
+        assert!(cl.ipc(0) > 0.0 && cl.ipc(0) <= 4.0);
         // Every demand read the memory saw was sent by the cluster.
-        prop_assert_eq!(mem.reads_seen, cl.demand_reads_sent());
+        assert_eq!(mem.reads_seen, cl.demand_reads_sent());
         // MSHR cap (8) bounds outstanding fills per core.
-        prop_assert!(mem.max_outstanding <= 8, "outstanding {}", mem.max_outstanding);
+        assert!(
+            mem.max_outstanding <= 8,
+            "outstanding {}",
+            mem.max_outstanding
+        );
     }
+}
 
-    #[test]
-    fn cluster_is_deterministic(
-        ops in proptest::collection::vec((any::<u8>(), any::<u32>(), any::<bool>()), 1..60),
-    ) {
+#[test]
+fn cluster_is_deterministic() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0xDE7E ^ case.wrapping_mul(0xbb67));
+        let ops = random_ops(&mut rng, 60);
         let entries = entries_from(&ops);
         let (a, _, na) = run_cluster(entries.clone(), 37, 3_000);
         let (b, _, nb) = run_cluster(entries, 37, 3_000);
-        prop_assert_eq!(na, nb);
-        prop_assert_eq!(a.ipc(0), b.ipc(0));
-        prop_assert_eq!(a.llc().misses(), b.llc().misses());
+        assert_eq!(na, nb);
+        assert_eq!(a.ipc(0), b.ipc(0));
+        assert_eq!(a.llc().misses(), b.llc().misses());
     }
 }
 

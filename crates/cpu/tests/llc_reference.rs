@@ -1,10 +1,12 @@
-//! Property test: the LLC agrees with a straightforward reference model
-//! of a set-associative LRU cache under arbitrary access/fill streams —
-//! same hit/miss outcomes, same dirty-victim writebacks.
+//! Seeded randomized test: the LLC agrees with a straightforward
+//! reference model of a set-associative LRU cache under arbitrary
+//! access/fill streams — same hit/miss outcomes, same dirty-victim
+//! writebacks.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crow_cpu::{AccessKind, Llc};
 
@@ -24,7 +26,10 @@ impl RefCache {
 
     fn index(&self, pa: u64) -> (usize, u64) {
         let line = pa >> 6;
-        ((line as usize) % self.sets.len(), line / self.sets.len() as u64)
+        (
+            (line as usize) % self.sets.len(),
+            line / self.sets.len() as u64,
+        )
     }
 
     fn probe(&self, pa: u64) -> bool {
@@ -68,19 +73,17 @@ impl RefCache {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn llc_matches_reference_model(
-        ops in proptest::collection::vec((0u64..2048, 0u8..3), 1..500),
-    ) {
+#[test]
+fn llc_matches_reference_model() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0x11C ^ case.wrapping_mul(0x2545_f491));
         // 64 sets x 4 ways over 64 B lines.
         let mut llc = Llc::new(64 * 4 * 64, 4);
         let mut reference = RefCache::new(64, 4);
-        for (line_sel, op) in ops {
-            let pa = line_sel * 64;
-            match op {
+        let n_ops = rng.gen_range(1usize..500);
+        for _ in 0..n_ops {
+            let pa = rng.gen_range(0u64..2048) * 64;
+            match rng.gen_range(0u8..3) {
                 // Demand read: on miss, the fill arrives immediately.
                 0 => {
                     let expected = reference.access(pa, false);
@@ -88,22 +91,22 @@ proptest! {
                     match (expected.0, got) {
                         (true, crow_cpu::cache::LlcResult::Hit) => {}
                         (false, crow_cpu::cache::LlcResult::Miss { writeback }) => {
-                            prop_assert_eq!(writeback, None, "read misses defer install");
+                            assert_eq!(writeback, None, "read misses defer install");
                             let wb_model = reference.install(pa, false);
                             let wb_llc = llc.fill(pa);
-                            prop_assert_eq!(wb_llc, wb_model);
+                            assert_eq!(wb_llc, wb_model);
                         }
-                        (e, g) => prop_assert!(false, "hit mismatch: model {e} vs {g:?}"),
+                        (e, g) => panic!("hit mismatch: model {e} vs {g:?}"),
                     }
                 }
                 // Store (write-validate).
                 1 => {
                     let (hit_model, wb_model) = reference.access(pa, true);
                     match llc.access(pa, AccessKind::Write) {
-                        crow_cpu::cache::LlcResult::Hit => prop_assert!(hit_model),
+                        crow_cpu::cache::LlcResult::Hit => assert!(hit_model),
                         crow_cpu::cache::LlcResult::Miss { writeback } => {
-                            prop_assert!(!hit_model);
-                            prop_assert_eq!(writeback, wb_model);
+                            assert!(!hit_model);
+                            assert_eq!(writeback, wb_model);
                         }
                     }
                 }
@@ -111,10 +114,10 @@ proptest! {
                 _ => {
                     let wb_model = reference.install(pa, false);
                     let wb_llc = llc.fill(pa);
-                    prop_assert_eq!(wb_llc, wb_model);
+                    assert_eq!(wb_llc, wb_model);
                 }
             }
-            prop_assert_eq!(llc.probe(pa), reference.probe(pa));
+            assert_eq!(llc.probe(pa), reference.probe(pa));
         }
     }
 }

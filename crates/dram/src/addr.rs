@@ -66,7 +66,10 @@ pub struct AddrMapper {
 impl AddrMapper {
     /// Creates a mapper for `channels` channels of geometry `cfg`.
     pub fn new(scheme: MapScheme, channels: u32, cfg: &DramConfig) -> Self {
-        assert!(channels.is_power_of_two(), "channels must be a power of two");
+        assert!(
+            channels.is_power_of_two(),
+            "channels must be a power of two"
+        );
         Self {
             scheme,
             channels,
@@ -98,7 +101,8 @@ impl AddrMapper {
     /// Addresses beyond the configured capacity wrap (the simulator's
     /// page allocator never produces them, but synthetic streams might).
     pub fn decode(&self, pa: PhysAddr) -> Addr {
-        let mut line = (pa / u64::from(self.line_bytes)) % (self.capacity_bytes() / u64::from(self.line_bytes));
+        let mut line = (pa / u64::from(self.line_bytes))
+            % (self.capacity_bytes() / u64::from(self.line_bytes));
         let mut take = |n: u32| -> u32 {
             let v = (line % u64::from(n)) as u32;
             line /= u64::from(n);

@@ -2,6 +2,7 @@
 //! command against the full LPDDR4 constraint set, including the CROW
 //! multiple-row-activation flavours.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 
 use crate::bank::{Activation, BankState, OpenRow, RestoreState};
@@ -70,6 +71,18 @@ pub struct ClosedRow {
     pub restore_drive: u64,
 }
 
+/// Memoized answer of [`DramChannel::ready_at`] for one command, valid
+/// only while no intervening `issue` has mutated timing state (tracked
+/// by the channel's issue stamp). `ready_at` is a pure function of the
+/// channel state, so replaying a cached answer is exact, not an
+/// approximation — the memo only skips recomputation.
+#[derive(Debug, Clone, Copy)]
+struct ReadyMemo {
+    cmd: CmdDesc,
+    stamp: u64,
+    ready: Cycle,
+}
+
 /// Side effects of issuing a command.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IssueFx {
@@ -97,6 +110,13 @@ pub struct DramChannel {
     cmd_bus_free: Cycle,
     stats: ChannelStats,
     oracle: Option<DataOracle>,
+    /// Monotonic count of issued commands; bumping it invalidates every
+    /// [`ReadyMemo`] at once.
+    issue_stamp: u64,
+    /// Per-(rank, bank) memo of the last `check` answer, so schedulers
+    /// that re-poll the same head-of-queue command every cycle skip the
+    /// full constraint walk until the next `issue`.
+    ready_cache: Vec<Cell<Option<ReadyMemo>>>,
 }
 
 impl DramChannel {
@@ -112,12 +132,17 @@ impl DramChannel {
         let ranks = (0..cfg.ranks)
             .map(|_| RankState::new(cfg.banks, cfg.subarrays_per_bank(), cfg.bank_groups))
             .collect();
+        let ready_cache = (0..cfg.ranks * cfg.banks)
+            .map(|_| Cell::new(None))
+            .collect();
         Self {
             cfg,
             ranks,
             cmd_bus_free: 0,
             stats: ChannelStats::new(),
             oracle: None,
+            issue_stamp: 0,
+            ready_cache,
         }
     }
 
@@ -161,7 +186,10 @@ impl DramChannel {
 
     /// Whether every bank of `rank` is precharged (required before `REF`).
     pub fn all_banks_closed(&self, rank: u32) -> bool {
-        self.ranks[rank as usize].banks.iter().all(|b| !b.any_open())
+        self.ranks[rank as usize]
+            .banks
+            .iter()
+            .all(|b| !b.any_open())
     }
 
     /// Earliest legal issue cycle for `d`, or a structural error if the
@@ -178,7 +206,9 @@ impl DramChannel {
         let mut ready = self.cmd_bus_free;
         match d.cmd {
             Command::Act | Command::ActC | Command::ActT => {
-                let kind = d.act.ok_or(IssueError::WrongState("activate without ActKind"))?;
+                let kind = d
+                    .act
+                    .ok_or(IssueError::WrongState("activate without ActKind"))?;
                 let sa = kind.subarray(self.cfg.rows_per_subarray);
                 let bank = &rank.banks[d.bank as usize];
                 let sa_state = &bank.subarrays[sa as usize];
@@ -232,9 +262,10 @@ impl DramChannel {
                 if bank.any_open() {
                     return Err(IssueError::WrongState("REFpb requires the bank closed"));
                 }
-                ready = ready
-                    .max(rank.next_refpb)
-                    .max(bank.next_act.saturating_sub(u64::from(self.cfg.timings.trp)));
+                ready = ready.max(rank.next_refpb).max(
+                    bank.next_act
+                        .saturating_sub(u64::from(self.cfg.timings.trp)),
+                );
                 for sa in &bank.subarrays {
                     ready = ready.max(sa.next_act.saturating_sub(u64::from(self.cfg.timings.trp)));
                 }
@@ -250,7 +281,19 @@ impl DramChannel {
     /// [`IssueError::TooEarly`] with the earliest legal cycle, or the
     /// structural errors of [`DramChannel::ready_at`].
     pub fn check(&self, d: &CmdDesc, now: Cycle) -> Result<(), IssueError> {
-        let ready = self.ready_at(d)?;
+        let slot = (d.rank * self.cfg.banks + d.bank.min(self.cfg.banks - 1)) as usize;
+        let ready = match self.ready_cache[slot].get() {
+            Some(m) if m.stamp == self.issue_stamp && m.cmd == *d => m.ready,
+            _ => {
+                let ready = self.ready_at(d)?;
+                self.ready_cache[slot].set(Some(ReadyMemo {
+                    cmd: *d,
+                    stamp: self.issue_stamp,
+                    ready,
+                }));
+                ready
+            }
+        };
         if ready > now {
             Err(IssueError::TooEarly { ready_at: ready })
         } else {
@@ -271,6 +314,7 @@ impl DramChannel {
             d,
             self.check(d, now)
         );
+        self.issue_stamp += 1;
         self.stats.record(d.cmd);
         let extra = if matches!(d.cmd, Command::ActC | Command::ActT) {
             u64::from(self.cfg.mra_extra_cmd_cycles)
@@ -287,9 +331,10 @@ impl DramChannel {
                 let kind = d.act.expect("activate without ActKind");
                 let sa = kind.subarray(self.cfg.rows_per_subarray);
                 let (open, mut tmod) = match kind {
-                    ActKind::Single(addr) => {
-                        (OpenRow::Single(addr), crate::timing::ActTimingMod::identity())
-                    }
+                    ActKind::Single(addr) => (
+                        OpenRow::Single(addr),
+                        crate::timing::ActTimingMod::identity(),
+                    ),
                     ActKind::Copy { src, copy } => (OpenRow::Pair { row: src, copy }, mra.act_c),
                     ActKind::Twin {
                         row,
@@ -767,10 +812,7 @@ mod tests {
         assert!(c.check(&act_other, 1).is_ok(), "bank 1 usable during REFpb");
         // Bank 0 itself is busy until tRFCpb.
         let act_same = CmdDesc::act(0, 0, ActKind::single(3));
-        assert_eq!(
-            c.ready_at(&act_same).unwrap(),
-            u64::from(t.trfc_pb)
-        );
+        assert_eq!(c.ready_at(&act_same).unwrap(), u64::from(t.trfc_pb));
         assert_eq!(c.stats().issued(Command::RefPb), 1);
     }
 
@@ -831,7 +873,10 @@ mod tests {
         let t = c.config().timings;
         let m = c.config().mra;
         c.issue(&CmdDesc::act(0, 0, ActKind::Copy { src: 5, copy: 0 }), 0);
-        assert_eq!(c.ready_at(&CmdDesc::rd(0, 0, 0)).unwrap(), u64::from(t.trcd));
+        assert_eq!(
+            c.ready_at(&CmdDesc::rd(0, 0, 0)).unwrap(),
+            u64::from(t.trcd)
+        );
         // Earliest PRE for ACT-c is the early-termination point (tRAS·0.93).
         let expect_pre = u64::from(scale_cycles(t.tras, m.act_c.tras_early));
         assert_eq!(c.ready_at(&CmdDesc::pre(0, 0)).unwrap(), expect_pre);

@@ -84,12 +84,12 @@ impl SpeedBin {
             tras_ns: 32.0,
             twr_ns: 15.0,
             trtp_ns: 7.5,
-            trrd_ns: 3.3,  // tRRD_S (4 ck)
+            trrd_ns: 3.3, // tRRD_S (4 ck)
             tfaw_ns: 21.0,
-            twtr_ns: 2.5,  // tWTR_S
+            twtr_ns: 2.5, // tWTR_S
             rl_ck: 16,
             wl_ck: 12,
-            tbl_ck: 4, // BL8 DDR
+            tbl_ck: 4,  // BL8 DDR
             tccd_ck: 4, // tCCD_S
             trefi_ns: 7800.0,
             tccd_l_ck: 6,

@@ -124,8 +124,9 @@ impl EnergyModel {
         let t = &self.timings;
         let ns = |cycles: u32| f64::from(cycles) * t.t_ck_ns;
         match cmd {
-            Command::Act => nj(s.vdd, s.idd0 - s.idd3n, ns(t.tras))
-                + nj(s.vdd, s.idd0 - s.idd2n, ns(t.trp)),
+            Command::Act => {
+                nj(s.vdd, s.idd0 - s.idd3n, ns(t.tras)) + nj(s.vdd, s.idd0 - s.idd2n, ns(t.trp))
+            }
             Command::ActC | Command::ActT => self.command_nj(Command::Act) * s.mra_act_factor,
             Command::Rd => nj(s.vdd, s.idd4r - s.idd3n, ns(t.tbl)),
             Command::Wr => nj(s.vdd, s.idd4w - s.idd3n, ns(t.tbl)),
@@ -133,9 +134,7 @@ impl EnergyModel {
             Command::Ref => nj(s.vdd, s.idd5 - s.idd2n, ns(t.trfc)),
             // One bank's share of the rows per command; same charge per
             // row as the all-bank refresh.
-            Command::RefPb => {
-                nj(s.vdd, s.idd5 - s.idd2n, ns(t.trfc)) / f64::from(self.banks)
-            }
+            Command::RefPb => nj(s.vdd, s.idd5 - s.idd2n, ns(t.trfc)) / f64::from(self.banks),
         }
     }
 
@@ -147,11 +146,8 @@ impl EnergyModel {
     pub fn act_pair_nj(&self, restore_cycles: u64, mra: bool) -> f64 {
         let s = &self.spec;
         let t = &self.timings;
-        let e = nj(
-            s.vdd,
-            s.idd0 - s.idd3n,
-            restore_cycles as f64 * t.t_ck_ns,
-        ) + nj(s.vdd, s.idd0 - s.idd2n, f64::from(t.trp) * t.t_ck_ns);
+        let e = nj(s.vdd, s.idd0 - s.idd3n, restore_cycles as f64 * t.t_ck_ns)
+            + nj(s.vdd, s.idd0 - s.idd2n, f64::from(t.trp) * t.t_ck_ns);
         if mra {
             e * s.mra_act_factor
         } else {
@@ -315,9 +311,7 @@ mod tests {
         let pb_total = m.command_nj(Command::RefPb) * 8.0;
         assert!((pb_total - m.command_nj(Command::Ref)).abs() < 1e-9);
         let m2 = model().with_banks(2);
-        assert!(
-            (m2.command_nj(Command::RefPb) * 2.0 - m2.command_nj(Command::Ref)).abs() < 1e-9
-        );
+        assert!((m2.command_nj(Command::RefPb) * 2.0 - m2.command_nj(Command::Ref)).abs() < 1e-9);
     }
 
     #[test]

@@ -87,6 +87,11 @@ pub struct MemController {
     /// Round-robin bank counter for per-bank refresh.
     refresh_bank: Vec<u32>,
     drain_writes: bool,
+    /// Reusable candidate buffer for refresh-drain scans, so the per-tick
+    /// hot path performs no heap allocation in steady state.
+    scratch_open: Vec<(u32, u32, u32)>,
+    /// Reusable FR-FCFS candidate-order buffer (same rationale).
+    scratch_order: Vec<(u8, Cycle, usize)>,
 }
 
 impl MemController {
@@ -127,6 +132,8 @@ impl MemController {
             refresh_pending: vec![false; ranks],
             refresh_bank: vec![0; ranks],
             drain_writes: false,
+            scratch_open: Vec::new(),
+            scratch_order: Vec::new(),
         }
     }
 
@@ -240,6 +247,61 @@ impl MemController {
         self.issue_one(now);
     }
 
+    /// A conservative lower bound on the next cycle at which
+    /// [`MemController::tick`] could have any observable effect beyond
+    /// background accounting: deliver a completion, schedule or issue a
+    /// refresh, serve queued work, or close a row under the row policy.
+    ///
+    /// The event-driven engine may replace every tick strictly before the
+    /// returned cycle with [`MemController::skip_idle`]; the bound is
+    /// invalidated by anything that mutates the controller (a tick or an
+    /// enqueue), after which it must be recomputed. Always `> now`.
+    pub fn next_event_at(&self, now: Cycle) -> Cycle {
+        // Any queued or pending work means the very next tick may issue a
+        // command: no skipping.
+        if !self.read_q.is_empty()
+            || !self.write_q.is_empty()
+            || !self.copy_ops.is_empty()
+            || !self.forced_restore.is_empty()
+            || self.refresh_pending.iter().any(|&p| p)
+        {
+            return now + 1;
+        }
+        let mut next = Cycle::MAX;
+        for &(at, _) in &self.inflight {
+            next = next.min(at);
+        }
+        if self.cfg.refresh {
+            // Idle queues: ticks mark refreshes pending exactly at
+            // `next_ref` (no postponement without demand traffic).
+            for &at in &self.next_ref {
+                next = next.min(at);
+            }
+        }
+        if !self.open_list.is_empty() {
+            match self.cfg.policy {
+                RowPolicy::OpenPage => {}
+                RowPolicy::ClosedPage => return now + 1,
+                RowPolicy::Timeout { cycles } => {
+                    for &(r, b, s) in &self.open_list {
+                        if let Some(act) = self.channel.subarray_activation(r, b, s) {
+                            next = next.min(act.last_use + cycles);
+                        }
+                    }
+                }
+            }
+        }
+        next.max(now + 1)
+    }
+
+    /// Advances background accounting over `cycles` idle memory cycles in
+    /// one step, exactly as that many no-op [`MemController::tick`] calls
+    /// would (the open-row set cannot change while no command issues).
+    pub fn skip_idle(&mut self, cycles: u64) {
+        self.bg_cycles += cycles;
+        self.bg_open_cycles += cycles * self.open_list.len() as u64;
+    }
+
     /// The effective refresh interval (honours CROW-ref's extension).
     fn trefi_eff(&self) -> u64 {
         let mult = self.crow.as_ref().map_or(1, |c| c.refresh_multiplier());
@@ -315,8 +377,7 @@ impl MemController {
                         self.issue(&d, now, None);
                         self.stats.refreshes += 1;
                         self.refresh_pending[rank as usize] = false;
-                        self.refresh_bank[rank as usize] =
-                            (bank + 1) % self.dram_cfg.banks;
+                        self.refresh_bank[rank as usize] = (bank + 1) % self.dram_cfg.banks;
                         self.next_ref[rank as usize] += self.trefi_eff();
                         if bank == self.dram_cfg.banks - 1 {
                             if let Some(crow) = self.crow.as_mut() {
@@ -328,19 +389,24 @@ impl MemController {
                     return false;
                 }
                 // Precharge only the target bank's open rows.
-                let candidates: Vec<(u32, u32, u32)> = self
-                    .open_list
-                    .iter()
-                    .copied()
-                    .filter(|&(r, b, _)| r == rank && b == bank)
-                    .collect();
-                for (r, b, sa) in candidates {
+                let mut candidates = std::mem::take(&mut self.scratch_open);
+                candidates.clear();
+                candidates.extend(
+                    self.open_list
+                        .iter()
+                        .copied()
+                        .filter(|&(r, b, _)| r == rank && b == bank),
+                );
+                let mut issued = false;
+                for &(r, b, sa) in &candidates {
                     let full = self.forced_restore.contains(&(r, b, sa));
                     if self.try_pre_subarray(now, r, b, sa, full) {
-                        return true;
+                        issued = true;
+                        break;
                     }
                 }
-                return false;
+                self.scratch_open = candidates;
+                return issued;
             }
             if self.channel.all_banks_closed(rank) {
                 let d = CmdDesc::refresh(rank);
@@ -358,30 +424,29 @@ impl MemController {
                 return false;
             }
             // Precharge open rows of this rank (oldest-opened first).
-            let mut candidates: Vec<(u32, u32, u32)> = self
-                .open_list
-                .iter()
-                .copied()
-                .filter(|&(r, _, _)| r == rank)
-                .collect();
+            let mut candidates = std::mem::take(&mut self.scratch_open);
+            candidates.clear();
+            candidates.extend(
+                self.open_list
+                    .iter()
+                    .copied()
+                    .filter(|&(r, _, _)| r == rank),
+            );
             candidates.sort_by_key(|&(r, b, s)| {
                 self.channel
                     .subarray_activation(r, b, s)
                     .map_or(u64::MAX, |a| a.opened_at)
             });
-            for (r, b, s) in candidates {
-                if self.forced_restore.contains(&(r, b, s)) {
-                    // Must wait for full restoration regardless.
-                    if self.try_pre_subarray(now, r, b, s, true) {
-                        return true;
-                    }
-                    continue;
-                }
-                if self.try_pre_subarray(now, r, b, s, false) {
-                    return true;
+            let mut issued = false;
+            for &(r, b, s) in &candidates {
+                let full = self.forced_restore.contains(&(r, b, s));
+                if self.try_pre_subarray(now, r, b, s, full) {
+                    issued = true;
+                    break;
                 }
             }
-            return false;
+            self.scratch_open = candidates;
+            return issued;
         }
         false
     }
@@ -522,12 +587,13 @@ impl MemController {
     /// Builds the FR-FCFS(-Cap) candidate order and issues the first
     /// legal command.
     fn serve_from(&mut self, now: Cycle, kind: ReqKind) -> bool {
+        // Candidate order: (priority, arrival, index).
+        let mut order = std::mem::take(&mut self.scratch_order);
+        order.clear();
         let q = match kind {
             ReqKind::Read => &self.read_q,
             ReqKind::Write => &self.write_q,
         };
-        // Candidate order: (priority, arrival, index).
-        let mut order: Vec<(u8, Cycle, usize)> = Vec::with_capacity(q.len());
         for (i, req) in q.iter().enumerate() {
             let hit = self.serving_activation(req);
             let prio = match self.cfg.sched {
@@ -546,12 +612,15 @@ impl MemController {
             order.push((prio, req.arrival, i));
         }
         order.sort_unstable();
-        for (_, _, idx) in order {
+        let mut issued = false;
+        for &(_, _, idx) in &order {
             if self.try_serve_request(now, kind, idx) {
-                return true;
+                issued = true;
+                break;
             }
         }
-        false
+        self.scratch_order = order;
+        issued
     }
 
     /// Attempts to advance one request: column access if its row is open,
@@ -587,8 +656,8 @@ impl MemController {
             .channel
             .subarray_activation(req.rank, req.bank, sa)
             .is_some();
-        let bank_conflict = !self.dram_cfg.subarray_parallelism
-            && self.channel.open_count(req.rank, req.bank) > 0;
+        let bank_conflict =
+            !self.dram_cfg.subarray_parallelism && self.channel.open_count(req.rank, req.bank) > 0;
         if sa_open || bank_conflict {
             // Conflict: close the blocking row (the open subarray).
             let victim_sa = if sa_open {
@@ -798,16 +867,12 @@ impl MemController {
             }
             // Any queued request served by this activation keeps it open.
             let open = act.open;
-            let wanted = self
-                .read_q
-                .iter()
-                .chain(self.write_q.iter())
-                .any(|r| {
-                    r.rank == rank
-                        && r.bank == bank
-                        && self.subarray_of(r.row) == sa
-                        && (open.serves_regular(r.row) || self.serving_activation(r))
-                });
+            let wanted = self.read_q.iter().chain(self.write_q.iter()).any(|r| {
+                r.rank == rank
+                    && r.bank == bank
+                    && self.subarray_of(r.row) == sa
+                    && (open.serves_regular(r.row) || self.serving_activation(r))
+            });
             if wanted {
                 continue;
             }
@@ -845,7 +910,8 @@ impl MemController {
                         .retain(|&(r, b, s)| !(r == d.rank && b == d.bank && s == closed.subarray));
                     self.opener.remove(&(d.rank, d.bank, closed.subarray));
                     let cb = d.rank * self.dram_cfg.banks + d.bank;
-                    if let (Some(crow), OpenRow::Pair { row, .. }) = (self.crow.as_mut(), closed.open)
+                    if let (Some(crow), OpenRow::Pair { row, .. }) =
+                        (self.crow.as_mut(), closed.open)
                     {
                         crow.on_precharge(
                             cb,
@@ -936,8 +1002,16 @@ mod tests {
     fn writes_drain_via_watermarks() {
         let mut mc = baseline_mc();
         for i in 0..50 {
-            mc.try_enqueue(MemRequest::new(i, ReqKind::Write, 0, 0, 5, i as u32 % 16, 0))
-                .unwrap();
+            mc.try_enqueue(MemRequest::new(
+                i,
+                ReqKind::Write,
+                0,
+                0,
+                5,
+                i as u32 % 16,
+                0,
+            ))
+            .unwrap();
         }
         run(&mut mc, 4000);
         assert_eq!(mc.stats().writes, 50);
@@ -1064,7 +1138,10 @@ mod tests {
         let (refs_strict, _) = run_burst(&mut strict);
         let mut flexible = mk(8);
         let (refs_flex, _) = run_burst(&mut flexible);
-        assert!(refs_strict >= 3, "strict must refresh on schedule: {refs_strict}");
+        assert!(
+            refs_strict >= 3,
+            "strict must refresh on schedule: {refs_strict}"
+        );
         assert!(
             refs_flex < refs_strict,
             "postponement defers refreshes under load: {refs_flex} vs {refs_strict}"
@@ -1156,7 +1233,8 @@ mod tests {
         // non-empty, so each activation is closed early by the conflict.
         for round in 0..30 {
             for row in [1u32, 2, 3] {
-                mc.try_enqueue(read(id, 0, row, (round % 8) as u32)).unwrap();
+                mc.try_enqueue(read(id, 0, row, (round % 8) as u32))
+                    .unwrap();
                 id += 1;
             }
             for _ in 0..400 {

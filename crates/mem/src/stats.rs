@@ -43,8 +43,7 @@ impl McStats {
 
     /// Records one read latency into the histogram.
     pub fn record_latency(&mut self, cycles: u64) {
-        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1)
-            .min(LATENCY_BUCKETS - 1);
+        let bucket = (64 - cycles.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
         self.latency_hist[bucket] += 1;
     }
 

@@ -1,5 +1,5 @@
+use crow_dram::{Command, DramConfig};
 use crow_mem::{McConfig, MemController, MemRequest, ReqKind};
-use crow_dram::{DramConfig, Command};
 fn main() {
     for pb in [false, true] {
         let mut cfg = McConfig::paper_default();
@@ -14,13 +14,28 @@ fn main() {
             if now % 40 == 0 && mc.can_accept_read() {
                 let bank = (next_id * 7) % 8;
                 let row = ((next_id * 7919) % 65536) as u32;
-                mc.try_enqueue(MemRequest::new(next_id, ReqKind::Read, 0, bank as u32, row, 0, 0)).ok();
+                mc.try_enqueue(MemRequest::new(
+                    next_id,
+                    ReqKind::Read,
+                    0,
+                    bank as u32,
+                    row,
+                    0,
+                    0,
+                ))
+                .ok();
                 next_id += 1;
             }
             mc.tick(now, &mut out);
         }
-        println!("pb={pb}: served {} avg_lat {:.0} max_lat {} refreshes {} REFpb {} pending {}",
-            out.len(), mc.stats().avg_read_latency(), mc.stats().read_latency_max,
-            mc.stats().refreshes, mc.channel().stats().issued(Command::RefPb), mc.pending());
+        println!(
+            "pb={pb}: served {} avg_lat {:.0} max_lat {} refreshes {} REFpb {} pending {}",
+            out.len(),
+            mc.stats().avg_read_latency(),
+            mc.stats().read_latency_max,
+            mc.stats().refreshes,
+            mc.channel().stats().issued(Command::RefPb),
+            mc.pending()
+        );
     }
 }

@@ -112,6 +112,17 @@ impl Mechanism {
     }
 }
 
+/// Which stepping engine [`crate::System::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Step every CPU cycle through the full model (reference engine).
+    Naive,
+    /// Fast-forward provably inert spans (stalled or purely mechanical
+    /// cores, idle controllers) in closed form. Produces bit-identical
+    /// reports to [`Engine::Naive`]; only wall-clock time differs.
+    EventDriven,
+}
+
 /// Full-system configuration (paper Table 2 defaults).
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
@@ -139,6 +150,8 @@ pub struct SystemConfig {
     /// [`MraTimings::no_partial_restore`]); `None` uses the paper
     /// operating point.
     pub mra_override: Option<MraTimings>,
+    /// Stepping engine (results are identical either way).
+    pub engine: Engine,
 }
 
 impl SystemConfig {
@@ -155,6 +168,7 @@ impl SystemConfig {
             oracle: false,
             vrt_interval_cycles: None,
             mra_override: None,
+            engine: Engine::EventDriven,
         }
     }
 
@@ -173,6 +187,7 @@ impl SystemConfig {
             oracle: false,
             vrt_interval_cycles: None,
             mra_override: None,
+            engine: Engine::EventDriven,
         }
     }
 
@@ -196,6 +211,7 @@ impl SystemConfig {
             oracle: false,
             vrt_interval_cycles: None,
             mra_override: None,
+            engine: Engine::EventDriven,
         }
     }
 
@@ -226,7 +242,9 @@ impl SystemConfig {
     pub fn effective_dram(&self) -> DramConfig {
         let mut d = self.dram.clone();
         match self.mechanism {
-            Mechanism::Baseline | Mechanism::NoRefresh | Mechanism::IdealCache
+            Mechanism::Baseline
+            | Mechanism::NoRefresh
+            | Mechanism::IdealCache
             | Mechanism::IdealCacheNoRefresh => {
                 d.copy_rows_per_subarray = if matches!(
                     self.mechanism,
@@ -258,7 +276,9 @@ impl SystemConfig {
                 d.rows_per_subarray = d.rows_per_bank / subarrays;
             }
         }
-        d.mra = self.mra_override.unwrap_or_else(MraTimings::paper_operating_point);
+        d.mra = self
+            .mra_override
+            .unwrap_or_else(MraTimings::paper_operating_point);
         d
     }
 }

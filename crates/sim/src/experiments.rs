@@ -88,10 +88,13 @@ where
         .map(|n| n.get())
         .unwrap_or(4)
         .min(jobs.len().max(1));
-    let jobs: Vec<std::sync::Mutex<Option<J>>> =
-        jobs.into_iter().map(|j| std::sync::Mutex::new(Some(j))).collect();
-    let results: Vec<std::sync::Mutex<Option<R>>> =
-        (0..jobs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let jobs: Vec<std::sync::Mutex<Option<J>>> = jobs
+        .into_iter()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
+    let results: Vec<std::sync::Mutex<Option<R>>> = (0..jobs.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {

@@ -35,7 +35,7 @@ pub mod metrics;
 pub mod report;
 pub mod system;
 
-pub use config::{Mechanism, SystemConfig};
+pub use config::{Engine, Mechanism, SystemConfig};
 pub use experiments::{run_many, run_mix, run_single, run_with_config, Scale};
 pub use metrics::weighted_speedup;
 pub use report::SimReport;

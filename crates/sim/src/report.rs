@@ -26,6 +26,12 @@ pub struct SimReport {
     pub energy: EnergyCounter,
     /// Whether every core reached its instruction target.
     pub finished: bool,
+    /// Wall-clock seconds the `run` call took (diagnostic; not part of
+    /// the cross-engine equivalence contract).
+    pub wall_seconds: f64,
+    /// Simulated CPU cycles per wall-clock second over the `run` call
+    /// (diagnostic; not part of the cross-engine equivalence contract).
+    pub sim_cycles_per_sec: f64,
 }
 
 impl SimReport {
@@ -61,6 +67,8 @@ mod tests {
             crow: CrowStats::new(),
             energy: EnergyCounter::new(),
             finished: true,
+            wall_seconds: 0.0,
+            sim_cycles_per_sec: 0.0,
         };
         assert!((r.ipc_sum() - 3.0).abs() < 1e-12);
         assert_eq!(r.energy_mj(), 0.0);

@@ -1,7 +1,7 @@
 //! System assembly and the main simulation loop.
 
-use crow_core::{CrowConfig, CrowStats, CrowSubstrate};
 use crow_circuit::TlDramModel;
+use crow_core::{CrowConfig, CrowStats, CrowSubstrate};
 use crow_cpu::{CpuCluster, CpuMemReq, MemPort};
 use crow_dram::{ActTimingMod, AddrMapper, ChannelStats};
 use crow_energy::EnergyCounter;
@@ -11,13 +11,16 @@ use crow_workloads::AppProfile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{Mechanism, SystemConfig};
+use crate::config::{Engine, Mechanism, SystemConfig};
 use crate::report::SimReport;
 
 /// Routes CPU requests to the per-channel controllers.
 struct Router<'a> {
     mcs: &'a mut [MemController],
     mapper: &'a AddrMapper,
+    /// Per-channel next-event bounds; a successful enqueue mutates the
+    /// controller, so its bound is reset to force a real tick.
+    next_event: &'a mut [u64],
 }
 
 impl MemPort for Router<'_> {
@@ -30,7 +33,13 @@ impl MemPort for Router<'_> {
         };
         let mut r = MemRequest::new(req.id, kind, a.rank, a.bank, a.row, a.col, req.core);
         r.is_prefetch = req.is_prefetch;
-        self.mcs[a.channel as usize].try_enqueue(r).is_ok()
+        let ch = a.channel as usize;
+        if self.mcs[ch].try_enqueue(r).is_ok() {
+            self.next_event[ch] = 0;
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -46,6 +55,10 @@ pub struct System {
     completions: Vec<Completion>,
     vrt_rng: StdRng,
     vrt_events: u64,
+    /// Per-channel conservative next-event bounds (event-driven engine):
+    /// memory ticks strictly before `mc_next_event[i]` are provable
+    /// no-ops for controller `i`. 0 forces a real tick.
+    mc_next_event: Vec<u64>,
 }
 
 impl System {
@@ -73,12 +86,15 @@ impl System {
     pub fn with_traces(cfg: SystemConfig, traces: Vec<Box<dyn crow_cpu::TraceSource>>) -> Self {
         assert!(!traces.is_empty(), "at least one core required");
         let dram = cfg.effective_dram();
-        dram.validate().unwrap_or_else(|e| panic!("bad dram config: {e}"));
+        dram.validate()
+            .unwrap_or_else(|e| panic!("bad dram config: {e}"));
         let mapper = AddrMapper::new(cfg.scheme, cfg.channels, &dram);
         let mut mc_cfg = cfg.mc;
         match cfg.mechanism {
             Mechanism::NoRefresh | Mechanism::IdealCacheNoRefresh => mc_cfg.refresh = false,
-            Mechanism::Salp { open_page: true, .. } => mc_cfg = mc_cfg.with_open_page(),
+            Mechanism::Salp {
+                open_page: true, ..
+            } => mc_cfg = mc_cfg.with_open_page(),
             _ => {}
         }
         let mcs: Vec<MemController> = (0..cfg.channels)
@@ -114,6 +130,7 @@ impl System {
             .collect();
         let cluster = CpuCluster::new(cfg.cpu, traces, mapper.capacity_bytes(), cfg.seed);
         let vrt_rng = StdRng::seed_from_u64(cfg.seed ^ 0x56525421);
+        let mc_next_event = vec![0; mcs.len()];
         Self {
             cfg,
             cluster,
@@ -125,6 +142,7 @@ impl System {
             completions: Vec::with_capacity(64),
             vrt_rng,
             vrt_events: 0,
+            mc_next_event,
         }
     }
 
@@ -138,6 +156,7 @@ impl System {
         let bank = self.vrt_rng.gen_range(0..dram.banks);
         let row = self.vrt_rng.gen_range(0..dram.rows_per_bank);
         self.mcs[ch].remap_weak_row_in_rank(rank, bank, row);
+        self.mc_next_event[ch] = 0;
         self.vrt_events += 1;
     }
 
@@ -146,7 +165,11 @@ impl System {
         self.vrt_events
     }
 
-    fn build_crow(cfg: &SystemConfig, dram: &crow_dram::DramConfig, ch: u32) -> Option<CrowSubstrate> {
+    fn build_crow(
+        cfg: &SystemConfig,
+        dram: &crow_dram::DramConfig,
+        ch: u32,
+    ) -> Option<CrowSubstrate> {
         let base = CrowConfig {
             // One table bank range per (rank, bank) pair.
             banks: dram.banks * dram.ranks,
@@ -221,7 +244,12 @@ impl System {
     }
 
     /// Advances the system by one CPU cycle.
-    fn step(&mut self) {
+    ///
+    /// With `event_driven` set, memory ticks provably before a
+    /// controller's next event are replaced by the equivalent background
+    /// accounting ([`MemController::skip_idle`]); everything else is
+    /// stepped identically to the naive engine.
+    fn step(&mut self, event_driven: bool) {
         if let Some(interval) = self.cfg.vrt_interval_cycles {
             if self.cpu_cycle > 0 && self.cpu_cycle.is_multiple_of(interval) {
                 self.inject_vrt_event();
@@ -231,29 +259,110 @@ impl System {
         self.clock_accum += den;
         if self.clock_accum >= num {
             self.clock_accum -= num;
-            for mc in &mut self.mcs {
-                mc.tick(self.mem_cycle, &mut self.completions);
+            for (i, mc) in self.mcs.iter_mut().enumerate() {
+                if event_driven && self.mem_cycle < self.mc_next_event[i] {
+                    mc.skip_idle(1);
+                } else {
+                    mc.tick(self.mem_cycle, &mut self.completions);
+                    if event_driven {
+                        self.mc_next_event[i] = mc.next_event_at(self.mem_cycle);
+                    }
+                }
             }
             self.mem_cycle += 1;
-            for c in std::mem::take(&mut self.completions) {
+            for c in self.completions.drain(..) {
                 self.cluster.on_completion(c.id, self.cpu_cycle);
             }
         }
         let mut router = Router {
             mcs: &mut self.mcs,
             mapper: &self.mapper,
+            next_event: &mut self.mc_next_event,
         };
         self.cluster.cycle(self.cpu_cycle, &mut router);
         self.cpu_cycle += 1;
     }
 
-    /// Runs until every core reaches its instruction target or
-    /// `max_cpu_cycles` elapse; returns the report.
-    pub fn run(&mut self, max_cpu_cycles: u64) -> SimReport {
-        while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
-            self.step();
+    /// How many CPU cycles (starting at the current one) the whole
+    /// system can provably fast-forward: the cluster is inert, no VRT
+    /// injection is due, and no skipped memory tick would reach a
+    /// controller's next event. 0 means the next cycle must step.
+    fn idle_skip(&self, max_cpu_cycles: u64) -> u64 {
+        let inert = self.cluster.inert_cycles(self.cpu_cycle);
+        if inert == 0 {
+            return 0;
         }
-        self.report()
+        let now = self.cpu_cycle;
+        let mut k = inert.min(max_cpu_cycles.saturating_sub(now));
+        if let Some(interval) = self.cfg.vrt_interval_cycles {
+            if now > 0 && now.is_multiple_of(interval) {
+                return 0; // an injection is due this very cycle
+            }
+            k = k.min((now / interval + 1) * interval - now);
+        }
+        // Memory-side cap: the skipped span may contain only memory
+        // ticks strictly before the earliest controller event. Over `k`
+        // CPU cycles the accumulator produces
+        // `(clock_accum + den*k) / num` ticks, at cycles
+        // `mem_cycle ..`; bounding those below `mem_next` yields the
+        // largest admissible `k`.
+        let (num, den) = SystemConfig::CLOCK_RATIO;
+        let mem_next = self.mc_next_event.iter().copied().min().unwrap_or(u64::MAX);
+        let r = mem_next.saturating_sub(self.mem_cycle);
+        let budget = num
+            .saturating_mul(r.saturating_add(1))
+            .saturating_sub(1 + self.clock_accum);
+        k.min(budget / den)
+    }
+
+    /// Fast-forwards `skip` cycles agreed by [`System::idle_skip`]:
+    /// advances inert cores in closed form, replays the clock
+    /// accumulator, and charges the skipped memory ticks as idle
+    /// background time.
+    fn apply_skip(&mut self, skip: u64) {
+        self.cluster.advance_inert(self.cpu_cycle, skip);
+        let (num, den) = SystemConfig::CLOCK_RATIO;
+        let total = self.clock_accum + den * skip;
+        let mem_ticks = total / num;
+        self.clock_accum = total % num;
+        if mem_ticks > 0 {
+            for mc in &mut self.mcs {
+                mc.skip_idle(mem_ticks);
+            }
+            self.mem_cycle += mem_ticks;
+        }
+        self.cpu_cycle += skip;
+    }
+
+    /// Runs until every core reaches its instruction target or
+    /// `max_cpu_cycles` elapse; returns the report (with wall-clock
+    /// throughput of this call filled in).
+    pub fn run(&mut self, max_cpu_cycles: u64) -> SimReport {
+        let started = std::time::Instant::now();
+        let start_cycle = self.cpu_cycle;
+        match self.cfg.engine {
+            Engine::Naive => {
+                while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
+                    self.step(false);
+                }
+            }
+            Engine::EventDriven => {
+                while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
+                    let skip = self.idle_skip(max_cpu_cycles);
+                    if skip > 0 {
+                        self.apply_skip(skip);
+                    } else {
+                        self.step(true);
+                    }
+                }
+            }
+        }
+        let mut r = self.report();
+        r.wall_seconds = started.elapsed().as_secs_f64();
+        if r.wall_seconds > 0.0 {
+            r.sim_cycles_per_sec = (self.cpu_cycle - start_cycle) as f64 / r.wall_seconds;
+        }
+        r
     }
 
     /// Builds the report for the current state.
@@ -281,6 +390,8 @@ impl System {
             crow,
             energy,
             finished: self.cluster.done(),
+            wall_seconds: 0.0,
+            sim_cycles_per_sec: 0.0,
         }
     }
 
@@ -331,7 +442,11 @@ mod tests {
     fn baseline_run_finishes_with_sane_stats() {
         let r = run_quick(Mechanism::Baseline, "mcf");
         assert!(r.ipc[0] > 0.0 && r.ipc[0] <= 4.0);
-        assert!(r.mpki[0] > 10.0, "mcf must be memory-intensive: {}", r.mpki[0]);
+        assert!(
+            r.mpki[0] > 10.0,
+            "mcf must be memory-intensive: {}",
+            r.mpki[0]
+        );
         assert!(r.mc.reads > 0);
         assert!(r.energy.total_nj() > 0.0);
     }
@@ -341,7 +456,11 @@ mod tests {
         let base = run_quick(Mechanism::Baseline, "mcf");
         let crow = run_quick(Mechanism::crow_cache(8), "mcf");
         assert!(crow.commands.issued(crow_dram::Command::ActT) > 0);
-        assert!(crow.crow_hit_rate() > 0.3, "hit rate {}", crow.crow_hit_rate());
+        assert!(
+            crow.crow_hit_rate() > 0.3,
+            "hit rate {}",
+            crow.crow_hit_rate()
+        );
         assert!(
             crow.ipc[0] > base.ipc[0],
             "CROW {} vs baseline {}",
@@ -379,7 +498,10 @@ mod tests {
         assert!(base > 10, "window too short: {base}");
         // Doubled interval: about half the refreshes.
         let ratio = cref as f64 / base as f64;
-        assert!((0.4..0.62).contains(&ratio), "ratio {ratio} ({cref}/{base})");
+        assert!(
+            (0.4..0.62).contains(&ratio),
+            "ratio {ratio} ({cref}/{base})"
+        );
     }
 
     #[test]
@@ -453,7 +575,11 @@ mod tests {
                 .table()
                 .total_occupancy()
         };
-        let with_vrt = sys.controllers()[0].crow().unwrap().table().total_occupancy();
+        let with_vrt = sys.controllers()[0]
+            .crow()
+            .unwrap()
+            .table()
+            .total_occupancy();
         // Occupancy comparison is noisy (cache entries churn), so check
         // the refresh multiplier stayed extended and the run stayed clean.
         assert_eq!(sys.controllers()[0].crow().unwrap().refresh_multiplier(), 2);
@@ -479,10 +605,7 @@ mod tests {
             let mpki = r.mpki[0];
             match profile.class {
                 Class::H => assert!(mpki >= 8.0, "{name}: H-class mpki {mpki}"),
-                Class::M => assert!(
-                    (0.8..12.0).contains(&mpki),
-                    "{name}: M-class mpki {mpki}"
-                ),
+                Class::M => assert!((0.8..12.0).contains(&mpki), "{name}: M-class mpki {mpki}"),
                 Class::L => assert!(mpki < 1.6, "{name}: L-class mpki {mpki}"),
             }
         }
@@ -519,6 +642,11 @@ mod tests {
         let mut warm = System::new(cfg, &[app("gcc")]);
         warm.warm(50_000);
         let rw = warm.run(30_000_000);
-        assert!(rw.mpki[0] <= rc.mpki[0] * 1.05, "{} vs {}", rw.mpki[0], rc.mpki[0]);
+        assert!(
+            rw.mpki[0] <= rc.mpki[0] * 1.05,
+            "{} vs {}",
+            rw.mpki[0],
+            rc.mpki[0]
+        );
     }
 }

@@ -1,0 +1,74 @@
+//! The event-driven engine must be an *exact* optimization: for any
+//! workload and mechanism, it produces a bit-identical [`SimReport`] to
+//! the naive cycle-by-cycle stepper — only wall-clock fields may differ.
+
+use crow_sim::{Engine, Mechanism, System, SystemConfig};
+use crow_workloads::AppProfile;
+
+/// Runs one configuration under both engines and compares the full
+/// reports (with the wall-clock diagnostics zeroed out).
+fn assert_equivalent(mechanism: Mechanism, app: &str, vrt: Option<u64>) {
+    let profile = AppProfile::by_name(app).unwrap();
+    let mut reports = Vec::new();
+    for engine in [Engine::Naive, Engine::EventDriven] {
+        let mut cfg = SystemConfig::quick_test(mechanism);
+        cfg.engine = engine;
+        cfg.vrt_interval_cycles = vrt;
+        let mut sys = System::new(cfg, &[profile]);
+        let mut r = sys.run(2_000_000);
+        r.wall_seconds = 0.0;
+        r.sim_cycles_per_sec = 0.0;
+        reports.push(r);
+    }
+    assert_eq!(
+        format!("{:?}", reports[0]),
+        format!("{:?}", reports[1]),
+        "engines diverged for {mechanism:?} on {app}"
+    );
+}
+
+#[test]
+fn baseline_mcf_matches() {
+    assert_equivalent(Mechanism::Baseline, "mcf", None);
+}
+
+#[test]
+fn baseline_low_mpki_matches() {
+    assert_equivalent(Mechanism::Baseline, "povray", None);
+}
+
+#[test]
+fn crow_cache_mcf_matches() {
+    assert_equivalent(Mechanism::crow_cache(8), "mcf", None);
+}
+
+#[test]
+fn crow_cache_low_mpki_matches() {
+    assert_equivalent(Mechanism::crow_cache(8), "povray", None);
+}
+
+#[test]
+fn crow_combined_with_vrt_matches() {
+    // VRT injections are scheduled by CPU-cycle count, so the skipper
+    // must stop exactly at each injection boundary.
+    assert_equivalent(Mechanism::crow_combined(), "libq", Some(100_000));
+}
+
+#[test]
+fn multicore_mix_matches() {
+    let apps: Vec<&AppProfile> = ["mcf", "povray", "libq", "gcc"]
+        .iter()
+        .map(|n| AppProfile::by_name(n).unwrap())
+        .collect();
+    let mut reports = Vec::new();
+    for engine in [Engine::Naive, Engine::EventDriven] {
+        let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
+        cfg.engine = engine;
+        let mut sys = System::new(cfg, &apps);
+        let mut r = sys.run(2_000_000);
+        r.wall_seconds = 0.0;
+        r.sim_cycles_per_sec = 0.0;
+        reports.push(r);
+    }
+    assert_eq!(format!("{:?}", reports[0]), format!("{:?}", reports[1]));
+}

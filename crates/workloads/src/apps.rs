@@ -75,7 +75,15 @@ const fn app(
 pub static APPS: &[AppProfile] = &[
     // --- SPEC CPU2006 (29) ---
     app("astar", Class::M, 4.5, 0.5, 0.20, reuse(64, 0.6), 128),
-    app("bwaves", Class::H, 18.0, 0.9, 0.25, Pattern::Sequential, 256),
+    app(
+        "bwaves",
+        Class::H,
+        18.0,
+        0.9,
+        0.25,
+        Pattern::Sequential,
+        256,
+    ),
     app("bzip2", Class::M, 3.1, 0.5, 0.30, reuse(48, 0.4), 128),
     app("cactusADM", Class::M, 5.2, 0.5, 0.30, reuse(32, 0.3), 128),
     app("calculix", Class::L, 0.6, 0.3, 0.20, reuse(16, 0.3), 64),
@@ -88,7 +96,15 @@ pub static APPS: &[AppProfile] = &[
     app("h264ref", Class::L, 0.5, 0.3, 0.20, reuse(12, 0.25), 64),
     app("hmmer", Class::M, 1.2, 0.5, 0.15, reuse(8, 0.2), 128),
     app("lbm", Class::H, 32.0, 0.95, 0.40, Pattern::Sequential, 256),
-    app("leslie3d", Class::H, 13.0, 0.85, 0.30, Pattern::Sequential, 256),
+    app(
+        "leslie3d",
+        Class::H,
+        13.0,
+        0.85,
+        0.30,
+        Pattern::Sequential,
+        256,
+    ),
     app("libq", Class::H, 25.4, 1.0, 0.10, Pattern::Sequential, 256),
     app("mcf", Class::H, 66.9, 0.85, 0.15, reuse(512, 0.8), 512),
     app("milc", Class::H, 26.0, 0.8, 0.30, reuse(128, 0.5), 256),
@@ -109,13 +125,53 @@ pub static APPS: &[AppProfile] = &[
     app("tpch6", Class::H, 20.0, 0.9, 0.10, Pattern::Sequential, 256),
     app("tpch17", Class::M, 5.5, 0.5, 0.15, reuse(96, 0.5), 128),
     // --- STREAM (4) ---
-    app("stream-add", Class::H, 30.0, 1.0, 0.33, Pattern::Sequential, 256),
-    app("stream-copy", Class::H, 28.0, 1.0, 0.50, Pattern::Sequential, 256),
-    app("stream-scale", Class::H, 28.0, 1.0, 0.50, Pattern::Sequential, 256),
-    app("stream-triad", Class::H, 31.0, 1.0, 0.33, Pattern::Sequential, 256),
+    app(
+        "stream-add",
+        Class::H,
+        30.0,
+        1.0,
+        0.33,
+        Pattern::Sequential,
+        256,
+    ),
+    app(
+        "stream-copy",
+        Class::H,
+        28.0,
+        1.0,
+        0.50,
+        Pattern::Sequential,
+        256,
+    ),
+    app(
+        "stream-scale",
+        Class::H,
+        28.0,
+        1.0,
+        0.50,
+        Pattern::Sequential,
+        256,
+    ),
+    app(
+        "stream-triad",
+        Class::H,
+        31.0,
+        1.0,
+        0.33,
+        Pattern::Sequential,
+        256,
+    ),
     // --- MediaBench (7) ---
     app("h264-enc", Class::L, 0.8, 0.3, 0.30, reuse(16, 0.25), 64),
-    app("h264-dec", Class::H, 11.0, 0.9, 0.30, Pattern::Sequential, 128),
+    app(
+        "h264-dec",
+        Class::H,
+        11.0,
+        0.9,
+        0.30,
+        Pattern::Sequential,
+        128,
+    ),
     app("jp2-encode", Class::M, 4.2, 0.5, 0.30, reuse(16, 0.2), 128),
     app("jp2-decode", Class::M, 3.6, 0.5, 0.30, reuse(16, 0.2), 128),
     app("mpeg2-enc", Class::M, 1.8, 0.5, 0.30, reuse(16, 0.25), 128),
@@ -254,7 +310,9 @@ mod tests {
     fn traces_differ_across_apps_with_same_seed() {
         let mut a = AppProfile::by_name("mcf").unwrap().trace(1);
         let mut b = AppProfile::by_name("milc").unwrap().trace(1);
-        let same = (0..200).filter(|_| a.next_entry() == b.next_entry()).count();
+        let same = (0..200)
+            .filter(|_| a.next_entry() == b.next_entry())
+            .count();
         assert!(same < 50);
     }
 }

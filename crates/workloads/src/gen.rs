@@ -111,9 +111,9 @@ impl SyntheticTrace {
         let mut rng = StdRng::seed_from_u64(seed);
         let cold_pages = p.footprint / PAGE;
         let active_pages = match p.pattern {
-            Pattern::PageReuse { pages, .. } => (0..pages)
-                .map(|_| rng.gen_range(0..cold_pages))
-                .collect(),
+            Pattern::PageReuse { pages, .. } => {
+                (0..pages).map(|_| rng.gen_range(0..cold_pages)).collect()
+            }
             _ => Vec::new(),
         };
         Self {

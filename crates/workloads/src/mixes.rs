@@ -73,11 +73,7 @@ impl MixGroup {
 
 /// Draws `count` random four-application mixes for a group (the paper
 /// uses 20 per group). Deterministic per seed.
-pub fn mixes_for_group(
-    group: MixGroup,
-    count: usize,
-    seed: u64,
-) -> Vec<[&'static AppProfile; 4]> {
+pub fn mixes_for_group(group: MixGroup, count: usize, seed: u64) -> Vec<[&'static AppProfile; 4]> {
     let mut rng = StdRng::seed_from_u64(seed ^ (group as u64).wrapping_mul(0x9e3779b97f4a7c15));
     let pools: [Vec<&'static AppProfile>; 3] = [
         AppProfile::by_class(Class::L),

@@ -11,7 +11,12 @@ use crow::core::{CrowConfig, CrowSubstrate};
 use crow::dram::{Command, DramConfig};
 use crow::mem::{McConfig, MemController, MemRequest, ReqKind};
 
-fn drain(mc: &mut MemController, now: &mut u64, until_reads: usize, out: &mut Vec<crow::mem::Completion>) {
+fn drain(
+    mc: &mut MemController,
+    now: &mut u64,
+    until_reads: usize,
+    out: &mut Vec<crow::mem::Completion>,
+) {
     while out.len() < until_reads && *now < 1_000_000 {
         mc.tick(*now, out);
         *now += 1;

@@ -11,7 +11,10 @@ use crow::workloads::AppProfile;
 fn main() {
     let app = AppProfile::by_name("mcf").expect("mcf is part of the suite");
     let scale = Scale::from_env();
-    println!("workload: {} (target {:.1} MPKI), {} instructions", app.name, app.mpki, scale.insts);
+    println!(
+        "workload: {} (target {:.1} MPKI), {} instructions",
+        app.name, app.mpki, scale.insts
+    );
 
     for mech in [
         Mechanism::Baseline,

@@ -51,8 +51,14 @@ fn main() {
     }
 
     let crow = mc.crow().unwrap();
-    println!("\ndetector alarms fired, victims remapped: {}", crow.stats().hammer_remaps);
-    println!("victim copies performed with ACT-c: {}", mc.stats().hammer_copies);
+    println!(
+        "\ndetector alarms fired, victims remapped: {}",
+        crow.stats().hammer_remaps
+    );
+    println!(
+        "victim copies performed with ACT-c: {}",
+        mc.stats().hammer_copies
+    );
     for victim in [19u32, 21, 99, 101] {
         let state = match crow.table().lookup(0, victim / 64, victim) {
             Some((way, e)) if e.owner == crow::core::Owner::Hammer => {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, formatting, lints.
+# Run from the repo root: ./scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test --workspace -q
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "All checks passed."

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Seeded randomized tests over the core invariants (a vendored
+//! deterministic RNG replaces proptest, which is unavailable offline):
 //!
 //! * address mapping is a bijection for every scheme;
 //! * the CROW-table never exceeds capacity, never loses pinned entries,
@@ -9,55 +10,60 @@
 //!   oracle checks every CROW command against a functional model);
 //! * the weak-row math is monotone in its arguments.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crow::core::{weakrows, CrowConfig, CrowSubstrate, Owner};
 use crow::dram::{Addr, AddrMapper, DramConfig, MapScheme};
 use crow::mem::{McConfig, MemController, MemRequest, ReqKind};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn address_mapping_roundtrips(
-        pa in 0u64..(16u64 << 30),
-        scheme_idx in 0usize..3,
-    ) {
+#[test]
+fn address_mapping_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xA11_0C8);
+    for _ in 0..256 {
+        let pa = rng.gen_range(0u64..(16u64 << 30));
         let scheme = [
             MapScheme::RoBaRaCoCh,
             MapScheme::RoRaBaChCo,
             MapScheme::ChRaBaRoCo,
-        ][scheme_idx];
+        ][rng.gen_range(0usize..3)];
         let m = AddrMapper::new(scheme, 4, &DramConfig::lpddr4_default());
         let a = m.decode(pa);
-        prop_assert!(a.channel < 4 && a.bank < 8 && a.row < 65_536 && a.col < 128);
-        prop_assert_eq!(m.encode(a), pa & !63);
+        assert!(a.channel < 4 && a.bank < 8 && a.row < 65_536 && a.col < 128);
+        assert_eq!(m.encode(a), pa & !63);
     }
+}
 
-    #[test]
-    fn distinct_lines_decode_distinctly(
-        line_a in 0u64..(1u64 << 28),
-        line_b in 0u64..(1u64 << 28),
-    ) {
-        prop_assume!(line_a != line_b);
-        let m = AddrMapper::new(MapScheme::RoBaRaCoCh, 4, &DramConfig::lpddr4_default());
+#[test]
+fn distinct_lines_decode_distinctly() {
+    let mut rng = StdRng::seed_from_u64(0xD15_71C7);
+    let m = AddrMapper::new(MapScheme::RoBaRaCoCh, 4, &DramConfig::lpddr4_default());
+    for _ in 0..256 {
+        let line_a = rng.gen_range(0u64..(1u64 << 28));
+        let line_b = rng.gen_range(0u64..(1u64 << 28));
+        if line_a == line_b {
+            continue;
+        }
         let a = m.decode(line_a * 64);
         let b = m.decode(line_b * 64);
         let key = |x: &Addr| (x.channel, x.rank, x.bank, x.row, x.col);
-        prop_assert_ne!(key(&a), key(&b));
+        assert_ne!(key(&a), key(&b));
     }
+}
 
-    #[test]
-    fn crow_table_invariants_under_random_ops(
-        ops in proptest::collection::vec((0u32..8, 0u32..64), 1..200),
-    ) {
+#[test]
+fn crow_table_invariants_under_random_ops() {
+    for case in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(0xC804 ^ case);
         let mut s = CrowSubstrate::new(CrowConfig::tiny_test());
         // Pin one ref entry; it must survive any cache churn.
         let mut weak = crow::core::retention::WeakRows::new();
         weak.add_weak_regular(0, 0, 63);
         s.install_ref_plan(&weak);
-        for (sa, row_in_sa) in ops {
-            let row = sa * 64 + row_in_sa;
+        let n_ops = rng.gen_range(1usize..200);
+        for _ in 0..n_ops {
+            let sa = rng.gen_range(0u32..8);
+            let row = sa * 64 + rng.gen_range(0u32..64);
             match s.decide(0, sa, row) {
                 crow::core::ActDecision::CopyInstall { copy } => {
                     s.commit_install(0, sa, row, copy);
@@ -72,22 +78,20 @@ proptest! {
                 _ => {}
             }
             // Capacity invariant.
-            prop_assert!(s.table().occupancy(0, sa) <= 2);
+            assert!(s.table().occupancy(0, sa) <= 2);
         }
         // The pinned CROW-ref entry is still present and still pinned.
         let (_, entry) = s.table().lookup(0, 0, 63).expect("pinned entry evicted");
-        prop_assert_eq!(entry.owner, Owner::Ref);
+        assert_eq!(entry.owner, Owner::Ref);
         // Hit counting never exceeds lookups.
-        prop_assert!(s.stats().cache_hits <= s.stats().cache_lookups);
+        assert!(s.stats().cache_hits <= s.stats().cache_lookups);
     }
+}
 
-    #[test]
-    fn controller_completes_arbitrary_streams_without_violations(
-        reqs in proptest::collection::vec(
-            (0u32..2, 0u32..512, 0u32..16, proptest::bool::ANY),
-            1..80,
-        ),
-    ) {
+#[test]
+fn controller_completes_arbitrary_streams_without_violations() {
+    for case in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(0x57_8EA4 ^ case.wrapping_mul(0x9e37));
         let dram = DramConfig::tiny_test();
         let crow = CrowSubstrate::new(CrowConfig::tiny_test());
         let mut mc = MemController::new(McConfig::paper_default(), dram, Some(crow));
@@ -95,14 +99,22 @@ proptest! {
         let mut out = Vec::new();
         let mut now = 0u64;
         let mut expected_reads = 0u64;
-        for (i, (bank, row, col, is_write)) in reqs.iter().enumerate() {
-            let kind = if *is_write { ReqKind::Write } else { ReqKind::Read };
-            if !*is_write {
+        let n_reqs = rng.gen_range(1usize..80);
+        for i in 0..n_reqs {
+            let bank = rng.gen_range(0u32..2);
+            let row = rng.gen_range(0u32..512);
+            let col = rng.gen_range(0u32..16);
+            let is_write = rng.gen_bool(0.5);
+            let kind = if is_write {
+                ReqKind::Write
+            } else {
+                ReqKind::Read
+            };
+            if !is_write {
                 expected_reads += 1;
             }
-            let req = MemRequest::new(i as u64, kind, 0, *bank, *row, *col, 0);
+            let mut r = MemRequest::new(i as u64, kind, 0, bank, row, col, 0);
             // Retry on backpressure.
-            let mut r = req;
             loop {
                 match mc.try_enqueue(r) {
                     Ok(()) => break,
@@ -110,7 +122,7 @@ proptest! {
                         r = back;
                         mc.tick(now, &mut out);
                         now += 1;
-                        prop_assert!(now < 3_000_000, "enqueue stuck");
+                        assert!(now < 3_000_000, "enqueue stuck");
                     }
                 }
             }
@@ -118,38 +130,40 @@ proptest! {
         while mc.pending() > 0 {
             mc.tick(now, &mut out);
             now += 1;
-            prop_assert!(now < 5_000_000, "drain stuck with {} pending", mc.pending());
+            assert!(now < 5_000_000, "drain stuck with {} pending", mc.pending());
         }
-        prop_assert_eq!(out.len() as u64, expected_reads);
+        assert_eq!(out.len() as u64, expected_reads);
         mc.channel().oracle().unwrap().assert_clean();
     }
+}
 
-    #[test]
-    fn weak_row_probability_is_monotone(
-        ber_exp in -12.0f64..-6.0,
-        cells_pow in 10u32..18,
-        n in 0u32..8,
-    ) {
+#[test]
+fn weak_row_probability_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(0x3EAC);
+    for _ in 0..128 {
+        let ber_exp = rng.gen_range(-12.0f64..-6.0);
+        let cells_pow = rng.gen_range(10u32..18);
+        let n = rng.gen_range(0u32..8);
         let ber = 10f64.powf(ber_exp);
         let cells = 1u64 << cells_pow;
         let p1 = weakrows::p_weak_row(ber, cells);
         let p2 = weakrows::p_weak_row(ber * 2.0, cells);
-        prop_assert!(p2 >= p1, "BER monotone");
+        assert!(p2 >= p1, "BER monotone");
         let p3 = weakrows::p_weak_row(ber, cells * 2);
-        prop_assert!(p3 >= p1, "cells monotone");
+        assert!(p3 >= p1, "cells monotone");
         let t1 = weakrows::p_subarray_exceeds(n, 512, p1);
         let t2 = weakrows::p_subarray_exceeds(n + 1, 512, p1);
-        prop_assert!(t2 <= t1, "tail monotone in n");
-        prop_assert!((0.0..=1.0).contains(&t1));
+        assert!(t2 <= t1, "tail monotone in n");
+        assert!((0.0..=1.0).contains(&t1));
         let chip = weakrows::p_chip_exceeds(n, 512, p1, 1024);
-        prop_assert!(chip >= t1 * 0.999, "union over subarrays grows");
+        assert!(chip >= t1 * 0.999, "union over subarrays grows");
     }
 }
 
 #[test]
 fn controller_stream_regression_seed() {
     // A fixed dense stream exercising conflicts + evictions, kept as a
-    // deterministic regression companion to the proptest above.
+    // deterministic regression companion to the randomized stream above.
     let dram = DramConfig::tiny_test();
     let crow = CrowSubstrate::new(CrowConfig::tiny_test());
     let mut mc = MemController::new(McConfig::paper_default(), dram, Some(crow));
