@@ -15,7 +15,7 @@
 use crow_cpu::trace::{load_trace, LoopedTrace};
 use crow_cpu::TraceSource;
 use crow_dram::Command;
-use crow_sim::{Mechanism, System, SystemConfig};
+use crow_sim::{FaultPlan, FaultPolicy, Mechanism, System, SystemConfig};
 use crow_workloads::AppProfile;
 
 struct Args {
@@ -32,6 +32,9 @@ struct Args {
     per_bank_refresh: bool,
     oracle: bool,
     ddr4: bool,
+    validate: bool,
+    faults: Option<String>,
+    fault_policy: FaultPolicy,
 }
 
 fn usage() -> ! {
@@ -40,13 +43,62 @@ fn usage() -> ! {
          \x20        [--insts N] [--warmup N] [--density 8|16|32|64]\n\
          \x20        [--llc-mib N] [--channels N] [--seed N]\n\
          \x20        [--prefetch] [--per-bank-refresh] [--oracle] [--ddr4]\n\
+         \x20        [--validate] [--faults SPEC] [--fault-policy P]\n\
          \n\
          mechanisms: baseline, crow-N (copy rows), crow-ref, crow-combined,\n\
          \x20           ideal, no-refresh, tldram-N, salp-N, salp-N-o\n\
          apps: see `crow_workloads::AppProfile` (mcf, libq, ... or\n\
-         \x20      random/streaming); --trace replays a recorded file instead"
+         \x20      random/streaming); --trace replays a recorded file instead\n\
+         \n\
+         --validate attaches the shadow protocol validator to every channel\n\
+         --faults SPEC enables fault injection: `stress` or a comma list of\n\
+         \x20    vrt=N, hammer=N, burst=N, drop=N (intervals in CPU cycles)\n\
+         --fault-policy P is abort, record (default) or degrade"
     );
     std::process::exit(2);
+}
+
+fn parse_fault_policy(s: &str) -> FaultPolicy {
+    match s.to_ascii_lowercase().as_str() {
+        "abort" => FaultPolicy::Abort,
+        "record" => FaultPolicy::Record,
+        "degrade" => FaultPolicy::Degrade,
+        other => {
+            eprintln!("unknown fault policy {other}");
+            usage();
+        }
+    }
+}
+
+fn parse_fault_plan(spec: &str, seed: u64, policy: FaultPolicy) -> FaultPlan {
+    let mut p = if spec.eq_ignore_ascii_case("stress") {
+        FaultPlan::stress(seed)
+    } else {
+        let mut p = FaultPlan::quiet(seed);
+        for part in spec.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                eprintln!("bad --faults item {part:?} (want key=value)");
+                usage();
+            };
+            let n: u64 = value.parse().unwrap_or_else(|_| {
+                eprintln!("bad --faults value in {part:?}");
+                usage();
+            });
+            match key {
+                "vrt" => p.vrt_interval = Some(n),
+                "hammer" => p.hammer_interval = Some(n),
+                "burst" => p.hammer_burst = n as u32,
+                "drop" => p.drop_interval = Some(n),
+                other => {
+                    eprintln!("unknown --faults key {other}");
+                    usage();
+                }
+            }
+        }
+        p
+    };
+    p.policy = policy;
+    p
 }
 
 fn parse_args() -> Args {
@@ -64,6 +116,9 @@ fn parse_args() -> Args {
         per_bank_refresh: false,
         oracle: false,
         ddr4: false,
+        validate: false,
+        faults: None,
+        fault_policy: FaultPolicy::Record,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -87,6 +142,9 @@ fn parse_args() -> Args {
             "--ddr4" => a.ddr4 = true,
             "--per-bank-refresh" => a.per_bank_refresh = true,
             "--oracle" => a.oracle = true,
+            "--validate" => a.validate = true,
+            "--faults" => a.faults = Some(val("--faults")),
+            "--fault-policy" => a.fault_policy = parse_fault_policy(&val("--fault-policy")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -154,9 +212,17 @@ fn main() {
     if args.prefetch {
         cfg = cfg.with_prefetcher();
     }
+    if args.validate {
+        cfg.validate_protocol = true;
+    }
+    if let Some(spec) = &args.faults {
+        cfg.fault_plan = Some(parse_fault_plan(spec, args.seed, args.fault_policy));
+    }
+    let validating = cfg.validate_protocol;
+    let injecting = cfg.fault_plan.is_some();
 
     let mut names = Vec::new();
-    let mut sys = if args.traces.is_empty() {
+    let built = if args.traces.is_empty() {
         let apps: Vec<&'static AppProfile> = args
             .apps
             .iter()
@@ -168,7 +234,7 @@ fn main() {
             })
             .collect();
         names = apps.iter().map(|a| a.name.to_string()).collect();
-        System::new(cfg, &apps)
+        System::try_new(cfg, &apps)
     } else {
         let traces: Vec<Box<dyn TraceSource>> = args
             .traces
@@ -179,20 +245,47 @@ fn main() {
                     std::process::exit(1);
                 });
                 names.push(p.clone());
-                Box::new(LoopedTrace::new(entries)) as Box<dyn TraceSource>
+                let t = LoopedTrace::try_new(entries).unwrap_or_else(|e| {
+                    eprintln!("cannot replay {p}: {e}");
+                    std::process::exit(1);
+                });
+                Box::new(t) as Box<dyn TraceSource>
             })
             .collect();
-        System::with_traces(cfg, traces)
+        System::try_with_traces(cfg, traces)
     };
+    let mut sys = built.unwrap_or_else(|e| {
+        eprintln!("simulate: {e}");
+        std::process::exit(1);
+    });
 
     if args.warmup > 0 {
         sys.warm(args.warmup);
     }
     let start = std::time::Instant::now();
-    let r = sys.run(u64::MAX);
+    let r = sys.run_checked(u64::MAX).unwrap_or_else(|e| {
+        eprintln!("simulate: {e}");
+        std::process::exit(1);
+    });
     if args.oracle {
         sys.assert_data_integrity();
         println!("data-integrity oracle: clean");
+    }
+    if validating {
+        println!("shadow protocol validator: {} violation(s)", r.violations);
+    }
+    if injecting {
+        let f = &r.faults;
+        println!(
+            "faults injected: vrt {} | hammer {} ({} victims) | drops {} | suppressed {}",
+            f.vrt_injected, f.hammer_injected, f.hammer_victims, f.drops_injected, f.suppressed
+        );
+    }
+    if r.trace_faults > 0 {
+        println!(
+            "trace faults: {} core(s) parked on a dry trace",
+            r.trace_faults
+        );
     }
 
     println!(

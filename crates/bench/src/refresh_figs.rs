@@ -147,6 +147,9 @@ mod tests {
             crow: Default::default(),
             energy: Default::default(),
             finished: true,
+            violations: 0,
+            trace_faults: 0,
+            faults: Default::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use crate::trace::{TraceEntry, TraceSource};
+use crate::trace::{TraceError, TraceSource};
 
 /// A point in time in CPU clock cycles.
 pub type CpuCycle = u64;
@@ -37,6 +37,9 @@ pub struct Core {
     retired: u64,
     target: u64,
     finish_cycle: Option<CpuCycle>,
+    /// Set when the trace ran dry; the core is then *parked* (counts as
+    /// finished so the simulation can terminate gracefully).
+    trace_fault: Option<TraceError>,
     /// Demand LLC load misses (for MPKI reporting).
     pub(crate) demand_misses: u64,
 }
@@ -64,6 +67,7 @@ impl Core {
             retired: 0,
             target,
             finish_cycle: None,
+            trace_fault: None,
             demand_misses: 0,
         }
     }
@@ -78,9 +82,16 @@ impl Core {
         self.finish_cycle
     }
 
-    /// Whether the instruction target has been reached.
+    /// Whether the core is done: either the instruction target was
+    /// reached, or the trace ran dry and the core parked itself (see
+    /// [`Core::trace_fault`]).
     pub fn finished(&self) -> bool {
-        self.finish_cycle.is_some()
+        self.finish_cycle.is_some() || self.trace_fault.is_some()
+    }
+
+    /// The trace fault that parked this core, if any.
+    pub fn trace_fault(&self) -> Option<TraceError> {
+        self.trace_fault
     }
 
     /// IPC over the measured window (0 until finished if asked early).
@@ -122,11 +133,25 @@ impl Core {
     }
 
     /// Pulls trace records until a dispatchable instruction is pending.
+    /// If the trace runs dry the core records the fault and parks itself
+    /// (no pending work, [`Core::finished`] turns true) instead of
+    /// panicking mid-simulation; callers must check
+    /// [`Core::trace_fault`] before dispatching.
     pub fn refill_pending(&mut self) {
         while self.pending_bubbles == 0 && self.pending_access.is_none() {
-            let e: TraceEntry = self.trace.next_entry();
-            self.pending_bubbles = e.bubbles;
-            self.pending_access = e.access;
+            if self.trace_fault.is_some() {
+                return;
+            }
+            match self.trace.try_next_entry() {
+                Ok(e) => {
+                    self.pending_bubbles = e.bubbles;
+                    self.pending_access = e.access;
+                }
+                Err(e) => {
+                    self.trace_fault = Some(e);
+                    return;
+                }
+            }
         }
     }
 
@@ -198,6 +223,11 @@ impl Core {
     /// Returns 0 if the next cycle must run normally; `u64::MAX` means
     /// inert until an external completion arrives.
     pub fn inert_cycles(&self, now: CpuCycle) -> u64 {
+        if self.trace_fault.is_some() && self.window.is_empty() {
+            // Parked with a drained window: no retire, no dispatch, no
+            // refill can ever happen again — inert indefinitely.
+            return u64::MAX;
+        }
         if self.is_mechanical(now) {
             let n = u64::from(self.ipc);
             let mut k = u64::from(self.pending_bubbles) / n;
@@ -342,6 +372,37 @@ mod tests {
         let ipc = c.ipc_value();
         assert!(ipc > 0.0);
         assert_eq!(c.retired(), 8);
+    }
+
+    #[test]
+    fn exhausted_trace_parks_core_instead_of_panicking() {
+        use crate::trace::IterTrace;
+        let entries = vec![TraceEntry::bubbles(2), TraceEntry::load(0, 0x40)];
+        let src = IterTrace::try_new(entries.into_iter()).unwrap();
+        let mut c = Core::new(Box::new(src), 4, 8, 1000);
+        // Drain the two records.
+        for now in 0..4 {
+            c.refill_pending();
+            if c.trace_fault().is_some() {
+                break;
+            }
+            if c.pending_access().is_some() {
+                c.dispatch_ready(now);
+            } else {
+                c.dispatch_bubble(now);
+            }
+        }
+        c.refill_pending(); // trace is dry now
+        assert_eq!(c.trace_fault(), Some(TraceError::Exhausted { after: 2 }));
+        assert!(c.finished(), "parked core counts as finished");
+        assert!(c.pending_access().is_none());
+        // Parking is stable: further refills stay parked.
+        c.refill_pending();
+        assert_eq!(c.trace_fault(), Some(TraceError::Exhausted { after: 2 }));
+        // Retire what dispatched; the window drains and the core goes
+        // permanently inert.
+        c.retire(10);
+        assert_eq!(c.inert_cycles(11), u64::MAX);
     }
 
     #[test]

@@ -37,4 +37,4 @@ pub use config::CpuConfig;
 pub use core::Core;
 pub use page::PageTable;
 pub use prefetch::StridePrefetcher;
-pub use trace::{MemAccess, TraceEntry, TraceSource};
+pub use trace::{IterTrace, MemAccess, TraceEntry, TraceError, TraceSource};

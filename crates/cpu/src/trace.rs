@@ -57,12 +57,55 @@ impl TraceEntry {
     }
 }
 
+/// Why a trace could not supply the next record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The trace held no records at all.
+    Empty,
+    /// A supposedly endless trace ran dry after yielding `after` records.
+    Exhausted {
+        /// Records yielded before the source ran dry.
+        after: u64,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Empty => write!(f, "trace is empty"),
+            TraceError::Exhausted { after } => {
+                write!(f, "trace exhausted after {after} records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// An endless instruction stream. Finite workloads wrap around
 /// (simulations run until an instruction target, so generators must not
 /// run dry — see [`LoopedTrace`]).
 pub trait TraceSource: Send {
     /// Produces the next trace record.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the source runs dry; fallible sources should
+    /// override [`TraceSource::try_next_entry`] so consumers can park
+    /// instead of crashing.
     fn next_entry(&mut self) -> TraceEntry;
+
+    /// Fallible variant of [`TraceSource::next_entry`]. Endless sources
+    /// keep the default (never errs); finite adapters such as
+    /// [`IterTrace`] report [`TraceError::Exhausted`] instead of
+    /// panicking mid-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the source cannot produce a record.
+    fn try_next_entry(&mut self) -> Result<TraceEntry, TraceError> {
+        Ok(self.next_entry())
+    }
 }
 
 /// Replays a finite recording forever.
@@ -79,8 +122,22 @@ impl LoopedTrace {
     ///
     /// Panics if `entries` is empty.
     pub fn new(entries: Vec<TraceEntry>) -> Self {
-        assert!(!entries.is_empty(), "trace must be non-empty");
-        Self { entries, pos: 0 }
+        match Self::try_new(entries) {
+            Ok(t) => t,
+            Err(e) => panic!("trace must be non-empty: {e}"),
+        }
+    }
+
+    /// Wraps a recording, rejecting an empty one with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] if `entries` is empty.
+    pub fn try_new(entries: Vec<TraceEntry>) -> Result<Self, TraceError> {
+        if entries.is_empty() {
+            return Err(TraceError::Empty);
+        }
+        Ok(Self { entries, pos: 0 })
     }
 }
 
@@ -92,12 +149,64 @@ impl TraceSource for LoopedTrace {
     }
 }
 
-/// Adapts any infinite iterator into a [`TraceSource`].
-pub struct IterTrace<I>(pub I);
+/// Adapts an iterator into a [`TraceSource`]. Endlessness is probed at
+/// construction (the first record is fetched eagerly), and a generator
+/// that later runs dry surfaces [`TraceError::Exhausted`] through
+/// [`TraceSource::try_next_entry`] rather than panicking deep inside the
+/// simulation loop.
+#[derive(Debug, Clone)]
+pub struct IterTrace<I> {
+    iter: I,
+    /// The record fetched one step ahead; `None` once the iterator dried
+    /// up (the *previous* record was the last valid one).
+    lookahead: Option<TraceEntry>,
+    yielded: u64,
+}
+
+impl<I: Iterator<Item = TraceEntry>> IterTrace<I> {
+    /// Wraps an iterator, fetching the first record to prove the trace
+    /// is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Empty`] if the iterator yields nothing.
+    pub fn try_new(mut iter: I) -> Result<Self, TraceError> {
+        let first = iter.next().ok_or(TraceError::Empty)?;
+        Ok(Self {
+            iter,
+            lookahead: Some(first),
+            yielded: 0,
+        })
+    }
+
+    /// Wraps an iterator the caller asserts is non-empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator yields nothing.
+    pub fn new(iter: I) -> Self {
+        match Self::try_new(iter) {
+            Ok(t) => t,
+            Err(e) => panic!("trace iterators must be endless: {e}"),
+        }
+    }
+}
 
 impl<I: Iterator<Item = TraceEntry> + Send> TraceSource for IterTrace<I> {
     fn next_entry(&mut self) -> TraceEntry {
-        self.0.next().expect("trace iterators must be endless")
+        match self.try_next_entry() {
+            Ok(e) => e,
+            Err(e) => panic!("trace iterators must be endless: {e}"),
+        }
+    }
+
+    fn try_next_entry(&mut self) -> Result<TraceEntry, TraceError> {
+        let e = self.lookahead.take().ok_or(TraceError::Exhausted {
+            after: self.yielded,
+        })?;
+        self.yielded += 1;
+        self.lookahead = self.iter.next();
+        Ok(e)
     }
 }
 
@@ -124,6 +233,56 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_trace_rejected() {
         let _ = LoopedTrace::new(vec![]);
+    }
+
+    #[test]
+    fn empty_trace_typed_error() {
+        assert_eq!(LoopedTrace::try_new(vec![]).unwrap_err(), TraceError::Empty);
+        assert!(LoopedTrace::try_new(vec![TraceEntry::bubbles(1)]).is_ok());
+    }
+
+    #[test]
+    fn iter_trace_rejects_empty_at_construction() {
+        assert_eq!(
+            IterTrace::try_new(std::iter::empty::<TraceEntry>()).unwrap_err(),
+            TraceError::Empty
+        );
+    }
+
+    #[test]
+    fn iter_trace_reports_exhaustion_instead_of_panicking() {
+        let entries = vec![TraceEntry::bubbles(1), TraceEntry::load(0, 64)];
+        let mut t = IterTrace::try_new(entries.into_iter()).unwrap();
+        assert_eq!(t.try_next_entry(), Ok(TraceEntry::bubbles(1)));
+        assert_eq!(t.try_next_entry(), Ok(TraceEntry::load(0, 64)));
+        assert_eq!(t.try_next_entry(), Err(TraceError::Exhausted { after: 2 }));
+        // The error is sticky: the count does not keep advancing.
+        assert_eq!(t.try_next_entry(), Err(TraceError::Exhausted { after: 2 }));
+    }
+
+    #[test]
+    fn iter_trace_endless_never_errs() {
+        let mut t = IterTrace::new((0..).map(|i| TraceEntry::load(1, i * 64)));
+        for i in 0..100u64 {
+            assert_eq!(t.next_entry(), TraceEntry::load(1, i * 64));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "endless")]
+    fn iter_trace_legacy_path_panics_on_dry_iterator() {
+        let mut t = IterTrace::new(vec![TraceEntry::bubbles(1)].into_iter());
+        let _ = t.next_entry();
+        let _ = t.next_entry();
+    }
+
+    #[test]
+    fn trace_error_display() {
+        assert_eq!(TraceError::Empty.to_string(), "trace is empty");
+        assert_eq!(
+            TraceError::Exhausted { after: 7 }.to_string(),
+            "trace exhausted after 7 records"
+        );
     }
 }
 

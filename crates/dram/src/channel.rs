@@ -8,10 +8,11 @@ use std::collections::VecDeque;
 use crate::bank::{Activation, BankState, OpenRow, RestoreState};
 use crate::command::{ActKind, CmdDesc, Command, RowAddr};
 use crate::config::DramConfig;
-use crate::error::IssueError;
+use crate::error::{ConfigError, IssueError};
 use crate::oracle::DataOracle;
 use crate::stats::ChannelStats;
 use crate::timing::scale_cycles;
+use crate::validator::ShadowValidator;
 use crate::Cycle;
 
 /// Rank-level timing state.
@@ -110,6 +111,9 @@ pub struct DramChannel {
     cmd_bus_free: Cycle,
     stats: ChannelStats,
     oracle: Option<DataOracle>,
+    /// Optional shadow protocol validator cross-checking every issued
+    /// command against an independent state machine.
+    validator: Option<Box<ShadowValidator>>,
     /// Monotonic count of issued commands; bumping it invalidates every
     /// [`ReadyMemo`] at once.
     issue_stamp: u64,
@@ -124,26 +128,40 @@ impl DramChannel {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`DramConfig::validate`].
+    /// Panics if `cfg` fails [`DramConfig::validate`]; use
+    /// [`DramChannel::try_new`] to handle the failure instead.
     pub fn new(cfg: DramConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid DramConfig: {e}");
+        match Self::try_new(cfg) {
+            Ok(ch) => ch,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Creates a channel in the all-banks-closed state, validating the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] if `cfg` fails [`DramConfig::validate`].
+    pub fn try_new(cfg: DramConfig) -> Result<Self, ConfigError> {
+        cfg.validate()
+            .map_err(|reason| ConfigError::new("DramConfig", reason))?;
         let ranks = (0..cfg.ranks)
             .map(|_| RankState::new(cfg.banks, cfg.subarrays_per_bank(), cfg.bank_groups))
             .collect();
         let ready_cache = (0..cfg.ranks * cfg.banks)
             .map(|_| Cell::new(None))
             .collect();
-        Self {
+        Ok(Self {
             cfg,
             ranks,
             cmd_bus_free: 0,
             stats: ChannelStats::new(),
             oracle: None,
+            validator: None,
             issue_stamp: 0,
             ready_cache,
-        }
+        })
     }
 
     /// Attaches a functional data-integrity oracle; every subsequent
@@ -155,6 +173,24 @@ impl DramChannel {
     /// The attached oracle, if any.
     pub fn oracle(&self) -> Option<&DataOracle> {
         self.oracle.as_ref()
+    }
+
+    /// Attaches a shadow protocol validator; every subsequent command is
+    /// cross-checked against an independent state machine and violations
+    /// are recorded (never asserted).
+    pub fn attach_validator(&mut self) {
+        self.validator = Some(Box::new(ShadowValidator::new(&self.cfg)));
+    }
+
+    /// The attached shadow validator, if any.
+    pub fn validator(&self) -> Option<&ShadowValidator> {
+        self.validator.as_deref()
+    }
+
+    /// Mutable access to the attached shadow validator (e.g. to enable
+    /// the refresh-gap check or run end-of-stream checks).
+    pub fn validator_mut(&mut self) -> Option<&mut ShadowValidator> {
+        self.validator.as_deref_mut()
     }
 
     /// The channel configuration.
@@ -308,6 +344,9 @@ impl DramChannel {
     /// In debug builds, panics if the command is not legal at `now`
     /// (schedulers must call [`DramChannel::check`] first).
     pub fn issue(&mut self, d: &CmdDesc, now: Cycle) -> IssueFx {
+        if let Some(v) = self.validator.as_deref_mut() {
+            v.observe(d, now);
+        }
         debug_assert!(
             self.check(d, now).is_ok(),
             "illegal issue of {:?} at {now}: {:?}",

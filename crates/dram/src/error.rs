@@ -34,6 +34,35 @@ impl std::fmt::Display for IssueError {
 
 impl std::error::Error for IssueError {}
 
+/// A configuration failed validation. `what` names the config type so
+/// the message reads the same as the old construction panics
+/// (`invalid DramConfig: ...`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The configuration type that was rejected (e.g. `"DramConfig"`).
+    pub what: &'static str,
+    /// Human-readable description of the first violated invariant.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for configuration type `what`.
+    pub fn new(what: &'static str, reason: impl Into<String>) -> Self {
+        Self {
+            what,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {}", self.what, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -44,5 +73,14 @@ mod tests {
         assert!(e.to_string().contains("42"));
         let e = IssueError::WrongState("row not open");
         assert!(e.to_string().contains("row not open"));
+    }
+
+    #[test]
+    fn config_error_matches_legacy_panic_message() {
+        let e = ConfigError::new("DramConfig", "banks must be a nonzero power of two, got 6");
+        assert_eq!(
+            e.to_string(),
+            "invalid DramConfig: banks must be a nonzero power of two, got 6"
+        );
     }
 }

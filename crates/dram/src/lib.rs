@@ -56,16 +56,18 @@ pub mod error;
 pub mod oracle;
 pub mod stats;
 pub mod timing;
+pub mod validator;
 
 pub use addr::{Addr, AddrMapper, MapScheme, PhysAddr};
 pub use bank::{Activation, BankState, OpenRow, RestoreState, SubarrayState};
 pub use channel::DramChannel;
 pub use command::{ActKind, CmdDesc, Command, RowAddr};
 pub use config::DramConfig;
-pub use error::IssueError;
+pub use error::{ConfigError, IssueError};
 pub use oracle::DataOracle;
 pub use stats::ChannelStats;
 pub use timing::{ActTimingMod, MraTimings, SpeedBin, Timings};
+pub use validator::{ProtocolViolation, ShadowValidator, TimingRule, ViolationKind};
 
 /// A point in time, measured in memory-controller (DRAM bus) clock cycles.
 pub type Cycle = u64;

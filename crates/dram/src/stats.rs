@@ -35,6 +35,11 @@ impl ChannelStats {
         self.issued(Command::Rd) + self.issued(Command::Wr)
     }
 
+    /// Total commands issued, of any kind.
+    pub fn issued_total(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+
     /// Merges another counter set into this one.
     pub fn merge(&mut self, other: &ChannelStats) {
         for i in 0..self.issued.len() {

@@ -1,0 +1,969 @@
+//! Shadow protocol validator: an independent re-implementation of the
+//! LPDDR4/CROW command-legality rules that observes an issued command
+//! stream and reports violations as structured records.
+//!
+//! The validator deliberately shares **no state** with [`DramChannel`]
+//! (crate::channel::DramChannel): it re-derives every deadline from the
+//! raw command timestamps using its own copy of the configuration, so a
+//! bookkeeping bug in the engine cannot hide from it. Unlike the engine,
+//! which refuses illegal commands (`debug_assert!` in `issue`), the
+//! validator *records* [`ProtocolViolation`]s and keeps tracking state,
+//! so a long fuzz or fault-injection run yields a full violation report
+//! instead of dying on the first offence.
+//!
+//! Each shadow deadline carries the [`TimingRule`] that established it,
+//! so a violation names the specific JEDEC constraint that was broken
+//! and the earliest cycle at which the command would have been legal.
+
+use std::collections::VecDeque;
+
+use crate::command::{ActKind, CmdDesc, Command, RowAddr};
+use crate::config::DramConfig;
+use crate::timing::scale_cycles;
+use crate::Cycle;
+
+/// The maximum number of violation records retained in full; beyond
+/// this only the counters grow (a pathological run would otherwise
+/// accumulate unbounded diagnostics).
+pub const MAX_STORED_VIOLATIONS: usize = 32;
+
+/// The specific timing constraint a deadline (and hence a violation)
+/// derives from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingRule {
+    /// Command-bus occupancy (one cycle, plus the extra copy-row address
+    /// cycle for `ACT-c`/`ACT-t`).
+    CmdBus,
+    /// Activate-to-column delay.
+    Trcd,
+    /// Minimum row-open time before `PRE` (early-termination point for
+    /// MRA activations).
+    TrasEarly,
+    /// Precharge-to-activate delay.
+    Trp,
+    /// Write recovery before `PRE`.
+    Twr,
+    /// Read-to-precharge delay.
+    Trtp,
+    /// Column-to-column spacing (any bank group).
+    Tccd,
+    /// Column-to-column spacing within a bank group.
+    TccdL,
+    /// Activate-to-activate spacing (any bank group).
+    Trrd,
+    /// Activate-to-activate spacing within a bank group.
+    TrrdL,
+    /// Four-activate window.
+    Tfaw,
+    /// Write-to-read turnaround.
+    Twtr,
+    /// Read-to-write data-bus turnaround.
+    ReadToWrite,
+    /// All-bank refresh cycle time.
+    Trfc,
+    /// Per-bank refresh cycle time.
+    TrfcPb,
+    /// Per-bank refresh to per-bank refresh spacing.
+    Tpbr2pbr,
+    /// Maximum allowed gap between refreshes of a rank (configured via
+    /// [`ShadowValidator::set_max_ref_gap`]; disabled by default).
+    RefInterval,
+}
+
+impl std::fmt::Display for TimingRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TimingRule::CmdBus => "command bus",
+            TimingRule::Trcd => "tRCD",
+            TimingRule::TrasEarly => "tRAS",
+            TimingRule::Trp => "tRP",
+            TimingRule::Twr => "tWR",
+            TimingRule::Trtp => "tRTP",
+            TimingRule::Tccd => "tCCD",
+            TimingRule::TccdL => "tCCD_L",
+            TimingRule::Trrd => "tRRD",
+            TimingRule::TrrdL => "tRRD_L",
+            TimingRule::Tfaw => "tFAW",
+            TimingRule::Twtr => "tWTR",
+            TimingRule::ReadToWrite => "read-to-write turnaround",
+            TimingRule::Trfc => "tRFC",
+            TimingRule::TrfcPb => "tRFCpb",
+            TimingRule::Tpbr2pbr => "tpbR2pbR",
+            TimingRule::RefInterval => "refresh interval",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What went wrong with one observed command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A timing constraint was broken: the command issued before
+    /// `earliest_legal`, and `rule` is the binding constraint.
+    Timing {
+        /// The constraint that set the violated deadline.
+        rule: TimingRule,
+        /// First cycle at which the command would have been legal
+        /// (for [`TimingRule::RefInterval`]: the missed deadline).
+        earliest_legal: Cycle,
+    },
+    /// The command does not fit the open/closed state of the device
+    /// (e.g. `ACT` on an open bank, `RD` on a closed one).
+    State(&'static str),
+    /// The command addresses outside the configured geometry.
+    Address(&'static str),
+}
+
+/// One protocol violation observed in the command stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolViolation {
+    /// Cycle at which the offending command issued.
+    pub cycle: Cycle,
+    /// The command kind.
+    pub cmd: Command,
+    /// Target rank.
+    pub rank: u32,
+    /// Target bank.
+    pub bank: u32,
+    /// What was violated.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cycle {}: {} rank {} bank {}: ",
+            self.cycle, self.cmd, self.rank, self.bank
+        )?;
+        match self.kind {
+            ViolationKind::Timing {
+                rule,
+                earliest_legal,
+            } => write!(f, "{rule} violated (earliest legal cycle {earliest_legal})"),
+            ViolationKind::State(s) => write!(f, "illegal state: {s}"),
+            ViolationKind::Address(s) => write!(f, "bad address: {s}"),
+        }
+    }
+}
+
+/// A deadline together with the rule that established it, so violations
+/// can name the binding constraint.
+#[derive(Debug, Clone, Copy)]
+struct Deadline {
+    at: Cycle,
+    rule: TimingRule,
+}
+
+impl Deadline {
+    fn new(rule: TimingRule) -> Self {
+        Self { at: 0, rule }
+    }
+
+    /// Raises the deadline to `at` if later, adopting `rule`.
+    fn raise(&mut self, at: Cycle, rule: TimingRule) {
+        if at > self.at {
+            self.at = at;
+            self.rule = rule;
+        }
+    }
+}
+
+/// Tracks the latest (deadline, rule) pair seen while folding the
+/// constraints that apply to one command.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    at: Cycle,
+    rule: TimingRule,
+}
+
+impl Binding {
+    fn start() -> Self {
+        Self {
+            at: 0,
+            rule: TimingRule::CmdBus,
+        }
+    }
+
+    fn fold(&mut self, d: Deadline) {
+        if d.at > self.at {
+            self.at = d.at;
+            self.rule = d.rule;
+        }
+    }
+
+    fn fold_at(&mut self, at: Cycle, rule: TimingRule) {
+        if at > self.at {
+            self.at = at;
+            self.rule = rule;
+        }
+    }
+}
+
+/// Shadow of one activation (an open local row buffer).
+#[derive(Debug, Clone, Copy)]
+struct ShadowAct {
+    /// Whether the activation opened a (regular, copy) pair — write
+    /// recovery is longer when two rows must be restored.
+    pair: bool,
+    ready_rd: Deadline,
+    ready_wr: Deadline,
+    min_pre: Deadline,
+}
+
+/// Shadow of one subarray.
+#[derive(Debug, Clone)]
+struct ShadowSub {
+    open: Option<ShadowAct>,
+    next_act: Deadline,
+}
+
+/// Shadow of one bank.
+#[derive(Debug, Clone)]
+struct ShadowBank {
+    subs: Vec<ShadowSub>,
+    next_act: Deadline,
+}
+
+impl ShadowBank {
+    fn any_open(&self) -> bool {
+        self.subs.iter().any(|s| s.open.is_some())
+    }
+
+    /// The single open subarray of a commodity-mode bank, if any.
+    fn open_subarray(&self) -> Option<u32> {
+        self.subs
+            .iter()
+            .position(|s| s.open.is_some())
+            .map(|i| i as u32)
+    }
+}
+
+/// Shadow of one rank.
+#[derive(Debug, Clone)]
+struct ShadowRank {
+    banks: Vec<ShadowBank>,
+    next_act: Deadline,
+    next_act_group: Vec<Deadline>,
+    next_rd: Deadline,
+    next_rd_group: Vec<Deadline>,
+    next_wr: Deadline,
+    next_wr_group: Vec<Deadline>,
+    faw: VecDeque<Cycle>,
+    ref_ready: Deadline,
+    next_refpb: Deadline,
+    /// Cycle of the last observed refresh (any kind), for the optional
+    /// maximum-refresh-gap check.
+    last_ref: Cycle,
+}
+
+impl ShadowRank {
+    fn new(banks: u32, subarrays: u32, groups: u32) -> Self {
+        let sub = ShadowSub {
+            open: None,
+            next_act: Deadline::new(TimingRule::Trp),
+        };
+        Self {
+            banks: (0..banks)
+                .map(|_| ShadowBank {
+                    subs: vec![sub.clone(); subarrays as usize],
+                    next_act: Deadline::new(TimingRule::Trp),
+                })
+                .collect(),
+            next_act: Deadline::new(TimingRule::Trrd),
+            next_act_group: vec![Deadline::new(TimingRule::TrrdL); groups as usize],
+            next_rd: Deadline::new(TimingRule::Tccd),
+            next_rd_group: vec![Deadline::new(TimingRule::TccdL); groups as usize],
+            next_wr: Deadline::new(TimingRule::Tccd),
+            next_wr_group: vec![Deadline::new(TimingRule::TccdL); groups as usize],
+            faw: VecDeque::with_capacity(4),
+            ref_ready: Deadline::new(TimingRule::Trp),
+            next_refpb: Deadline::new(TimingRule::Tpbr2pbr),
+            last_ref: 0,
+        }
+    }
+}
+
+/// An independent per-rank/bank protocol state machine that observes
+/// issued commands and records violations instead of asserting.
+///
+/// Attach one to a channel with `DramChannel::attach_validator`, or
+/// drive it standalone via [`ShadowValidator::observe`] to cross-check
+/// an externally recorded command stream (that is how the mutation
+/// tests prove a loosened constraint is caught).
+#[derive(Debug, Clone)]
+pub struct ShadowValidator {
+    cfg: DramConfig,
+    ranks: Vec<ShadowRank>,
+    cmd_bus_free: Deadline,
+    violations: Vec<ProtocolViolation>,
+    total: u64,
+    observed: u64,
+    /// Maximum allowed gap between refreshes of a rank; `None` disables
+    /// the check (the effective interval is controller policy, so the
+    /// bound must come from above).
+    max_ref_gap: Option<Cycle>,
+}
+
+impl ShadowValidator {
+    /// Creates a validator for the given geometry, all banks closed.
+    pub fn new(cfg: &DramConfig) -> Self {
+        let ranks = (0..cfg.ranks)
+            .map(|_| ShadowRank::new(cfg.banks, cfg.subarrays_per_bank(), cfg.bank_groups))
+            .collect();
+        Self {
+            cfg: cfg.clone(),
+            ranks,
+            cmd_bus_free: Deadline::new(TimingRule::CmdBus),
+            violations: Vec::new(),
+            total: 0,
+            observed: 0,
+            max_ref_gap: None,
+        }
+    }
+
+    /// Enables the maximum-refresh-gap check: any rank going longer than
+    /// `gap` cycles without a `REF`/`REFpb` is reported as a
+    /// [`TimingRule::RefInterval`] violation.
+    pub fn set_max_ref_gap(&mut self, gap: Cycle) {
+        self.max_ref_gap = Some(gap);
+    }
+
+    /// Number of commands observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Total violations detected (including ones beyond the storage cap).
+    pub fn total_violations(&self) -> u64 {
+        self.total
+    }
+
+    /// The stored violation records (first [`MAX_STORED_VIOLATIONS`]).
+    pub fn violations(&self) -> &[ProtocolViolation] {
+        &self.violations
+    }
+
+    /// Whether no violation has been detected.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Panics with a formatted report if any violation was detected
+    /// (test helper).
+    ///
+    /// # Panics
+    ///
+    /// If [`ShadowValidator::is_clean`] is `false`.
+    pub fn assert_clean(&self) {
+        if !self.is_clean() {
+            let mut msg = format!(
+                "shadow validator detected {} protocol violation(s) in {} commands:",
+                self.total, self.observed
+            );
+            for v in &self.violations {
+                msg.push_str("\n  ");
+                msg.push_str(&v.to_string());
+            }
+            panic!("{msg}");
+        }
+    }
+
+    fn record(&mut self, cycle: Cycle, d: &CmdDesc, kind: ViolationKind) {
+        self.total += 1;
+        if self.violations.len() < MAX_STORED_VIOLATIONS {
+            self.violations.push(ProtocolViolation {
+                cycle,
+                cmd: d.cmd,
+                rank: d.rank,
+                bank: d.bank,
+                kind,
+            });
+        }
+    }
+
+    /// Runs end-of-stream checks (currently: the refresh-gap bound up to
+    /// `now` for every rank). Call once after the final command.
+    pub fn finish(&mut self, now: Cycle) {
+        let Some(gap) = self.max_ref_gap else {
+            return;
+        };
+        for r in 0..self.ranks.len() {
+            let last = self.ranks[r].last_ref;
+            if now.saturating_sub(last) > gap {
+                let d = CmdDesc::refresh(r as u32);
+                self.record(
+                    now,
+                    &d,
+                    ViolationKind::Timing {
+                        rule: TimingRule::RefInterval,
+                        earliest_legal: last + gap,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Observes one issued command, checking address, state, and timing
+    /// legality, then updates the shadow state.
+    ///
+    /// Timing violations are recorded but the command's state effects are
+    /// still applied, so subsequent checks remain meaningful. State and
+    /// address violations skip the state update (there is no coherent
+    /// effect to apply).
+    pub fn observe(&mut self, d: &CmdDesc, now: Cycle) {
+        self.observed += 1;
+        if let Err(reason) = self.validate_addr(d) {
+            self.record(now, d, ViolationKind::Address(reason));
+            return;
+        }
+        match d.cmd {
+            Command::Act | Command::ActC | Command::ActT => self.observe_act(d, now),
+            Command::Rd => self.observe_rd(d, now),
+            Command::Wr => self.observe_wr(d, now),
+            Command::Pre => self.observe_pre(d, now),
+            Command::Ref => self.observe_ref(d, now),
+            Command::RefPb => self.observe_refpb(d, now),
+        }
+    }
+
+    fn check_binding(&mut self, d: &CmdDesc, now: Cycle, binding: Binding) {
+        if binding.at > now {
+            self.record(
+                now,
+                d,
+                ViolationKind::Timing {
+                    rule: binding.rule,
+                    earliest_legal: binding.at,
+                },
+            );
+        }
+    }
+
+    /// Occupies the command bus: one cycle, plus the extra copy-row
+    /// address transfer for the MRA activations.
+    fn occupy_bus(&mut self, d: &CmdDesc, now: Cycle) {
+        let extra = if matches!(d.cmd, Command::ActC | Command::ActT) {
+            u64::from(self.cfg.mra_extra_cmd_cycles)
+        } else {
+            0
+        };
+        self.cmd_bus_free.raise(now + 1 + extra, TimingRule::CmdBus);
+    }
+
+    fn observe_act(&mut self, d: &CmdDesc, now: Cycle) {
+        let Some(kind) = d.act else {
+            self.record(now, d, ViolationKind::State("activate without ActKind"));
+            return;
+        };
+        let sa = kind.subarray(self.cfg.rows_per_subarray) as usize;
+        let salp = self.cfg.subarray_parallelism;
+        let group = self.cfg.bank_group_of(d.bank) as usize;
+        {
+            let bank = &self.ranks[d.rank as usize].banks[d.bank as usize];
+            if bank.subs[sa].open.is_some() {
+                self.record(now, d, ViolationKind::State("subarray already open"));
+                return;
+            }
+            if !salp && bank.any_open() {
+                self.record(now, d, ViolationKind::State("bank already has an open row"));
+                return;
+            }
+        }
+        let t = self.cfg.timings;
+        let rank = &self.ranks[d.rank as usize];
+        let bank = &rank.banks[d.bank as usize];
+        let mut b = Binding::start();
+        b.fold(self.cmd_bus_free);
+        b.fold(bank.subs[sa].next_act);
+        b.fold(rank.next_act);
+        b.fold(rank.next_act_group[group]);
+        if !salp {
+            b.fold(bank.next_act);
+        }
+        if rank.faw.len() == 4 {
+            b.fold_at(rank.faw[0] + u64::from(t.tfaw), TimingRule::Tfaw);
+        }
+        self.check_binding(d, now, b);
+
+        // Apply state effects (even when the ACT was too early: the row
+        // *is* open now, and later commands must be checked against it).
+        let mut tmod = match kind {
+            ActKind::Single(_) => crate::timing::ActTimingMod::identity(),
+            ActKind::Copy { .. } => self.cfg.mra.act_c,
+            ActKind::Twin { fully_restored, .. } => {
+                if fully_restored {
+                    self.cfg.mra.act_t_full
+                } else {
+                    self.cfg.mra.act_t_partial
+                }
+            }
+        };
+        if let Some(m) = d.act_mod {
+            tmod = m;
+        }
+        let trcd_eff = u64::from(scale_cycles(t.trcd, tmod.trcd));
+        let tras_early = u64::from(scale_cycles(t.tras, tmod.tras_early));
+        let act = ShadowAct {
+            pair: !matches!(kind, ActKind::Single(_)),
+            ready_rd: Deadline {
+                at: now + trcd_eff,
+                rule: TimingRule::Trcd,
+            },
+            ready_wr: Deadline {
+                at: now + trcd_eff,
+                rule: TimingRule::Trcd,
+            },
+            min_pre: Deadline {
+                at: now + tras_early,
+                rule: TimingRule::TrasEarly,
+            },
+        };
+        self.occupy_bus(d, now);
+        let rank = &mut self.ranks[d.rank as usize];
+        rank.banks[d.bank as usize].subs[sa].open = Some(act);
+        rank.next_act
+            .raise(now + u64::from(t.trrd), TimingRule::Trrd);
+        rank.next_act_group[group].raise(now + u64::from(t.trrd_l), TimingRule::TrrdL);
+        if rank.faw.len() == 4 {
+            rank.faw.pop_front();
+        }
+        rank.faw.push_back(now);
+    }
+
+    /// Resolves the subarray a column/precharge command targets.
+    fn resolve_open(&self, d: &CmdDesc) -> Result<usize, &'static str> {
+        let bank = &self.ranks[d.rank as usize].banks[d.bank as usize];
+        if let Some(sa) = d.subarray {
+            let sa = sa as usize;
+            if sa >= bank.subs.len() {
+                return Err("subarray out of range");
+            }
+            if bank.subs[sa].open.is_some() {
+                Ok(sa)
+            } else {
+                Err("target subarray has no open row")
+            }
+        } else {
+            bank.open_subarray()
+                .map(|s| s as usize)
+                .ok_or("bank has no open row")
+        }
+    }
+
+    fn observe_rd(&mut self, d: &CmdDesc, now: Cycle) {
+        let sa = match self.resolve_open(d) {
+            Ok(sa) => sa,
+            Err(reason) => {
+                self.record(now, d, ViolationKind::State(reason));
+                return;
+            }
+        };
+        let t = self.cfg.timings;
+        let group = self.cfg.bank_group_of(d.bank) as usize;
+        let rank = &self.ranks[d.rank as usize];
+        let act = rank.banks[d.bank as usize].subs[sa]
+            .open
+            .as_ref()
+            .expect("resolve_open verified an open row");
+        let mut b = Binding::start();
+        b.fold(self.cmd_bus_free);
+        b.fold(act.ready_rd);
+        b.fold(rank.next_rd);
+        b.fold(rank.next_rd_group[group]);
+        self.check_binding(d, now, b);
+
+        self.occupy_bus(d, now);
+        let rank = &mut self.ranks[d.rank as usize];
+        let act = rank.banks[d.bank as usize].subs[sa]
+            .open
+            .as_mut()
+            .expect("resolve_open verified an open row");
+        act.min_pre.raise(now + u64::from(t.trtp), TimingRule::Trtp);
+        rank.next_rd
+            .raise(now + u64::from(t.tccd), TimingRule::Tccd);
+        rank.next_rd_group[group].raise(now + u64::from(t.tccd_l), TimingRule::TccdL);
+        let rtw = (now + u64::from(t.rl) + u64::from(t.tbl) + 2).saturating_sub(u64::from(t.wl));
+        rank.next_wr.raise(rtw, TimingRule::ReadToWrite);
+        rank.next_wr
+            .raise(now + u64::from(t.tccd), TimingRule::Tccd);
+    }
+
+    fn observe_wr(&mut self, d: &CmdDesc, now: Cycle) {
+        let sa = match self.resolve_open(d) {
+            Ok(sa) => sa,
+            Err(reason) => {
+                self.record(now, d, ViolationKind::State(reason));
+                return;
+            }
+        };
+        let t = self.cfg.timings;
+        let mra = self.cfg.mra;
+        let group = self.cfg.bank_group_of(d.bank) as usize;
+        let rank = &self.ranks[d.rank as usize];
+        let act = rank.banks[d.bank as usize].subs[sa]
+            .open
+            .as_ref()
+            .expect("resolve_open verified an open row");
+        let pair = act.pair;
+        let mut b = Binding::start();
+        b.fold(self.cmd_bus_free);
+        b.fold(act.ready_wr);
+        b.fold(rank.next_wr);
+        b.fold(rank.next_wr_group[group]);
+        self.check_binding(d, now, b);
+
+        let data_end = now + u64::from(t.wl) + u64::from(t.tbl);
+        let twr_early = if pair {
+            scale_cycles(t.twr, mra.act_t_full.twr_early)
+        } else {
+            t.twr
+        };
+        self.occupy_bus(d, now);
+        let rank = &mut self.ranks[d.rank as usize];
+        let act = rank.banks[d.bank as usize].subs[sa]
+            .open
+            .as_mut()
+            .expect("resolve_open verified an open row");
+        act.min_pre
+            .raise(data_end + u64::from(twr_early), TimingRule::Twr);
+        rank.next_wr
+            .raise(now + u64::from(t.tccd), TimingRule::Tccd);
+        rank.next_wr_group[group].raise(now + u64::from(t.tccd_l), TimingRule::TccdL);
+        rank.next_rd
+            .raise(data_end + u64::from(t.twtr), TimingRule::Twtr);
+    }
+
+    fn observe_pre(&mut self, d: &CmdDesc, now: Cycle) {
+        let sa = match self.resolve_open(d) {
+            Ok(sa) => sa,
+            Err(reason) => {
+                self.record(now, d, ViolationKind::State(reason));
+                return;
+            }
+        };
+        let t = self.cfg.timings;
+        let salp = self.cfg.subarray_parallelism;
+        let rank = &self.ranks[d.rank as usize];
+        let act = rank.banks[d.bank as usize].subs[sa]
+            .open
+            .as_ref()
+            .expect("resolve_open verified an open row");
+        let mut b = Binding::start();
+        b.fold(self.cmd_bus_free);
+        b.fold(act.min_pre);
+        self.check_binding(d, now, b);
+
+        self.occupy_bus(d, now);
+        let rank = &mut self.ranks[d.rank as usize];
+        let bank = &mut rank.banks[d.bank as usize];
+        bank.subs[sa].open = None;
+        bank.subs[sa].next_act = Deadline {
+            at: now + u64::from(t.trp),
+            rule: TimingRule::Trp,
+        };
+        if !salp {
+            bank.next_act.raise(now + u64::from(t.trp), TimingRule::Trp);
+        }
+        rank.ref_ready
+            .raise(now + u64::from(t.trp), TimingRule::Trp);
+    }
+
+    fn observe_ref(&mut self, d: &CmdDesc, now: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let rank = &self.ranks[d.rank as usize];
+            if rank.banks.iter().any(ShadowBank::any_open) {
+                self.record(
+                    now,
+                    d,
+                    ViolationKind::State("REF requires all banks closed"),
+                );
+                return;
+            }
+            let mut b = Binding::start();
+            b.fold(self.cmd_bus_free);
+            b.fold(rank.ref_ready);
+            for bank in &rank.banks {
+                b.fold_at(
+                    bank.next_act.at.saturating_sub(u64::from(t.trp)),
+                    bank.next_act.rule,
+                );
+            }
+            self.check_binding(d, now, b);
+        }
+        self.check_ref_gap(d, now);
+        self.occupy_bus(d, now);
+        let rank = &mut self.ranks[d.rank as usize];
+        let busy_until = now + u64::from(t.trfc);
+        for bank in &mut rank.banks {
+            bank.next_act.raise(busy_until, TimingRule::Trfc);
+            for sub in &mut bank.subs {
+                sub.next_act.raise(busy_until, TimingRule::Trfc);
+            }
+        }
+        rank.last_ref = now;
+    }
+
+    fn observe_refpb(&mut self, d: &CmdDesc, now: Cycle) {
+        let t = self.cfg.timings;
+        {
+            let rank = &self.ranks[d.rank as usize];
+            let bank = &rank.banks[d.bank as usize];
+            if bank.any_open() {
+                self.record(
+                    now,
+                    d,
+                    ViolationKind::State("REFpb requires the bank closed"),
+                );
+                return;
+            }
+            let mut b = Binding::start();
+            b.fold(self.cmd_bus_free);
+            b.fold(rank.next_refpb);
+            b.fold_at(
+                bank.next_act.at.saturating_sub(u64::from(t.trp)),
+                bank.next_act.rule,
+            );
+            for sub in &bank.subs {
+                b.fold_at(
+                    sub.next_act.at.saturating_sub(u64::from(t.trp)),
+                    sub.next_act.rule,
+                );
+            }
+            self.check_binding(d, now, b);
+        }
+        self.check_ref_gap(d, now);
+        self.occupy_bus(d, now);
+        let rank = &mut self.ranks[d.rank as usize];
+        let busy_until = now + u64::from(t.trfc_pb);
+        let bank = &mut rank.banks[d.bank as usize];
+        bank.next_act.raise(busy_until, TimingRule::TrfcPb);
+        for sub in &mut bank.subs {
+            sub.next_act.raise(busy_until, TimingRule::TrfcPb);
+        }
+        rank.next_refpb = Deadline {
+            at: now + u64::from(t.tpbr2pbr),
+            rule: TimingRule::Tpbr2pbr,
+        };
+        rank.last_ref = now;
+    }
+
+    /// Checks the optional refresh-gap bound for the target rank, then
+    /// resets its reference point (the caller observed a refresh).
+    fn check_ref_gap(&mut self, d: &CmdDesc, now: Cycle) {
+        let Some(gap) = self.max_ref_gap else {
+            return;
+        };
+        let last = self.ranks[d.rank as usize].last_ref;
+        if now.saturating_sub(last) > gap {
+            self.record(
+                now,
+                d,
+                ViolationKind::Timing {
+                    rule: TimingRule::RefInterval,
+                    earliest_legal: last + gap,
+                },
+            );
+        }
+    }
+
+    /// Validates command addressing against the geometry (mirror of the
+    /// channel's check, returning the reason string).
+    fn validate_addr(&self, d: &CmdDesc) -> Result<(), &'static str> {
+        if d.rank >= self.cfg.ranks {
+            return Err("rank out of range");
+        }
+        if d.cmd != Command::Ref && d.bank >= self.cfg.banks {
+            return Err("bank out of range");
+        }
+        if let Some(kind) = d.act {
+            let check_row = |r: u32| -> Result<(), &'static str> {
+                if r >= self.cfg.rows_per_bank {
+                    Err("row out of range")
+                } else {
+                    Ok(())
+                }
+            };
+            let check_copy = |c: u8| -> Result<(), &'static str> {
+                if c >= self.cfg.copy_rows_per_subarray {
+                    Err("copy row out of range")
+                } else {
+                    Ok(())
+                }
+            };
+            match kind {
+                ActKind::Single(RowAddr::Regular(r)) => check_row(r)?,
+                ActKind::Single(RowAddr::Copy { subarray, idx }) => {
+                    if subarray >= self.cfg.subarrays_per_bank() {
+                        return Err("subarray out of range");
+                    }
+                    check_copy(idx)?;
+                }
+                ActKind::Copy { src, copy } => {
+                    check_row(src)?;
+                    check_copy(copy)?;
+                }
+                ActKind::Twin { row, copy, .. } => {
+                    check_row(row)?;
+                    check_copy(copy)?;
+                }
+            }
+        }
+        if let Some(col) = d.col {
+            if col >= self.cfg.cols_per_row() {
+                return Err("column out of range");
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CmdDesc;
+
+    fn v() -> ShadowValidator {
+        ShadowValidator::new(&DramConfig::tiny_test())
+    }
+
+    #[test]
+    fn legal_sequence_is_clean() {
+        let mut val = v();
+        let t = DramConfig::tiny_test().timings;
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(5)), 0);
+        val.observe(&CmdDesc::rd(0, 0, 3), u64::from(t.trcd));
+        let pre_at = u64::from(t.tras).max(u64::from(t.trcd) + u64::from(t.trtp));
+        val.observe(&CmdDesc::pre(0, 0), pre_at);
+        val.finish(pre_at + 1);
+        val.assert_clean();
+        assert_eq!(val.observed(), 3);
+    }
+
+    #[test]
+    fn early_read_names_trcd() {
+        let mut val = v();
+        let t = DramConfig::tiny_test().timings;
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(5)), 0);
+        val.observe(&CmdDesc::rd(0, 0, 0), u64::from(t.trcd) - 1);
+        assert_eq!(val.total_violations(), 1);
+        let viol = val.violations()[0];
+        assert_eq!(
+            viol.kind,
+            ViolationKind::Timing {
+                rule: TimingRule::Trcd,
+                earliest_legal: u64::from(t.trcd),
+            }
+        );
+    }
+
+    #[test]
+    fn act_on_open_bank_is_state_violation() {
+        let mut val = v();
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(5)), 0);
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(300)), 10_000);
+        assert_eq!(val.total_violations(), 1);
+        assert!(matches!(
+            val.violations()[0].kind,
+            ViolationKind::State("bank already has an open row")
+        ));
+    }
+
+    #[test]
+    fn rd_on_closed_bank_is_state_violation() {
+        let mut val = v();
+        val.observe(&CmdDesc::rd(0, 0, 0), 100);
+        assert!(matches!(
+            val.violations()[0].kind,
+            ViolationKind::State("bank has no open row")
+        ));
+    }
+
+    #[test]
+    fn bad_address_reported() {
+        let mut val = v();
+        val.observe(&CmdDesc::act(0, 9, ActKind::single(0)), 0);
+        assert!(matches!(
+            val.violations()[0].kind,
+            ViolationKind::Address("bank out of range")
+        ));
+    }
+
+    #[test]
+    fn early_pre_names_tras() {
+        let mut val = v();
+        let t = DramConfig::tiny_test().timings;
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(5)), 0);
+        val.observe(&CmdDesc::pre(0, 0), u64::from(t.tras) - 1);
+        assert!(matches!(
+            val.violations()[0].kind,
+            ViolationKind::Timing {
+                rule: TimingRule::TrasEarly,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn early_act_after_pre_names_trp() {
+        let mut val = v();
+        let t = DramConfig::tiny_test().timings;
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(5)), 0);
+        let pre_at = u64::from(t.tras);
+        val.observe(&CmdDesc::pre(0, 0), pre_at);
+        val.observe(&CmdDesc::act(0, 0, ActKind::single(6)), pre_at + 1);
+        assert!(matches!(
+            val.violations()[0].kind,
+            ViolationKind::Timing {
+                rule: TimingRule::Trp,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ref_gap_check_fires_only_when_enabled() {
+        let mut val = v();
+        val.finish(1_000_000);
+        val.assert_clean();
+        let mut val = v();
+        val.set_max_ref_gap(10_000);
+        val.finish(1_000_000);
+        assert_eq!(val.total_violations(), 1);
+        assert!(matches!(
+            val.violations()[0].kind,
+            ViolationKind::Timing {
+                rule: TimingRule::RefInterval,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn violation_storage_is_capped() {
+        let mut val = v();
+        for i in 0..(MAX_STORED_VIOLATIONS as u64 + 10) {
+            // RD on a closed bank is always a state violation.
+            val.observe(&CmdDesc::rd(0, 0, 0), i);
+        }
+        assert_eq!(val.violations().len(), MAX_STORED_VIOLATIONS);
+        assert_eq!(val.total_violations(), MAX_STORED_VIOLATIONS as u64 + 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        let viol = ProtocolViolation {
+            cycle: 7,
+            cmd: Command::Rd,
+            rank: 0,
+            bank: 1,
+            kind: ViolationKind::Timing {
+                rule: TimingRule::Trcd,
+                earliest_legal: 29,
+            },
+        };
+        let s = viol.to_string();
+        assert!(s.contains("tRCD") && s.contains("29") && s.contains("cycle 7"));
+    }
+}

@@ -10,12 +10,18 @@
 //!   deliberately desynchronizes duplicates by writing through
 //!   single-row activations, then must re-copy before pairing again);
 //! * `ACT-c` never sources a partially-restored row.
+//!
+//! Every stream is additionally cross-checked by the shadow protocol
+//! validator (an independent state machine), which must agree that the
+//! stream is violation-free; a mutation test proves the validator
+//! catches a deliberately loosened `tFAW`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crow_dram::{
     ActKind, CmdDesc, Command, DramChannel, DramConfig, OpenRow, RestoreState, RowAddr,
+    ShadowValidator, TimingRule, ViolationKind,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +52,7 @@ fn driver(ops: Vec<(u8, u8, u8, u8)>) {
     };
     let mut ch = DramChannel::new(cfg);
     ch.attach_oracle();
+    ch.attach_validator();
     let mut now: u64 = 0;
     let mut shadow: std::collections::HashMap<(u32, u32), RowShadow> =
         std::collections::HashMap::new();
@@ -184,6 +191,13 @@ fn driver(ops: Vec<(u8, u8, u8, u8)>) {
     let ready = ch.ready_at(&refresh).expect("refresh legal");
     ch.issue(&refresh, now.max(ready));
     ch.oracle().expect("attached").assert_clean();
+    let validator = ch.validator().expect("attached");
+    assert_eq!(
+        validator.observed(),
+        ch.stats().issued_total(),
+        "validator saw every issued command"
+    );
+    validator.assert_clean();
     assert_eq!(
         ch.stats().total_activations() + ch.stats().issued(Command::Pre) + 1,
         ch.stats().total_activations() * 2 + 1,
@@ -208,6 +222,58 @@ fn random_protocol_streams_stay_legal_and_clean() {
             .collect();
         driver(ops);
     }
+}
+
+/// Mutation test: run a channel whose `tFAW` has been deliberately
+/// loosened (a seeded timing-engine bug) and cross-check the issued
+/// stream with a standalone validator built from the *correct* spec.
+/// The validator must flag the activation that the buggy engine let
+/// through, naming the tFAW rule and the true earliest-legal cycle.
+#[test]
+fn mutation_loosened_tfaw_is_caught() {
+    // Eight banks with a short tRRD so four activations land inside the
+    // FAW window (tiny_test's 2 banks with tRC 97 never stress tFAW).
+    let mut strict_cfg = DramConfig::tiny_test();
+    strict_cfg.banks = 8;
+    strict_cfg.timings.trrd = 4;
+    strict_cfg.timings.trrd_l = 4;
+    let tfaw = u64::from(strict_cfg.timings.tfaw);
+    let mut loose_cfg = strict_cfg.clone();
+    loose_cfg.timings.tfaw = 16; // mutated: window shrunk to 4 * tRRD
+    assert!(
+        loose_cfg.validate().is_ok(),
+        "the mutation must survive config validation to be a fair seed"
+    );
+
+    let mut ch = DramChannel::new(loose_cfg);
+    let mut strict = ShadowValidator::new(&strict_cfg);
+    let mut acts = Vec::new();
+    for bank in 0..5u32 {
+        let d = CmdDesc::act(0, bank, ActKind::single(0));
+        let at = ch.ready_at(&d).expect("act legal under loose timing");
+        ch.issue(&d, at);
+        strict.observe(&d, at);
+        acts.push(at);
+    }
+    // The loose engine paces ACTs by tRRD alone; the 5th lands at 16,
+    // well inside the real 4-activate window.
+    assert_eq!(acts, vec![0, 4, 8, 12, 16]);
+    assert_eq!(strict.total_violations(), 1, "exactly the 5th ACT flagged");
+    assert_eq!(
+        strict.violations()[0].kind,
+        ViolationKind::Timing {
+            rule: TimingRule::Tfaw,
+            earliest_legal: tfaw,
+        }
+    );
+
+    // Control: the same stream is clean against the loosened spec, so
+    // the violation above is attributable to the mutation alone.
+    let mut loose_val = ShadowValidator::new(ch.config());
+    for (bank, at) in acts.iter().enumerate() {
+        loose_val.observe(&CmdDesc::act(0, bank as u32, ActKind::single(0)), *at);
+    }
+    loose_val.assert_clean();
 }
 
 #[test]

@@ -12,6 +12,7 @@ use crow_dram::{
 use crow_energy::{EnergyCounter, EnergyModel, EnergySpec};
 
 use crate::config::{McConfig, RowPolicy, SchedKind};
+use crate::error::McError;
 use crate::request::{Completion, MemRequest, ReqKind};
 use crate::stats::McStats;
 
@@ -87,6 +88,10 @@ pub struct MemController {
     /// Round-robin bank counter for per-bank refresh.
     refresh_bank: Vec<u32>,
     drain_writes: bool,
+    /// Armed by [`MemController::drop_next_issue`] (fault harness): the
+    /// next scheduling opportunity is lost as if the command bus dropped
+    /// the command.
+    drop_pending: bool,
     /// Reusable candidate buffer for refresh-drain scans, so the per-tick
     /// hot path performs no heap allocation in steady state.
     scratch_open: Vec<(u32, u32, u32)>,
@@ -99,17 +104,34 @@ impl MemController {
     ///
     /// # Panics
     ///
-    /// Panics if either configuration is invalid.
+    /// Panics if either configuration is invalid; use
+    /// [`MemController::try_new`] to handle the failure instead.
     pub fn new(cfg: McConfig, dram_cfg: DramConfig, crow: Option<CrowSubstrate>) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid McConfig: {e}");
+        match Self::try_new(cfg, dram_cfg, crow) {
+            Ok(mc) => mc,
+            Err(e) => panic!("{e}"),
         }
-        let channel = DramChannel::new(dram_cfg.clone());
+    }
+
+    /// Creates a controller over a fresh channel, validating both
+    /// configurations.
+    ///
+    /// # Errors
+    ///
+    /// [`McError`] if either configuration fails validation.
+    pub fn try_new(
+        cfg: McConfig,
+        dram_cfg: DramConfig,
+        crow: Option<CrowSubstrate>,
+    ) -> Result<Self, McError> {
+        cfg.validate()
+            .map_err(|reason| McError::Config(crow_dram::ConfigError::new("McConfig", reason)))?;
+        let channel = DramChannel::try_new(dram_cfg.clone()).map_err(McError::Dram)?;
         let energy_model =
             EnergyModel::new(EnergySpec::lpddr4(), dram_cfg.timings).with_banks(dram_cfg.banks);
         let trefi = u64::from(dram_cfg.timings.trefi);
         let ranks = dram_cfg.ranks as usize;
-        Self {
+        Ok(Self {
             cfg,
             dram_cfg,
             channel,
@@ -132,9 +154,10 @@ impl MemController {
             refresh_pending: vec![false; ranks],
             refresh_bank: vec![0; ranks],
             drain_writes: false,
+            drop_pending: false,
             scratch_open: Vec::new(),
             scratch_order: Vec::new(),
-        }
+        })
     }
 
     /// Switches hit/miss translation (TL-DRAM baseline support).
@@ -145,6 +168,30 @@ impl MemController {
     /// Attaches the data-integrity oracle to the underlying channel.
     pub fn attach_oracle(&mut self) {
         self.channel.attach_oracle();
+    }
+
+    /// Attaches the shadow protocol validator to the underlying channel
+    /// and, when refresh is enabled, arms its refresh-gap bound from the
+    /// controller's effective interval (with generous slack for JEDEC
+    /// postponement — the bound catches a *lost* refresh stream, not a
+    /// briefly deferred one).
+    pub fn attach_validator(&mut self) {
+        self.channel.attach_validator();
+        if self.cfg.refresh {
+            let slack = u64::from(self.cfg.max_postponed_refreshes) + 4;
+            let gap = self.trefi_eff() * slack + u64::from(self.dram_cfg.timings.trfc);
+            if let Some(v) = self.channel.validator_mut() {
+                v.set_max_ref_gap(gap);
+            }
+        }
+    }
+
+    /// Runs the shadow validator's end-of-stream checks (e.g. the
+    /// refresh-gap bound up to `now`). No-op without a validator.
+    pub fn finish_validation(&mut self, now: Cycle) {
+        if let Some(v) = self.channel.validator_mut() {
+            v.finish(now);
+        }
     }
 
     /// The underlying DRAM channel (for stats and oracle inspection).
@@ -263,6 +310,7 @@ impl MemController {
             || !self.write_q.is_empty()
             || !self.copy_ops.is_empty()
             || !self.forced_restore.is_empty()
+            || self.drop_pending
             || self.refresh_pending.iter().any(|&p| p)
         {
             return now + 1;
@@ -347,6 +395,13 @@ impl MemController {
 
     /// Issues at most one command this cycle.
     fn issue_one(&mut self, now: Cycle) {
+        if self.drop_pending {
+            // Injected command-bus drop: whatever would have issued this
+            // cycle is lost; the scheduler retries next tick.
+            self.drop_pending = false;
+            self.stats.bus_drops += 1;
+            return;
+        }
         if self.try_refresh(now) {
             return;
         }
@@ -507,6 +562,51 @@ impl MemController {
             row,
             purpose: CopyPurpose::WeakRow,
         });
+    }
+
+    /// Injects `burst` RowHammer-style disturbance activations of `row`
+    /// (fault harness): the detector observes them as aggressor
+    /// activations, and any victims it flags are queued for `ACT-c`
+    /// protection copies exactly as on the demand path. Returns the
+    /// number of victim copies queued (0 without a CROW substrate or a
+    /// configured detector).
+    pub fn inject_disturbance(
+        &mut self,
+        rank: u32,
+        bank: u32,
+        row: u32,
+        burst: u32,
+        now: Cycle,
+    ) -> u32 {
+        let cb = self.crow_bank(rank, bank);
+        let mut victims = Vec::new();
+        {
+            let Some(crow) = self.crow.as_mut() else {
+                return 0;
+            };
+            for _ in 0..burst {
+                victims.extend(crow.hammer_check(cb, row, now));
+            }
+        }
+        let queued = victims.len() as u32;
+        for victim in victims {
+            let subarray = self.subarray_of(victim);
+            self.copy_ops.push_back(CopyOp {
+                rank,
+                bank,
+                subarray,
+                row: victim,
+                purpose: CopyPurpose::Hammer,
+            });
+        }
+        queued
+    }
+
+    /// Arms a transient command-bus drop (fault harness): the next
+    /// scheduling opportunity issues nothing and the lost cycle is
+    /// counted in [`McStats::bus_drops`].
+    pub fn drop_next_issue(&mut self) {
+        self.drop_pending = true;
     }
 
     /// Starts a pending maintenance copy (RowHammer victim or VRT weak
@@ -1312,6 +1412,72 @@ mod tests {
         assert!(e.act_nj > 0.0);
         assert!(e.rd_nj > 0.0);
         assert!(e.background_nj > 0.0);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_configs() {
+        let mut bad_mc = McConfig::paper_default();
+        bad_mc.read_q = 0;
+        let err = MemController::try_new(bad_mc, DramConfig::tiny_test(), None).unwrap_err();
+        assert!(err.to_string().contains("invalid McConfig"));
+        let mut bad_dram = DramConfig::tiny_test();
+        bad_dram.banks = 6;
+        let err = MemController::try_new(McConfig::paper_default(), bad_dram, None).unwrap_err();
+        assert!(err.to_string().contains("invalid DramConfig"));
+    }
+
+    #[test]
+    fn injected_bus_drop_loses_one_cycle_and_is_counted() {
+        let mut mc = baseline_mc();
+        mc.try_enqueue(read(1, 0, 5, 3)).unwrap();
+        let mut reference = baseline_mc();
+        reference.try_enqueue(read(1, 0, 5, 3)).unwrap();
+        mc.drop_next_issue();
+        let done = run(&mut mc, 300);
+        let done_ref = run(&mut reference, 300);
+        assert_eq!(mc.stats().bus_drops, 1);
+        assert_eq!(reference.stats().bus_drops, 0);
+        assert_eq!(done.len(), 1);
+        // The dropped cycle delays the ACT by exactly one cycle.
+        assert_eq!(done[0].latency, done_ref[0].latency + 1);
+    }
+
+    #[test]
+    fn injected_disturbance_queues_hammer_copies() {
+        let mut crow_cfg = CrowConfig::tiny_test();
+        crow_cfg.hammer = Some(crow_core::HammerConfig {
+            threshold: 4,
+            window_cycles: 1_000_000,
+        });
+        let dram = DramConfig::tiny_test();
+        let mut mc = MemController::new(
+            McConfig::paper_default(),
+            dram,
+            Some(CrowSubstrate::new(crow_cfg)),
+        );
+        // A burst below threshold flags nothing.
+        assert_eq!(mc.inject_disturbance(0, 0, 10, 3, 0), 0);
+        // Crossing the threshold flags both neighbours.
+        assert_eq!(mc.inject_disturbance(0, 0, 10, 1, 1), 2);
+        // The controller protects the victims with ACT-c copies.
+        let _ = run(&mut mc, 1000);
+        assert_eq!(mc.stats().hammer_copies, 2);
+        // No substrate: injection is a no-op.
+        let mut plain = baseline_mc();
+        assert_eq!(plain.inject_disturbance(0, 0, 10, 100, 0), 0);
+    }
+
+    #[test]
+    fn validator_stays_clean_across_controller_traffic() {
+        let mut mc = crow_mc();
+        mc.attach_validator();
+        for i in 0..32 {
+            let _ = mc.try_enqueue(read(i, (i % 2) as u32, (i * 37 % 128) as u32, 0));
+        }
+        let _ = run(&mut mc, 20_000);
+        let v = mc.channel().validator().expect("attached");
+        assert!(v.observed() > 0);
+        v.assert_clean();
     }
 
     #[test]

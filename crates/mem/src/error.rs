@@ -1,0 +1,45 @@
+//! Error types for controller construction.
+
+use crow_dram::ConfigError;
+
+/// Why a [`crate::MemController`] could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McError {
+    /// The controller configuration failed validation.
+    Config(ConfigError),
+    /// The DRAM configuration failed validation.
+    Dram(ConfigError),
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McError::Config(e) | McError::Dram(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for McError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McError::Config(e) | McError::Dram(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for McError {
+    fn from(e: ConfigError) -> Self {
+        McError::Dram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_legacy_panic_text() {
+        let e = McError::Config(ConfigError::new("McConfig", "read_q must be nonzero"));
+        assert_eq!(e.to_string(), "invalid McConfig: read_q must be nonzero");
+    }
+}

@@ -36,10 +36,12 @@
 
 pub mod config;
 pub mod controller;
+pub mod error;
 pub mod request;
 pub mod stats;
 
 pub use config::{McConfig, RowPolicy, SchedKind};
 pub use controller::MemController;
+pub use error::McError;
 pub use request::{Completion, MemRequest, ReqKind};
 pub use stats::McStats;

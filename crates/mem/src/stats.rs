@@ -31,6 +31,9 @@ pub struct McStats {
     pub restore_activations: u64,
     /// RowHammer victim copy activations.
     pub hammer_copies: u64,
+    /// Scheduling opportunities lost to injected command-bus drops
+    /// (fault harness).
+    pub bus_drops: u64,
     /// Log2-bucketed read-latency histogram (memory cycles).
     pub latency_hist: [u64; LATENCY_BUCKETS],
 }
@@ -98,6 +101,7 @@ impl McStats {
         self.read_latency_max = self.read_latency_max.max(o.read_latency_max);
         self.restore_activations += o.restore_activations;
         self.hammer_copies += o.hammer_copies;
+        self.bus_drops += o.bus_drops;
         for (a, b) in self.latency_hist.iter_mut().zip(&o.latency_hist) {
             *a += b;
         }

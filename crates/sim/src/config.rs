@@ -6,6 +6,8 @@ use crow_cpu::CpuConfig;
 use crow_dram::{DramConfig, MapScheme, MraTimings};
 use crow_mem::McConfig;
 
+use crate::fault::FaultPlan;
+
 /// Which memory-system mechanism the run evaluates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Mechanism {
@@ -152,6 +154,23 @@ pub struct SystemConfig {
     pub mra_override: Option<MraTimings>,
     /// Stepping engine (results are identical either way).
     pub engine: Engine,
+    /// Seeded fault-injection schedule (VRT failures, RowHammer bursts,
+    /// command-bus drops); `None` injects nothing.
+    pub fault_plan: Option<FaultPlan>,
+    /// Attach the shadow protocol validator to every channel (observes
+    /// each issued command against an independent JEDEC state machine;
+    /// violations are reported, not asserted). Presets default this from
+    /// the `CROW_VALIDATE` environment variable so an entire test run
+    /// can be validated with `CROW_VALIDATE=1`.
+    pub validate_protocol: bool,
+}
+
+/// Preset default for [`SystemConfig::validate_protocol`]: true iff the
+/// `CROW_VALIDATE` environment variable is set to anything but `0`.
+fn validate_from_env() -> bool {
+    std::env::var("CROW_VALIDATE")
+        .map(|v| v != "0")
+        .unwrap_or(false)
 }
 
 impl SystemConfig {
@@ -169,6 +188,8 @@ impl SystemConfig {
             vrt_interval_cycles: None,
             mra_override: None,
             engine: Engine::EventDriven,
+            fault_plan: None,
+            validate_protocol: validate_from_env(),
         }
     }
 
@@ -188,6 +209,8 @@ impl SystemConfig {
             vrt_interval_cycles: None,
             mra_override: None,
             engine: Engine::EventDriven,
+            fault_plan: None,
+            validate_protocol: validate_from_env(),
         }
     }
 
@@ -212,6 +235,8 @@ impl SystemConfig {
             vrt_interval_cycles: None,
             mra_override: None,
             engine: Engine::EventDriven,
+            fault_plan: None,
+            validate_protocol: validate_from_env(),
         }
     }
 

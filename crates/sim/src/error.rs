@@ -1,0 +1,105 @@
+//! The simulator-level error hierarchy.
+//!
+//! Every fallible construction or checked-run path in the workspace
+//! funnels into [`CrowError`], so binaries can print one diagnostic and
+//! exit instead of unwinding with a backtrace.
+
+use crow_cpu::TraceError;
+use crow_dram::ConfigError;
+use crow_mem::McError;
+
+/// Anything that can go wrong building or running a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrowError {
+    /// A configuration failed validation before the system was built.
+    Config(ConfigError),
+    /// A memory controller could not be constructed.
+    Controller(McError),
+    /// An instruction trace was empty or ran dry.
+    Trace(TraceError),
+    /// The shadow protocol validator recorded violations and the fault
+    /// policy is [`crate::FaultPolicy::Abort`].
+    Protocol {
+        /// Total violations across all channels.
+        violations: u64,
+        /// The first recorded violation, formatted (None if all were
+        /// dropped by the storage cap).
+        first: Option<String>,
+    },
+}
+
+impl std::fmt::Display for CrowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrowError::Config(e) => write!(f, "{e}"),
+            CrowError::Controller(e) => write!(f, "{e}"),
+            CrowError::Trace(e) => write!(f, "{e}"),
+            CrowError::Protocol { violations, first } => {
+                write!(f, "{violations} protocol violation(s)")?;
+                if let Some(first) = first {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CrowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrowError::Config(e) => Some(e),
+            CrowError::Controller(e) => Some(e),
+            CrowError::Trace(e) => Some(e),
+            CrowError::Protocol { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for CrowError {
+    fn from(e: ConfigError) -> Self {
+        CrowError::Config(e)
+    }
+}
+
+impl From<McError> for CrowError {
+    fn from(e: McError) -> Self {
+        CrowError::Controller(e)
+    }
+}
+
+impl From<TraceError> for CrowError {
+    fn from(e: TraceError) -> Self {
+        CrowError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_inner_messages() {
+        let e: CrowError = ConfigError::new("DramConfig", "banks must be a power of two").into();
+        assert_eq!(
+            e.to_string(),
+            "invalid DramConfig: banks must be a power of two"
+        );
+        let t: CrowError = TraceError::Exhausted { after: 3 }.into();
+        assert_eq!(t.to_string(), "trace exhausted after 3 records");
+        let p = CrowError::Protocol {
+            violations: 2,
+            first: Some("cycle 9: Act rank 0 bank 1: tFAW".into()),
+        };
+        assert!(p.to_string().contains("2 protocol violation(s)"));
+        assert!(p.to_string().contains("tFAW"));
+    }
+
+    #[test]
+    fn source_reaches_root_cause() {
+        use std::error::Error;
+        let e: CrowError = McError::Config(ConfigError::new("McConfig", "read_q")).into();
+        assert!(e.source().is_some());
+        assert!(e.source().unwrap().source().is_some());
+    }
+}

@@ -103,15 +103,20 @@ where
                 if i >= jobs.len() {
                     break;
                 }
-                let job = jobs[i].lock().unwrap().take().expect("job taken once");
+                let job = jobs[i]
+                    .lock()
+                    .expect("job mutex poisoned")
+                    .take()
+                    .expect("job taken once");
                 let r = worker(job);
-                *results[i].lock().unwrap() = Some(r);
+                *results[i].lock().expect("result mutex poisoned") = Some(r);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("worker finished"))
+        .map(|m| m.into_inner().expect("result mutex poisoned"))
+        .map(|r| r.expect("worker finished"))
         .collect()
 }
 

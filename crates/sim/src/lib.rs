@@ -30,13 +30,17 @@
 //! ```
 
 pub mod config;
+pub mod error;
 pub mod experiments;
+pub mod fault;
 pub mod metrics;
 pub mod report;
 pub mod system;
 
 pub use config::{Engine, Mechanism, SystemConfig};
+pub use error::CrowError;
 pub use experiments::{run_many, run_mix, run_single, run_with_config, Scale};
+pub use fault::{FaultPlan, FaultPolicy, FaultStats};
 pub use metrics::weighted_speedup;
 pub use report::SimReport;
 pub use system::System;

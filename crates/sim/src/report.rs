@@ -5,6 +5,8 @@ use crow_dram::ChannelStats;
 use crow_energy::EnergyCounter;
 use crow_mem::McStats;
 
+use crate::fault::FaultStats;
+
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -26,6 +28,13 @@ pub struct SimReport {
     pub energy: EnergyCounter,
     /// Whether every core reached its instruction target.
     pub finished: bool,
+    /// Protocol violations recorded by the shadow validator across all
+    /// channels (always 0 when `validate_protocol` is off).
+    pub violations: u64,
+    /// Cores parked because their instruction trace ran dry.
+    pub trace_faults: u64,
+    /// Fault-harness injection counters (all zero without a fault plan).
+    pub faults: FaultStats,
     /// Wall-clock seconds the `run` call took (diagnostic; not part of
     /// the cross-engine equivalence contract).
     pub wall_seconds: f64,
@@ -67,6 +76,9 @@ mod tests {
             crow: CrowStats::new(),
             energy: EnergyCounter::new(),
             finished: true,
+            violations: 0,
+            trace_faults: 0,
+            faults: FaultStats::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

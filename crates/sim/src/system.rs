@@ -12,7 +12,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{Engine, Mechanism, SystemConfig};
+use crate::error::CrowError;
+use crate::fault::{FaultPolicy, FaultStats};
 use crate::report::SimReport;
+use crow_dram::ConfigError;
 
 /// Routes CPU requests to the per-channel controllers.
 struct Router<'a> {
@@ -59,6 +62,11 @@ pub struct System {
     /// memory ticks strictly before `mc_next_event[i]` are provable
     /// no-ops for controller `i`. 0 forces a real tick.
     mc_next_event: Vec<u64>,
+    /// Target selection for the fault harness (independent of `vrt_rng`
+    /// so `cfg.vrt_interval_cycles` and `cfg.fault_plan` compose without
+    /// perturbing each other's draws).
+    fault_rng: StdRng,
+    fault_stats: FaultStats,
 }
 
 impl System {
@@ -66,15 +74,34 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if `apps` is empty or the configuration is inconsistent.
+    /// Panics if `apps` is empty or the configuration is inconsistent;
+    /// [`System::try_new`] returns the error instead.
     pub fn new(cfg: SystemConfig, apps: &[&AppProfile]) -> Self {
-        assert!(!apps.is_empty(), "at least one application required");
+        match Self::try_new(cfg, apps) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`System::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowError`] if `apps` is empty or any configuration
+    /// fails validation.
+    pub fn try_new(cfg: SystemConfig, apps: &[&AppProfile]) -> Result<Self, CrowError> {
+        if apps.is_empty() {
+            return Err(CrowError::Config(ConfigError::new(
+                "SystemConfig",
+                "at least one application required",
+            )));
+        }
         let traces = apps
             .iter()
             .enumerate()
             .map(|(i, a)| a.trace(cfg.seed.wrapping_add(i as u64 * 0x5bd1e995)))
             .collect();
-        Self::with_traces(cfg, traces)
+        Self::try_with_traces(cfg, traces)
     }
 
     /// Builds a system from explicit instruction traces, one per core
@@ -82,12 +109,40 @@ impl System {
     ///
     /// # Panics
     ///
-    /// Panics if `traces` is empty or the configuration is inconsistent.
+    /// Panics if `traces` is empty or the configuration is inconsistent;
+    /// [`System::try_with_traces`] returns the error instead.
     pub fn with_traces(cfg: SystemConfig, traces: Vec<Box<dyn crow_cpu::TraceSource>>) -> Self {
-        assert!(!traces.is_empty(), "at least one core required");
+        match Self::try_with_traces(cfg, traces) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`System::with_traces`]: every configuration
+    /// (DRAM geometry/timings, controller, CPU) is validated up front
+    /// and reported as a typed [`CrowError`] instead of a panic deep in
+    /// a constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowError`] if `traces` is empty or any configuration
+    /// fails validation.
+    pub fn try_with_traces(
+        cfg: SystemConfig,
+        traces: Vec<Box<dyn crow_cpu::TraceSource>>,
+    ) -> Result<Self, CrowError> {
+        if traces.is_empty() {
+            return Err(CrowError::Config(ConfigError::new(
+                "SystemConfig",
+                "at least one core required",
+            )));
+        }
         let dram = cfg.effective_dram();
         dram.validate()
-            .unwrap_or_else(|e| panic!("bad dram config: {e}"));
+            .map_err(|reason| ConfigError::new("DramConfig", reason))?;
+        cfg.cpu
+            .validate()
+            .map_err(|reason| ConfigError::new("CpuConfig", reason))?;
         let mapper = AddrMapper::new(cfg.scheme, cfg.channels, &dram);
         let mut mc_cfg = cfg.mc;
         match cfg.mechanism {
@@ -98,9 +153,9 @@ impl System {
             _ => {}
         }
         let mcs: Vec<MemController> = (0..cfg.channels)
-            .map(|ch| {
+            .map(|ch| -> Result<MemController, CrowError> {
                 let crow = Self::build_crow(&cfg, &dram, ch);
-                let mut mc = MemController::new(mc_cfg, dram.clone(), crow);
+                let mut mc = MemController::try_new(mc_cfg, dram.clone(), crow)?;
                 if let Mechanism::TlDram { near_rows } = cfg.mechanism {
                     let model = TlDramModel::calibrated();
                     let near_trcd = model.near_trcd_ratio(u32::from(near_rows));
@@ -125,13 +180,18 @@ impl System {
                 if cfg.oracle && !matches!(cfg.mechanism, Mechanism::TlDram { .. }) {
                     mc.attach_oracle();
                 }
-                mc
+                if cfg.validate_protocol {
+                    mc.attach_validator();
+                }
+                Ok(mc)
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let cluster = CpuCluster::new(cfg.cpu, traces, mapper.capacity_bytes(), cfg.seed);
         let vrt_rng = StdRng::seed_from_u64(cfg.seed ^ 0x56525421);
+        let fault_seed = cfg.fault_plan.map_or(0, |p| p.seed);
+        let fault_rng = StdRng::seed_from_u64(fault_seed ^ 0x464C5421);
         let mc_next_event = vec![0; mcs.len()];
-        Self {
+        Ok(Self {
             cfg,
             cluster,
             mcs,
@@ -143,7 +203,9 @@ impl System {
             vrt_rng,
             vrt_events: 0,
             mc_next_event,
-        }
+            fault_rng,
+            fault_stats: FaultStats::default(),
+        })
     }
 
     /// Injects one VRT weak-row discovery: a random row of a random bank
@@ -163,6 +225,75 @@ impl System {
     /// Number of VRT events injected so far.
     pub fn vrt_events(&self) -> u64 {
         self.vrt_events
+    }
+
+    /// Counters for everything the fault harness injected.
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Applies every injection due at the current CPU cycle under the
+    /// configured [`crate::FaultPlan`]. All selections draw from the dedicated
+    /// fault RNG, so the schedule is bit-reproducible and identical
+    /// across stepping engines.
+    fn poll_fault_plan(&mut self) {
+        let Some(plan) = self.cfg.fault_plan else {
+            return;
+        };
+        let now = self.cpu_cycle;
+        if now == 0 {
+            return;
+        }
+        if plan.vrt_interval.is_some_and(|i| now.is_multiple_of(i)) {
+            self.inject_fault_vrt(plan.policy);
+        }
+        if plan.hammer_interval.is_some_and(|i| now.is_multiple_of(i)) {
+            self.inject_fault_hammer(plan.policy, plan.hammer_burst);
+        }
+        if plan.drop_interval.is_some_and(|i| now.is_multiple_of(i)) {
+            let ch = (self.fault_stats.drops_injected % u64::from(self.cfg.channels)) as usize;
+            self.mcs[ch].drop_next_issue();
+            self.mc_next_event[ch] = 0;
+            self.fault_stats.drops_injected += 1;
+        }
+    }
+
+    /// One VRT retention failure: a random row is declared weak. Without
+    /// a CROW substrate the remap is unmitigable; [`FaultPolicy::Degrade`]
+    /// suppresses it (counted), other policies queue it anyway (the
+    /// controller drops the op and the row simply stays unprotected).
+    fn inject_fault_vrt(&mut self, policy: FaultPolicy) {
+        let ch = (self.fault_stats.vrt_injected % u64::from(self.cfg.channels)) as usize;
+        if policy == FaultPolicy::Degrade && self.mcs[ch].crow().is_none() {
+            self.fault_stats.suppressed += 1;
+            return;
+        }
+        let dram = self.mcs[ch].channel().config();
+        let rank = self.fault_rng.gen_range(0..dram.ranks);
+        let bank = self.fault_rng.gen_range(0..dram.banks);
+        let row = self.fault_rng.gen_range(0..dram.rows_per_bank);
+        self.mcs[ch].remap_weak_row_in_rank(rank, bank, row);
+        self.mc_next_event[ch] = 0;
+        self.fault_stats.vrt_injected += 1;
+    }
+
+    /// One RowHammer burst: `burst` aggressor activations of a random
+    /// row are shown to the detector; flagged victims queue `ACT-c`
+    /// protection copies.
+    fn inject_fault_hammer(&mut self, policy: FaultPolicy, burst: u32) {
+        let ch = (self.fault_stats.hammer_injected % u64::from(self.cfg.channels)) as usize;
+        if policy == FaultPolicy::Degrade && self.mcs[ch].crow().is_none() {
+            self.fault_stats.suppressed += 1;
+            return;
+        }
+        let dram = self.mcs[ch].channel().config();
+        let rank = self.fault_rng.gen_range(0..dram.ranks);
+        let bank = self.fault_rng.gen_range(0..dram.banks);
+        let row = self.fault_rng.gen_range(0..dram.rows_per_bank);
+        let victims = self.mcs[ch].inject_disturbance(rank, bank, row, burst, self.mem_cycle);
+        self.mc_next_event[ch] = 0;
+        self.fault_stats.hammer_injected += 1;
+        self.fault_stats.hammer_victims += u64::from(victims);
     }
 
     fn build_crow(
@@ -255,6 +386,7 @@ impl System {
                 self.inject_vrt_event();
             }
         }
+        self.poll_fault_plan();
         let (num, den) = SystemConfig::CLOCK_RATIO;
         self.clock_accum += den;
         if self.clock_accum >= num {
@@ -299,6 +431,12 @@ impl System {
                 return 0; // an injection is due this very cycle
             }
             k = k.min((now / interval + 1) * interval - now);
+        }
+        if let Some(plan) = &self.cfg.fault_plan {
+            if plan.due(now) {
+                return 0; // a fault injection is due this very cycle
+            }
+            k = k.min(plan.next_boundary_in(now));
         }
         // Memory-side cap: the skipped span may contain only memory
         // ticks strictly before the earliest controller event. Over `k`
@@ -357,12 +495,55 @@ impl System {
                 }
             }
         }
+        if self.cfg.validate_protocol {
+            let now = self.mem_cycle;
+            for mc in &mut self.mcs {
+                mc.finish_validation(now);
+            }
+        }
         let mut r = self.report();
         r.wall_seconds = started.elapsed().as_secs_f64();
         if r.wall_seconds > 0.0 {
             r.sim_cycles_per_sec = (self.cpu_cycle - start_cycle) as f64 / r.wall_seconds;
         }
         r
+    }
+
+    /// Like [`System::run`], but turns bad outcomes into typed errors:
+    /// unless the fault plan's policy is [`FaultPolicy::Record`] or
+    /// [`FaultPolicy::Degrade`] (which explicitly opt into completing),
+    /// a core parked on a dry trace or any protocol violation recorded
+    /// by the shadow validator fails the run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrowError::Trace`] for a parked core and
+    /// [`CrowError::Protocol`] (with the first formatted violation) for
+    /// validator findings.
+    pub fn run_checked(&mut self, max_cpu_cycles: u64) -> Result<SimReport, CrowError> {
+        let r = self.run(max_cpu_cycles);
+        let tolerate = self
+            .cfg
+            .fault_plan
+            .is_some_and(|p| matches!(p.policy, FaultPolicy::Record | FaultPolicy::Degrade));
+        if !tolerate {
+            if let Some(&(_, e)) = self.cluster.trace_faults().first() {
+                return Err(CrowError::Trace(e));
+            }
+            if r.violations > 0 {
+                let first = self.mcs.iter().find_map(|mc| {
+                    mc.channel()
+                        .validator()
+                        .and_then(|v| v.violations().first())
+                        .map(ToString::to_string)
+                });
+                return Err(CrowError::Protocol {
+                    violations: r.violations,
+                    first,
+                });
+            }
+        }
+        Ok(r)
     }
 
     /// Builds the report for the current state.
@@ -372,12 +553,16 @@ impl System {
         let mut commands = ChannelStats::new();
         let mut crow = CrowStats::new();
         let mut energy = EnergyCounter::new();
+        let mut violations = 0u64;
         for c in &self.mcs {
             mc.merge(c.stats());
             commands.merge(c.channel().stats());
             energy.merge(&c.energy());
             if let Some(s) = c.crow() {
                 crow.merge(s.stats());
+            }
+            if let Some(v) = c.channel().validator() {
+                violations += v.total_violations();
             }
         }
         SimReport {
@@ -390,6 +575,9 @@ impl System {
             crow,
             energy,
             finished: self.cluster.done(),
+            violations,
+            trace_faults: self.cluster.trace_faults().len() as u64,
+            faults: self.fault_stats,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         }
@@ -632,6 +820,110 @@ mod tests {
             crow.ipc[0],
             base.ipc[0]
         );
+    }
+
+    #[test]
+    fn try_construction_reports_typed_errors() {
+        let mut bad_dram = SystemConfig::quick_test(Mechanism::Baseline);
+        bad_dram.dram.banks = 6;
+        let e = System::try_new(bad_dram, &[app("mcf")]).unwrap_err();
+        assert!(e.to_string().contains("invalid DramConfig"), "{e}");
+
+        let mut bad_mc = SystemConfig::quick_test(Mechanism::Baseline);
+        bad_mc.mc.read_q = 0;
+        let e = System::try_new(bad_mc, &[app("mcf")]).unwrap_err();
+        assert!(e.to_string().contains("invalid McConfig"), "{e}");
+
+        let e = System::try_new(SystemConfig::quick_test(Mechanism::Baseline), &[]).unwrap_err();
+        assert!(e.to_string().contains("at least one application"), "{e}");
+    }
+
+    #[test]
+    fn dry_trace_parks_core_and_run_checked_reports_it() {
+        use crow_cpu::{IterTrace, TraceEntry};
+        // ~6000 instructions of trace against a 30 000-instruction
+        // target: the trace runs dry mid-measurement.
+        let mk = || {
+            let src = IterTrace::try_new(
+                (0..2000u64)
+                    .map(|i| TraceEntry::load(2, (i % 512) * 64))
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            )
+            .unwrap();
+            let cfg = SystemConfig::quick_test(Mechanism::Baseline);
+            System::try_with_traces(cfg, vec![Box::new(src)]).unwrap()
+        };
+        // run() completes gracefully and reports the parked core.
+        let mut sys = mk();
+        let r = sys.run(10_000_000);
+        assert!(r.finished, "parked cluster still terminates the run");
+        assert_eq!(r.trace_faults, 1);
+        assert_eq!(r.ipc[0], 0.0, "target never reached");
+        // run_checked() surfaces it as a typed error.
+        let mut sys = mk();
+        let e = sys.run_checked(10_000_000).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                crate::error::CrowError::Trace(crow_cpu::TraceError::Exhausted { .. })
+            ),
+            "{e}"
+        );
+        assert!(e.to_string().contains("trace exhausted"), "{e}");
+    }
+
+    #[test]
+    fn hammer_fault_injection_queues_victim_copies() {
+        use crate::fault::FaultPlan;
+        let mechanism = Mechanism::RowHammer {
+            copy_rows: 8,
+            hammer: crow_core::HammerConfig {
+                threshold: 16,
+                window_cycles: 100_000_000,
+            },
+        };
+        let mut cfg = SystemConfig::quick_test(mechanism);
+        cfg.oracle = true;
+        cfg.validate_protocol = true;
+        let mut plan = FaultPlan::quiet(0xBEEF);
+        plan.hammer_interval = Some(20_000);
+        plan.hammer_burst = 32; // crosses the detector threshold alone
+        cfg.fault_plan = Some(plan);
+        let mut sys = System::new(cfg, &[app("mcf")]);
+        let r = sys.run(30_000_000);
+        assert!(r.finished);
+        assert!(r.faults.hammer_injected > 0);
+        assert!(
+            r.faults.hammer_victims > 0,
+            "a 32-activation burst over threshold 16 must flag victims"
+        );
+        assert!(
+            r.mc.hammer_copies > 0,
+            "queued victims must become ACT-c protection copies"
+        );
+        assert_eq!(r.violations, 0, "injections must not break protocol");
+        sys.assert_data_integrity();
+    }
+
+    #[test]
+    fn degrade_policy_suppresses_unmitigable_injections() {
+        use crate::fault::{FaultPlan, FaultPolicy};
+        // Baseline has no CROW substrate: VRT remaps and hammer
+        // protection are unmitigable, so Degrade suppresses them.
+        let mut cfg = SystemConfig::quick_test(Mechanism::Baseline);
+        cfg.cpu.target_insts = u64::MAX / 2; // never finishes
+        let mut plan = FaultPlan::quiet(3);
+        plan.vrt_interval = Some(10_000);
+        plan.hammer_interval = Some(15_000);
+        plan.policy = FaultPolicy::Degrade;
+        cfg.fault_plan = Some(plan);
+        let mut sys = System::new(cfg, &[app("libq")]);
+        let r = sys.run(300_000);
+        assert!(r.faults.suppressed > 0, "{:?}", r.faults);
+        assert_eq!(r.faults.vrt_injected, 0);
+        assert_eq!(r.faults.hammer_injected, 0);
+        assert_eq!(r.faults.total_injected(), 0);
     }
 
     #[test]

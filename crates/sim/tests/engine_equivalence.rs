@@ -2,7 +2,7 @@
 //! workload and mechanism, it produces a bit-identical [`SimReport`] to
 //! the naive cycle-by-cycle stepper — only wall-clock fields may differ.
 
-use crow_sim::{Engine, Mechanism, System, SystemConfig};
+use crow_sim::{Engine, FaultPlan, Mechanism, System, SystemConfig};
 use crow_workloads::AppProfile;
 
 /// Runs one configuration under both engines and compares the full
@@ -52,6 +52,64 @@ fn crow_combined_with_vrt_matches() {
     // VRT injections are scheduled by CPU-cycle count, so the skipper
     // must stop exactly at each injection boundary.
     assert_equivalent(Mechanism::crow_combined(), "libq", Some(100_000));
+}
+
+#[test]
+fn fault_plan_under_both_engines_matches() {
+    // Fault injections (VRT remaps, hammer bursts, bus drops) are
+    // scheduled on CPU-cycle boundaries with a dedicated RNG, so both
+    // engines must apply the exact same schedule — including the
+    // validator's violation count and every fault counter — and produce
+    // bit-identical reports.
+    let profile = AppProfile::by_name("mcf").unwrap();
+    let mut reports = Vec::new();
+    for engine in [Engine::Naive, Engine::EventDriven] {
+        let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
+        cfg.engine = engine;
+        cfg.validate_protocol = true;
+        cfg.fault_plan = Some(FaultPlan::stress(0xFA17));
+        let mut sys = System::new(cfg, &[profile]);
+        let mut r = sys.run(2_000_000);
+        r.wall_seconds = 0.0;
+        r.sim_cycles_per_sec = 0.0;
+        reports.push(r);
+    }
+    assert_eq!(
+        format!("{:?}", reports[0]),
+        format!("{:?}", reports[1]),
+        "engines diverged under an active fault plan"
+    );
+    assert!(
+        reports[0].faults.total_injected() > 0,
+        "the stress plan must actually inject: {:?}",
+        reports[0].faults
+    );
+    assert!(reports[0].mc.bus_drops > 0, "drops must cost real slots");
+    assert_eq!(reports[0].violations, 0, "faults must not break protocol");
+}
+
+#[test]
+fn crow8_validated_run_is_violation_free_on_both_engines() {
+    // Acceptance: a full CROW-8 run with the shadow validator attached
+    // reports zero protocol violations on both engines.
+    let profile = AppProfile::by_name("mcf").unwrap();
+    for engine in [Engine::Naive, Engine::EventDriven] {
+        let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
+        cfg.engine = engine;
+        cfg.validate_protocol = true;
+        let mut sys = System::new(cfg, &[profile]);
+        let r = sys
+            .run_checked(30_000_000)
+            .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+        assert!(r.finished, "{engine:?} did not finish");
+        assert_eq!(r.violations, 0);
+        let observed: u64 = sys
+            .controllers()
+            .iter()
+            .map(|mc| mc.channel().validator().expect("attached").observed())
+            .sum();
+        assert!(observed > 0, "{engine:?}: validator saw no commands");
+    }
 }
 
 #[test]

@@ -10,10 +10,17 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test --workspace -q
 
+echo "== cargo test -q -p crow-sim (shadow protocol validator attached) =="
+CROW_VALIDATE=1 cargo test -q -p crow-sim
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
+
+echo "== cargo clippy unwrap audit (library code, tests exempt) =="
+cargo clippy --lib -p crow-dram -p crow-mem -p crow-cpu -p crow-core -p crow-sim -- \
+    -D clippy::unwrap_used
 
 echo "All checks passed."
