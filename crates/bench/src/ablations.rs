@@ -15,9 +15,10 @@
 use crow_dram::MraTimings;
 use crow_mem::{RowPolicy, SchedKind};
 use crow_sim::metrics::geomean;
-use crow_sim::{run_many, run_with_config, Mechanism, Scale, SystemConfig};
+use crow_sim::{run_with_config, Mechanism, Scale, SystemConfig};
 
-use crate::util::{fig_apps, heading, speedup1, Table};
+use crate::perf_figs::mix_id;
+use crate::util::{fig_apps, heading, speedup1, FigCampaign, Table};
 
 /// Partial-restoration ablation: CROW-8 with the paper operating point
 /// vs CROW-8 restricted to full restoration.
@@ -29,13 +30,18 @@ pub fn partial_restore(scale: Scale) -> String {
         Full,
         Partial,
     }
+    let mut camp = FigCampaign::new("ablation_partial_restore", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
-        for v in [Variant::Baseline, Variant::Full, Variant::Partial] {
-            jobs.push((app, v));
+        for (tag, v) in [
+            ("base", Variant::Baseline),
+            ("full", Variant::Full),
+            ("partial", Variant::Partial),
+        ] {
+            jobs.push((format!("{}/{tag}", app.name), (app, v)));
         }
     }
-    let reports = run_many(jobs, |(app, v)| {
+    let reports = camp.run(jobs, |&(app, v), scale| {
         let mech = match v {
             Variant::Baseline => Mechanism::Baseline,
             _ => Mechanism::crow_cache(8),
@@ -46,7 +52,7 @@ pub fn partial_restore(scale: Scale) -> String {
             // tRCD reduction (-38%) since the trade-off is not taken.
             cfg.mra_override = Some(MraTimings::no_partial_restore());
         }
-        run_with_config(cfg, &[app], scale)
+        Ok(run_with_config(cfg, &[app], scale))
     });
     let mut tab = Table::new(vec!["app", "full-restore only", "with partial restore"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 2];
@@ -69,6 +75,7 @@ pub fn partial_restore(scale: Scale) -> String {
     let mut out = heading("Ablation: partial restoration (paper Sec. 4.1.3)");
     out.push_str(&tab.render());
     out.push_str("\n(partial restoration relaxes tRAS by 33% on ACT-t at a 17-point tRCD cost)\n");
+    out.push_str(&camp.finish());
     out
 }
 
@@ -83,16 +90,17 @@ pub fn scheduler(scale: Scale) -> String {
         ("FR-FCFS-Cap4", SchedKind::FrFcfsCap { cap: 4 }),
         ("FR-FCFS-Cap16", SchedKind::FrFcfsCap { cap: 16 }),
     ];
+    let mut camp = FigCampaign::new("ablation_scheduler", scale);
     let mut jobs = Vec::new();
     for mix in &mixes {
-        for &(_, s) in &scheds {
-            jobs.push((mix.to_vec(), s));
+        for &(name, s) in &scheds {
+            jobs.push((format!("{}/{name}", mix_id(mix)), (mix.to_vec(), s)));
         }
     }
-    let reports = run_many(jobs, |(apps, sched)| {
+    let reports = camp.run(jobs, |(apps, sched), scale| {
         let mut cfg = SystemConfig::paper_default(Mechanism::Baseline);
-        cfg.mc = cfg.mc.with_sched(sched);
-        run_with_config(cfg, &apps, scale)
+        cfg.mc = cfg.mc.with_sched(*sched);
+        Ok(run_with_config(cfg, apps, scale))
     });
     let mut tab = Table::new(vec![
         "scheduler",
@@ -120,6 +128,7 @@ pub fn scheduler(scale: Scale) -> String {
         "\n(the Cap bounds how long a streaming row can starve others: it trades a\n\
          little throughput for tail latency, per the fairness argument of footnote 6)\n",
     );
+    out.push_str(&camp.finish());
     out
 }
 
@@ -131,16 +140,17 @@ pub fn row_policy(scale: Scale) -> String {
         ("open-page", RowPolicy::OpenPage),
         ("closed-page", RowPolicy::ClosedPage),
     ];
+    let mut camp = FigCampaign::new("ablation_row_policy", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
-        for &(_, p) in &policies {
-            jobs.push((app, p));
+        for &(name, p) in &policies {
+            jobs.push((format!("{}/{name}", app.name), (app, p)));
         }
     }
-    let reports = run_many(jobs, |(app, policy)| {
+    let reports = camp.run(jobs, |&(app, policy), scale| {
         let mut cfg = SystemConfig::paper_default(Mechanism::Baseline);
         cfg.mc.policy = policy;
-        run_with_config(cfg, &[app], scale)
+        Ok(run_with_config(cfg, &[app], scale))
     });
     let mut tab = Table::new(vec![
         "policy",
@@ -164,6 +174,7 @@ pub fn row_policy(scale: Scale) -> String {
     }
     let mut out = heading("Ablation: row-buffer policy (baseline DRAM)");
     out.push_str(&tab.render());
+    out.push_str(&camp.finish());
     out
 }
 
@@ -171,14 +182,15 @@ pub fn row_policy(scale: Scale) -> String {
 pub fn table_sharing(scale: Scale) -> String {
     let apps = fig_apps();
     let factors = [1u32, 2, 4, 8];
+    let mut camp = FigCampaign::new("ablation_table_sharing", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
-        jobs.push((app, None));
+        jobs.push((format!("{}/base", app.name), (app, None)));
         for &f in &factors {
-            jobs.push((app, Some(f)));
+            jobs.push((format!("{}/share{f}", app.name), (app, Some(f))));
         }
     }
-    let reports = run_many(jobs, |(app, factor)| {
+    let reports = camp.run(jobs, |&(app, factor), scale| {
         let mech = match factor {
             None => Mechanism::Baseline,
             Some(share_factor) => Mechanism::CrowCache {
@@ -186,7 +198,11 @@ pub fn table_sharing(scale: Scale) -> String {
                 share_factor,
             },
         };
-        run_with_config(SystemConfig::paper_default(mech), &[app], scale)
+        Ok(run_with_config(
+            SystemConfig::paper_default(mech),
+            &[app],
+            scale,
+        ))
     });
     let stride = factors.len() + 1;
     let mut tab = Table::new(vec![
@@ -215,6 +231,7 @@ pub fn table_sharing(scale: Scale) -> String {
     let mut out = heading("Ablation: CROW-table entry sharing (paper Sec. 6.1)");
     out.push_str(&tab.render());
     out.push_str("\npaper: sharing across 4 subarrays drops average speedup 7.1% -> 6.1%\n");
+    out.push_str(&camp.finish());
     out
 }
 
@@ -231,6 +248,7 @@ pub fn refresh_granularity(scale: Scale) -> String {
         "per-bank energy",
         "with CROW-ref: per-bank speedup",
     ]);
+    let mut camp = FigCampaign::new("ablation_refresh_granularity", scale);
     for density in [8u32, 64] {
         let mut jobs = Vec::new();
         for mix in &mixes {
@@ -240,13 +258,19 @@ pub fn refresh_granularity(scale: Scale) -> String {
                 (Mechanism::crow_ref(), false),
                 (Mechanism::crow_ref(), true),
             ] {
-                jobs.push((mix.to_vec(), mech, pb));
+                let id = format!(
+                    "d{density}/{}/{}{}",
+                    mix_id(mix),
+                    mech.label(),
+                    if pb { "+pb" } else { "" }
+                );
+                jobs.push((id, (mix.to_vec(), mech, pb)));
             }
         }
-        let reports = run_many(jobs, |(apps, mech, pb)| {
-            let mut cfg = SystemConfig::paper_default(mech).with_density(density);
-            cfg.mc.per_bank_refresh = pb;
-            run_with_config(cfg, &apps, scale)
+        let reports = camp.run(jobs, move |(apps, mech, pb), scale| {
+            let mut cfg = SystemConfig::paper_default(*mech).with_density(density);
+            cfg.mc.per_bank_refresh = *pb;
+            Ok(run_with_config(cfg, apps, scale))
         });
         let mut sp = Vec::new();
         let mut en = Vec::new();
@@ -273,6 +297,7 @@ pub fn refresh_granularity(scale: Scale) -> String {
          angle on the paper's point that refresh overhead scales unfavourably\n\
          with density, and on why CROW-ref's halved rate matters)\n",
     );
+    out.push_str(&camp.finish());
     out
 }
 
@@ -291,20 +316,22 @@ pub fn standards(scale: Scale) -> String {
         Mechanism::crow_cache(8),
         Mechanism::crow_combined(),
     ];
+    let mut camp = FigCampaign::new("ablation_standards", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
-        for std in [Std::Lpddr4, Std::Ddr4] {
+        for (tag, std) in [("lpddr4", Std::Lpddr4), ("ddr4", Std::Ddr4)] {
             for &mech in &mechs {
-                jobs.push((app, std, mech));
+                let id = format!("{}/{tag}/{}", app.name, mech.label());
+                jobs.push((id, (app, std, mech)));
             }
         }
     }
-    let reports = run_many(jobs, |(app, std, mech)| {
+    let reports = camp.run(jobs, |&(app, std, mech), scale| {
         let cfg = match std {
             Std::Lpddr4 => SystemConfig::paper_default(mech),
             Std::Ddr4 => SystemConfig::ddr4(mech),
         };
-        run_with_config(cfg, &[app], scale)
+        Ok(run_with_config(cfg, &[app], scale))
     });
     let mut tab = Table::new(vec!["standard", "CROW-8 speedup", "CROW-8+ref speedup"]);
     for (k, name) in [(0usize, "LPDDR4-3200"), (1, "DDR4-2400")] {
@@ -329,6 +356,7 @@ pub fn standards(scale: Scale) -> String {
         "\n(DDR4's shorter tRCD/tRAS and 64 ms refresh window shrink both of\n\
          CROW's targets, so gains are smaller but remain positive)\n",
     );
+    out.push_str(&camp.finish());
     out
 }
 
@@ -340,16 +368,17 @@ pub fn mapping(scale: Scale) -> String {
         ("RoBaRaCoCh", MapScheme::RoBaRaCoCh),
         ("RoRaBaChCo", MapScheme::RoRaBaChCo),
     ];
+    let mut camp = FigCampaign::new("ablation_mapping", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
-        for &(_, s) in &schemes {
-            jobs.push((app, s));
+        for &(name, s) in &schemes {
+            jobs.push((format!("{}/{name}", app.name), (app, s)));
         }
     }
-    let reports = run_many(jobs, |(app, scheme)| {
+    let reports = camp.run(jobs, |&(app, scheme), scale| {
         let mut cfg = SystemConfig::paper_default(Mechanism::Baseline);
         cfg.scheme = scheme;
-        run_with_config(cfg, &[app], scale)
+        Ok(run_with_config(cfg, &[app], scale))
     });
     let mut tab = Table::new(vec!["scheme", "geomean IPC vs RoBaRaCoCh"]);
     for (k, (name, _)) in schemes.iter().enumerate() {
@@ -364,6 +393,7 @@ pub fn mapping(scale: Scale) -> String {
     }
     let mut out = heading("Ablation: address interleaving (baseline DRAM)");
     out.push_str(&tab.render());
+    out.push_str(&camp.finish());
     out
 }
 

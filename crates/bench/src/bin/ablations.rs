@@ -1,9 +1,9 @@
 //! Runs the ablation studies (partial restoration, scheduler, row
 //! policy, CROW-table sharing, address interleaving).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = scale_from_env_or_exit();
     print!("{}", crow_bench::ablations::partial_restore(scale));
     print!("{}", crow_bench::ablations::scheduler(scale));
     print!("{}", crow_bench::ablations::row_policy(scale));

@@ -1,12 +1,51 @@
 //! Regenerates every table and figure, printing and archiving the
-//! results under `results/`.
-use crow_sim::Scale;
+//! results under `results/`. Simulation sections run as supervised
+//! campaigns with durable journals under `results/campaign/`, so an
+//! interrupted regeneration picks up where it left off:
+//!
+//! ```sh
+//! cargo run -p crow-bench --release --bin all            # fresh run
+//! cargo run -p crow-bench --release --bin all -- --resume
+//! ```
+//!
+//! `--timeout SECS` and `--retries N` set the per-job deadline and
+//! retry budget (equivalently `CROW_TIMEOUT_SECS` / `CROW_RETRIES`;
+//! `--resume` is `CROW_RESUME=1`).
+use crow_bench::util::scale_from_env_or_exit;
 use std::time::Instant;
 
 type Section = (&'static str, Box<dyn Fn() -> String>);
 
+fn usage() -> ! {
+    eprintln!("usage: all [--resume] [--timeout SECS] [--retries N] [--only SECTION]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let scale = Scale::from_env();
+    let mut only: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> String {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        // The campaign knobs travel by environment so the figure
+        // functions (and their FigCampaign constructors) see them.
+        match flag.as_str() {
+            "--resume" => std::env::set_var("CROW_RESUME", "1"),
+            "--timeout" => std::env::set_var("CROW_TIMEOUT_SECS", val("--timeout")),
+            "--retries" => std::env::set_var("CROW_RETRIES", val("--retries")),
+            "--only" => only = Some(val("--only")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let scale = scale_from_env_or_exit();
     let sections: Vec<Section> = vec![
         ("table1", Box::new(crow_bench::circuit_figs::table1)),
         ("fig5", Box::new(crow_bench::circuit_figs::fig5)),
@@ -67,6 +106,9 @@ fn main() {
     std::fs::create_dir_all("results").ok();
     let mut combined = String::new();
     for (name, f) in sections {
+        if only.as_deref().is_some_and(|o| o != name) {
+            continue;
+        }
         let t = Instant::now();
         let text = f();
         println!("{text}");

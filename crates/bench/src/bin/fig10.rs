@@ -1,5 +1,5 @@
 //! Regenerates paper Fig. 10 (DRAM energy with CROW-cache).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::perf_figs::fig10(Scale::from_env()));
+    print!("{}", crow_bench::perf_figs::fig10(scale_from_env_or_exit()));
 }

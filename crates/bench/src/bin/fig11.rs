@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 11 (CROW-cache vs TL-DRAM vs SALP).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::compare_figs::fig11(Scale::from_env()));
+    print!(
+        "{}",
+        crow_bench::compare_figs::fig11(scale_from_env_or_exit())
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 12 (CROW-cache with a stride prefetcher).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::compare_figs::fig12(Scale::from_env()));
+    print!(
+        "{}",
+        crow_bench::compare_figs::fig12(scale_from_env_or_exit())
+    );
 }

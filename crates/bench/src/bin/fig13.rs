@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 13 (CROW-ref vs chip density).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::refresh_figs::fig13(Scale::from_env()));
+    print!(
+        "{}",
+        crow_bench::refresh_figs::fig13(scale_from_env_or_exit())
+    );
 }

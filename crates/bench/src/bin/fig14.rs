@@ -1,5 +1,8 @@
 //! Regenerates paper Fig. 14 (combined mechanisms vs LLC capacity).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::refresh_figs::fig14(Scale::from_env()));
+    print!(
+        "{}",
+        crow_bench::refresh_figs::fig14(scale_from_env_or_exit())
+    );
 }

@@ -1,5 +1,5 @@
 //! Regenerates paper Fig. 8 (single-core CROW-cache speedup + hit rate).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::perf_figs::fig8(Scale::from_env()));
+    print!("{}", crow_bench::perf_figs::fig8(scale_from_env_or_exit()));
 }

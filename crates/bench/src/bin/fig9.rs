@@ -1,5 +1,5 @@
 //! Regenerates paper Fig. 9 (four-core weighted speedup by mix group).
-use crow_sim::Scale;
+use crow_bench::util::scale_from_env_or_exit;
 fn main() {
-    print!("{}", crow_bench::perf_figs::fig9(Scale::from_env()));
+    print!("{}", crow_bench::perf_figs::fig9(scale_from_env_or_exit()));
 }

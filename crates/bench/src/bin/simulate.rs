@@ -12,10 +12,13 @@
 //!     --trace core0.trace --trace core1.trace --mechanism crow-combined
 //! ```
 
-use crow_cpu::trace::{load_trace, LoopedTrace};
+use crow_cpu::trace::{load_trace, LoopedTrace, TraceEntry};
 use crow_cpu::TraceSource;
 use crow_dram::Command;
-use crow_sim::{FaultPlan, FaultPolicy, Mechanism, System, SystemConfig};
+use crow_sim::{
+    Campaign, CampaignPolicy, FaultPlan, FaultPolicy, Mechanism, OutcomeKind, Scale, SimReport,
+    System, SystemConfig,
+};
 use crow_workloads::AppProfile;
 
 struct Args {
@@ -35,6 +38,9 @@ struct Args {
     validate: bool,
     faults: Option<String>,
     fault_policy: FaultPolicy,
+    timeout: Option<f64>,
+    retries: Option<u32>,
+    resume: bool,
 }
 
 fn usage() -> ! {
@@ -44,6 +50,7 @@ fn usage() -> ! {
          \x20        [--llc-mib N] [--channels N] [--seed N]\n\
          \x20        [--prefetch] [--per-bank-refresh] [--oracle] [--ddr4]\n\
          \x20        [--validate] [--faults SPEC] [--fault-policy P]\n\
+         \x20        [--timeout SECS] [--retries N] [--resume]\n\
          \n\
          mechanisms: baseline, crow-N (copy rows), crow-ref, crow-combined,\n\
          \x20           ideal, no-refresh, tldram-N, salp-N, salp-N-o\n\
@@ -53,7 +60,13 @@ fn usage() -> ! {
          --validate attaches the shadow protocol validator to every channel\n\
          --faults SPEC enables fault injection: `stress` or a comma list of\n\
          \x20    vrt=N, hammer=N, burst=N, drop=N (intervals in CPU cycles)\n\
-         --fault-policy P is abort, record (default) or degrade"
+         --fault-policy P is abort, record (default) or degrade\n\
+         \n\
+         --timeout/--retries/--resume run the simulation as a supervised\n\
+         \x20    campaign job (journaled under results/campaign/simulate.jsonl):\n\
+         \x20    a panic, Abort-policy fault, or overrun deadline is retried at\n\
+         \x20    a degraded instruction budget, and --resume restores a\n\
+         \x20    previously journaled result instead of re-running"
     );
     std::process::exit(2);
 }
@@ -119,6 +132,9 @@ fn parse_args() -> Args {
         validate: false,
         faults: None,
         fault_policy: FaultPolicy::Record,
+        timeout: None,
+        retries: None,
+        resume: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -145,6 +161,9 @@ fn parse_args() -> Args {
             "--validate" => a.validate = true,
             "--faults" => a.faults = Some(val("--faults")),
             "--fault-policy" => a.fault_policy = parse_fault_policy(&val("--fault-policy")),
+            "--timeout" => a.timeout = Some(val("--timeout").parse().unwrap_or_else(|_| usage())),
+            "--retries" => a.retries = Some(val("--retries").parse().unwrap_or_else(|_| usage())),
+            "--resume" => a.resume = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -195,6 +214,103 @@ fn parse_mechanism(s: &str) -> Mechanism {
     usage();
 }
 
+/// Runs the configured simulation as a single supervised campaign job:
+/// crash-isolated, deadline-enforced, retried at a degraded instruction
+/// budget, and journaled under `results/campaign/simulate.jsonl` so
+/// `--resume` restores the result instead of re-running. Returns the
+/// report and whether it was restored from the journal.
+fn run_supervised<F>(args: &Args, cfg: SystemConfig, build: F) -> (SimReport, bool)
+where
+    F: Fn(SystemConfig) -> Result<System, crow_sim::CrowError> + Send + Sync + 'static,
+{
+    let scale = Scale {
+        insts: args.insts,
+        warmup: args.warmup,
+        mixes_per_group: 1,
+        max_cycles: u64::MAX,
+    };
+    let mut policy = CampaignPolicy::new(scale);
+    policy.timeout = args
+        .timeout
+        .filter(|&s| s > 0.0)
+        .map(std::time::Duration::from_secs_f64);
+    policy.max_retries = args.retries.unwrap_or(1);
+    policy.resume = args.resume;
+    let mut camp = Campaign::new("simulate", policy).unwrap_or_else(|e| {
+        eprintln!("warning: {e}; running unjournaled");
+        Campaign::ephemeral("simulate", policy)
+    });
+    if camp.quarantined() > 0 {
+        eprintln!(
+            "simulate: quarantined {} corrupt journal record(s)",
+            camp.quarantined()
+        );
+    }
+    // Everything that changes the simulated outcome must be in the job
+    // fingerprint (the instruction budget rides the scale fingerprint).
+    let job_fp = format!(
+        "sim/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}{}/{}/{:?}",
+        args.mechanism,
+        if args.traces.is_empty() {
+            args.apps.join("+")
+        } else {
+            args.traces.join("+")
+        },
+        args.density,
+        args.llc_mib,
+        args.channels,
+        args.seed,
+        if args.prefetch { "/pref" } else { "" },
+        if args.per_bank_refresh { "/pbref" } else { "" },
+        if args.oracle { "/oracle" } else { "" },
+        if args.ddr4 { "/ddr4" } else { "" },
+        if args.validate { "/validate" } else { "" },
+        args.faults.as_deref().unwrap_or("-"),
+        args.fault_policy,
+    );
+    let oracle = args.oracle;
+    let outcomes = camp.run(vec![(job_fp, cfg)], move |cfg, scale| {
+        let mut cfg = cfg.clone();
+        cfg.cpu.target_insts = scale.insts;
+        let mut sys = build(cfg)?;
+        if scale.warmup > 0 {
+            sys.warm(scale.warmup);
+        }
+        let r = sys.run_checked(u64::MAX)?;
+        if oracle {
+            sys.assert_data_integrity();
+        }
+        Ok(r)
+    });
+    let o = outcomes.into_iter().next().expect("one job in, one out");
+    eprintln!(
+        "simulate campaign: {} after {} attempt(s)",
+        match o.disposition() {
+            OutcomeKind::Ok => "ok",
+            OutcomeKind::Degraded => "completed at degraded scale",
+            OutcomeKind::Panicked => "failed",
+            OutcomeKind::TimedOut => "timed out",
+            OutcomeKind::Skipped => "restored",
+        },
+        o.attempts.max(1)
+    );
+    match o.result {
+        Some(r) => {
+            if oracle && o.kind != OutcomeKind::Skipped {
+                println!("data-integrity oracle: clean");
+            }
+            (r, o.kind == OutcomeKind::Skipped)
+        }
+        None => {
+            eprintln!(
+                "simulate: {}",
+                o.error.as_deref().unwrap_or("job produced no result")
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let mech = parse_mechanism(&args.mechanism);
@@ -221,10 +337,11 @@ fn main() {
     let validating = cfg.validate_protocol;
     let injecting = cfg.fault_plan.is_some();
 
+    // Resolve inputs once, up front (bad names/files fail fast in both
+    // the direct and the supervised path).
     let mut names = Vec::new();
-    let built = if args.traces.is_empty() {
-        let apps: Vec<&'static AppProfile> = args
-            .apps
+    let apps: Vec<&'static AppProfile> = if args.traces.is_empty() {
+        args.apps
             .iter()
             .map(|n| {
                 AppProfile::by_name(n).unwrap_or_else(|| {
@@ -232,44 +349,63 @@ fn main() {
                     usage()
                 })
             })
-            .collect();
-        names = apps.iter().map(|a| a.name.to_string()).collect();
-        System::try_new(cfg, &apps)
+            .inspect(|a| names.push(a.name.to_string()))
+            .collect()
     } else {
-        let traces: Vec<Box<dyn TraceSource>> = args
-            .traces
-            .iter()
-            .map(|p| {
-                let entries = load_trace(std::path::Path::new(p)).unwrap_or_else(|e| {
-                    eprintln!("cannot load {p}: {e}");
-                    std::process::exit(1);
-                });
-                names.push(p.clone());
-                let t = LoopedTrace::try_new(entries).unwrap_or_else(|e| {
-                    eprintln!("cannot replay {p}: {e}");
-                    std::process::exit(1);
-                });
-                Box::new(t) as Box<dyn TraceSource>
-            })
-            .collect();
-        System::try_with_traces(cfg, traces)
+        Vec::new()
     };
-    let mut sys = built.unwrap_or_else(|e| {
-        eprintln!("simulate: {e}");
-        std::process::exit(1);
-    });
+    let trace_entries: Vec<Vec<TraceEntry>> = args
+        .traces
+        .iter()
+        .map(|p| {
+            let entries = load_trace(std::path::Path::new(p)).unwrap_or_else(|e| {
+                eprintln!("cannot load {p}: {e}");
+                std::process::exit(1);
+            });
+            names.push(p.clone());
+            entries
+        })
+        .collect();
 
-    if args.warmup > 0 {
-        sys.warm(args.warmup);
-    }
+    let build = move |cfg: SystemConfig| -> Result<System, crow_sim::CrowError> {
+        if trace_entries.is_empty() {
+            System::try_new(cfg, &apps)
+        } else {
+            let traces: Vec<Box<dyn TraceSource>> = trace_entries
+                .iter()
+                .map(|entries| {
+                    LoopedTrace::try_new(entries.clone())
+                        .map(|t| Box::new(t) as Box<dyn TraceSource>)
+                })
+                .collect::<Result<_, _>>()?;
+            System::try_with_traces(cfg, traces)
+        }
+    };
+
+    let supervised = args.timeout.is_some() || args.retries.is_some() || args.resume;
     let start = std::time::Instant::now();
-    let r = sys.run_checked(u64::MAX).unwrap_or_else(|e| {
-        eprintln!("simulate: {e}");
-        std::process::exit(1);
-    });
-    if args.oracle {
-        sys.assert_data_integrity();
-        println!("data-integrity oracle: clean");
+    let (r, restored) = if supervised {
+        run_supervised(&args, cfg, build)
+    } else {
+        let mut sys = build(cfg).unwrap_or_else(|e| {
+            eprintln!("simulate: {e}");
+            std::process::exit(1);
+        });
+        if args.warmup > 0 {
+            sys.warm(args.warmup);
+        }
+        let r = sys.run_checked(u64::MAX).unwrap_or_else(|e| {
+            eprintln!("simulate: {e}");
+            std::process::exit(1);
+        });
+        if args.oracle {
+            sys.assert_data_integrity();
+            println!("data-integrity oracle: clean");
+        }
+        (r, false)
+    };
+    if restored {
+        println!("[restored from campaign journal; wall-clock figures are from the original run]");
     }
     if validating {
         println!("shadow protocol validator: {} violation(s)", r.violations);

@@ -3,10 +3,10 @@
 
 use crow_baselines::{SalpConfig, TlDramConfig};
 use crow_sim::metrics::geomean;
-use crow_sim::{run_many, run_single, run_with_config, Mechanism, Scale, SystemConfig};
+use crow_sim::{run_single, run_with_config, Mechanism, Scale, SystemConfig};
 use crow_workloads::AppProfile;
 
-use crate::util::{energy_norm, fig_apps, heading, speedup1, Table};
+use crate::util::{energy_norm, fig_apps, heading, speedup1, FigCampaign, Table};
 
 /// Fig. 11: performance, DRAM energy, and chip area of CROW-cache
 /// against TL-DRAM and SALP.
@@ -36,13 +36,14 @@ pub fn fig11(scale: Scale) -> String {
         }
         v
     };
+    let mut camp = FigCampaign::new("fig11", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
-        for (_, mech) in &mechs {
-            jobs.push((app, *mech));
+        for (label, mech) in &mechs {
+            jobs.push((format!("{}/{label}", app.name), (app, *mech)));
         }
     }
-    let reports = run_many(jobs, |(app, mech)| run_single(app, mech, scale));
+    let reports = camp.run(jobs, |&(app, mech), scale| Ok(run_single(app, mech, scale)));
     let rows: Vec<&[crow_sim::SimReport]> = reports.chunks(mechs.len()).collect();
 
     let area_of = |label: &str| -> f64 {
@@ -81,6 +82,7 @@ pub fn fig11(scale: Scale) -> String {
         "\npaper: TL-DRAM-8 +13.8% at 6.9% area; CROW-8 +7.1% at 0.48% area;\n\
          SALP-O fastest but large energy overhead (multiple live row buffers)\n",
     );
+    out.push_str(&camp.finish());
     out
 }
 
@@ -113,18 +115,25 @@ pub fn fig12(scale: Scale) -> String {
             prefetch: true,
         },
     ];
+    let mut camp = FigCampaign::new("fig12", scale);
     let mut jobs = Vec::new();
     for &app in &apps {
         for &c in &cfgs {
-            jobs.push((app, c));
+            let id = format!(
+                "{}/{}{}",
+                app.name,
+                c.mech.label(),
+                if c.prefetch { "+pref" } else { "" }
+            );
+            jobs.push((id, (app, c)));
         }
     }
-    let reports = run_many(jobs, |(app, c)| {
+    let reports = camp.run(jobs, |&(app, c), scale| {
         let mut cfg = SystemConfig::paper_default(c.mech);
         if c.prefetch {
             cfg = cfg.with_prefetcher();
         }
-        run_with_config(cfg, &[app], scale)
+        Ok(run_with_config(cfg, &[app], scale))
     });
     let mut tab = Table::new(vec!["app", "pref", "CROW-8", "pref+CROW-8"]);
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
@@ -150,6 +159,7 @@ pub fn fig12(scale: Scale) -> String {
     let mut out = heading("Fig. 12: CROW-cache and prefetching (speedup vs no-prefetch baseline)");
     out.push_str(&tab.render());
     out.push_str("\npaper: CROW-cache adds +5.7% on top of the prefetcher on average\n");
+    out.push_str(&camp.finish());
     out
 }
 

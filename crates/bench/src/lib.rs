@@ -9,6 +9,14 @@
 //! (`CROW_INSTS`, `CROW_WARMUP`, `CROW_MIXES`, `CROW_APPS=all`); see
 //! [`crow_sim::Scale`].
 //!
+//! Every simulation-backed figure runs its jobs through a supervised
+//! [`crow_sim::Campaign`] (via [`util::FigCampaign`]): panicking, erroring,
+//! or wedged jobs become recorded outcomes instead of killing the
+//! harness, and completed jobs are journaled under `results/campaign/`
+//! so an interrupted regeneration resumes with `CROW_RESUME=1` (or
+//! `--resume` on the `all` binary). `CROW_TIMEOUT_SECS` and
+//! `CROW_RETRIES` set the per-job deadline and degrade/retry budget.
+//!
 //! Each module returns the report as a `String` so the `all` binary can
 //! both print and archive results, and so tests can exercise the logic
 //! at a tiny scale.
@@ -20,4 +28,4 @@ pub mod perf_figs;
 pub mod refresh_figs;
 pub mod util;
 
-pub use util::{fig_apps, AloneIpcCache, Table};
+pub use util::{fig_apps, AloneIpcCache, FigCampaign, Table};

@@ -3,10 +3,15 @@
 //! energy).
 
 use crow_sim::metrics::geomean;
-use crow_sim::{run_many, run_mix, run_single, weighted_speedup, Mechanism, Scale, SimReport};
+use crow_sim::{run_mix, run_single, weighted_speedup, Mechanism, Scale, SimReport};
 use crow_workloads::{mixes_for_group, AppProfile, MixGroup};
 
-use crate::util::{energy_norm, fig_apps, heading, speedup1, AloneIpcCache, Table};
+use crate::util::{energy_norm, fig_apps, heading, speedup1, AloneIpcCache, FigCampaign, Table};
+
+/// A stable job id for a four-app mix.
+pub(crate) fn mix_id(mix: &[&'static AppProfile]) -> String {
+    mix.iter().map(|a| a.name).collect::<Vec<_>>().join("+")
+}
 
 /// The CROW-cache configurations Fig. 8/9 sweep. The paper's largest
 /// point is CROW-256; copy-row indices are 8-bit here, so the largest
@@ -21,20 +26,21 @@ pub fn cache_configs() -> Vec<Mechanism> {
     ]
 }
 
-/// Runs every (app, mechanism) pair in parallel and returns reports
-/// keyed by (app index, mech index); index 0 is the baseline.
+/// Runs every (app, mechanism) pair under `camp`'s supervision and
+/// returns reports keyed by (app index, mech index); index 0 is the
+/// baseline.
 fn run_grid(
+    camp: &mut FigCampaign,
     apps: &[&'static AppProfile],
     mechs: &[Mechanism],
-    scale: Scale,
 ) -> Vec<Vec<SimReport>> {
     let mut jobs = Vec::new();
     for &app in apps {
         for &mech in mechs {
-            jobs.push((app, mech));
+            jobs.push((format!("{}/{}", app.name, mech.label()), (app, mech)));
         }
     }
-    let reports = run_many(jobs, |(app, mech)| run_single(app, mech, scale));
+    let reports = camp.run(jobs, |&(app, mech), scale| Ok(run_single(app, mech, scale)));
     reports
         .chunks(mechs.len())
         .map(<[SimReport]>::to_vec)
@@ -47,7 +53,8 @@ pub fn fig8(scale: Scale) -> String {
     let apps = fig_apps();
     let mut mechs = vec![Mechanism::Baseline];
     mechs.extend(cache_configs());
-    let grid = run_grid(&apps, &mechs, scale);
+    let mut camp = FigCampaign::new("fig8", scale);
+    let grid = run_grid(&mut camp, &apps, &mechs);
     let mut tab = Table::new(vec![
         "app (mpki)",
         "CROW-1",
@@ -95,6 +102,7 @@ pub fn fig8(scale: Scale) -> String {
         restore_fraction.iter().sum::<f64>() / restore_fraction.len() as f64 * 100.0
     ));
     out.push_str("paper: CROW-1 +5.5%, CROW-8 +7.1%, CROW-256 +7.8% avg; hit rates 69/85/91%\n");
+    out.push_str(&camp.finish());
     out
 }
 
@@ -106,6 +114,7 @@ pub fn fig9(scale: Scale) -> String {
         m
     };
     let mut alone = AloneIpcCache::new();
+    let mut camp = FigCampaign::new("fig9", scale);
     let mut tab = Table::new(vec![
         "group",
         "CROW-1",
@@ -119,15 +128,17 @@ pub fn fig9(scale: Scale) -> String {
         let mixes = mixes_for_group(group, scale.mixes_per_group, 77);
         // Prefill alone IPCs.
         let all_apps: Vec<&'static AppProfile> = mixes.iter().flatten().copied().collect();
-        alone.prefill(&all_apps, scale);
-        // Run every (mix, mech) in parallel.
+        alone.prefill(&all_apps, &mut camp);
+        // Run every (mix, mech) under supervision.
         let mut jobs = Vec::new();
         for mix in &mixes {
             for &mech in &mechs {
-                jobs.push((*mix, mech));
+                jobs.push((format!("{}/{}", mix_id(mix), mech.label()), (*mix, mech)));
             }
         }
-        let reports = run_many(jobs, |(mix, mech)| run_mix(mix.as_ref(), mech, scale));
+        let reports = camp.run(jobs, |(mix, mech), scale| {
+            Ok(run_mix(mix.as_ref(), *mech, scale))
+        });
         // Weighted speedups normalized to the baseline run of each mix.
         let mut per_mech: Vec<Vec<f64>> = vec![Vec::new(); mechs.len() - 1];
         for (mix, chunk) in mixes.iter().zip(reports.chunks(mechs.len())) {
@@ -156,6 +167,7 @@ pub fn fig9(scale: Scale) -> String {
     }
     out.push_str(&tab.render());
     out.push_str("\npaper: CROW-8 +7.4% for HHHH, +0.4% for LLLL; CROW-8 >> CROW-1 on 4 cores\n");
+    out.push_str(&camp.finish());
     out
 }
 
@@ -164,7 +176,8 @@ pub fn fig9(scale: Scale) -> String {
 pub fn fig10(scale: Scale) -> String {
     let apps = fig_apps();
     let mechs = [Mechanism::Baseline, Mechanism::crow_cache(8)];
-    let grid = run_grid(&apps, &mechs, scale);
+    let mut camp = FigCampaign::new("fig10", scale);
+    let grid = run_grid(&mut camp, &apps, &mechs);
     let singles: Vec<f64> = grid
         .iter()
         .map(|row| energy_norm(&row[1], &row[0]))
@@ -174,10 +187,12 @@ pub fn fig10(scale: Scale) -> String {
     let mut jobs = Vec::new();
     for mix in &mixes {
         for &mech in &mechs {
-            jobs.push((*mix, mech));
+            jobs.push((format!("{}/{}", mix_id(mix), mech.label()), (*mix, mech)));
         }
     }
-    let reports = run_many(jobs, |(mix, mech)| run_mix(mix.as_ref(), mech, scale));
+    let reports = camp.run(jobs, |(mix, mech), scale| {
+        Ok(run_mix(mix.as_ref(), *mech, scale))
+    });
     let fours: Vec<f64> = reports
         .chunks(2)
         .map(|c| energy_norm(&c[1], &c[0]))
@@ -196,6 +211,7 @@ pub fn fig10(scale: Scale) -> String {
     ]);
     out.push_str(&tab.render());
     out.push_str("\npaper: 0.918 single-core, 0.931 four-core (-8.2% / -6.9%)\n");
+    out.push_str(&camp.finish());
     out
 }
 
@@ -205,10 +221,17 @@ mod tests {
 
     #[test]
     fn fig8_tiny_scale_produces_table() {
-        // One app at tiny scale to keep the test fast.
+        // One app at tiny scale to keep the test fast. Point the
+        // campaign journal at a scratch directory so the test leaves no
+        // results/ tree behind.
         std::env::remove_var("CROW_APPS");
+        let dir = std::env::temp_dir().join(format!("crow-fig8-test-{}", std::process::id()));
+        std::env::set_var("CROW_CAMPAIGN_DIR", &dir);
         let s = fig8(Scale::tiny());
+        std::env::remove_var("CROW_CAMPAIGN_DIR");
+        std::fs::remove_dir_all(&dir).ok();
         assert!(s.contains("geomean"));
         assert!(s.contains("mcf"));
+        assert!(s.contains("campaign fig8: ok"), "outcome trailer present");
     }
 }

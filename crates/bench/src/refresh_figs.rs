@@ -2,10 +2,11 @@
 //! (CROW-cache + CROW-ref vs LLC capacity, against the ideal).
 
 use crow_sim::metrics::geomean;
-use crow_sim::{run_many, run_with_config, Mechanism, Scale, SimReport, SystemConfig};
+use crow_sim::{run_with_config, Mechanism, Scale, SimReport, SystemConfig};
 use crow_workloads::{mixes_for_group, MixGroup};
 
-use crate::util::{energy_norm, fig_apps, heading, Table};
+use crate::perf_figs::mix_id;
+use crate::util::{energy_norm, fig_apps, heading, FigCampaign, Table};
 
 fn throughput_speedup(r: &SimReport, base: &SimReport) -> f64 {
     r.ipc_sum() / base.ipc_sum()
@@ -23,22 +24,25 @@ pub fn fig13(scale: Scale) -> String {
         "4c speedup",
         "4c energy",
     ]);
+    let mut camp = FigCampaign::new("fig13", scale);
     for density in [8u32, 16, 32, 64] {
         // Single-core jobs.
         let mut jobs = Vec::new();
         for &app in &apps {
             for mech in [Mechanism::Baseline, Mechanism::crow_ref()] {
-                jobs.push((vec![app], mech));
+                let id = format!("d{density}/{}/{}", app.name, mech.label());
+                jobs.push((id, (vec![app], mech)));
             }
         }
         for mix in &mixes {
             for mech in [Mechanism::Baseline, Mechanism::crow_ref()] {
-                jobs.push((mix.to_vec(), mech));
+                let id = format!("d{density}/{}/{}", mix_id(mix), mech.label());
+                jobs.push((id, (mix.to_vec(), mech)));
             }
         }
-        let reports = run_many(jobs, |(apps, mech)| {
-            let cfg = SystemConfig::paper_default(mech).with_density(density);
-            run_with_config(cfg, &apps, scale)
+        let reports = camp.run(jobs, move |(apps, mech), scale| {
+            let cfg = SystemConfig::paper_default(*mech).with_density(density);
+            Ok(run_with_config(cfg, apps, scale))
         });
         let (singles, fours) = reports.split_at(apps.len() * 2);
         let sp1: Vec<f64> = singles
@@ -66,6 +70,7 @@ pub fn fig13(scale: Scale) -> String {
     let mut out = heading("Fig. 13: CROW-ref speedup and DRAM energy vs chip density");
     out.push_str(&tab.render());
     out.push_str("\npaper at 64 Gbit: +7.1% / -17.2% single-core, +11.9% / -7.8% four-core\n");
+    out.push_str(&camp.finish());
     out
 }
 
@@ -89,18 +94,20 @@ pub fn fig14(scale: Scale) -> String {
         "ideal",
         "energy cache+ref",
     ]);
+    let mut camp = FigCampaign::new("fig14", scale);
     for llc_mib in [1u64, 8, 32] {
         let mut jobs = Vec::new();
         for mix in &mixes {
             for &mech in &mechs {
-                jobs.push((mix.to_vec(), mech));
+                let id = format!("llc{llc_mib}/{}/{}", mix_id(mix), mech.label());
+                jobs.push((id, (mix.to_vec(), mech)));
             }
         }
-        let reports = run_many(jobs, |(apps, mech)| {
-            let cfg = SystemConfig::paper_default(mech)
+        let reports = camp.run(jobs, move |(apps, mech), scale| {
+            let cfg = SystemConfig::paper_default(*mech)
                 .with_density(64)
                 .with_llc_bytes(llc_mib << 20);
-            run_with_config(cfg, &apps, scale)
+            Ok(run_with_config(cfg, apps, scale))
         });
         let mut sp: Vec<Vec<f64>> = vec![Vec::new(); 4];
         let mut en_combined = Vec::new();
@@ -128,6 +135,7 @@ pub fn fig14(scale: Scale) -> String {
         "\npaper at 8 MiB: combined +20.0% speedup, 0.777 energy; combined > cache, > ref;\n\
          combined reaches ~71% of the ideal's speedup and ~99% of its energy saving\n",
     );
+    out.push_str(&camp.finish());
     out
 }
 

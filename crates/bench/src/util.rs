@@ -1,9 +1,12 @@
 //! Shared harness utilities: text tables, app selection, alone-run IPC
-//! caching for weighted speedup.
+//! caching for weighted speedup, and the supervised figure campaign
+//! wrapper every figure harness runs its jobs through.
 
 use std::collections::HashMap;
 
-use crow_sim::{run_single, Mechanism, Scale, SimReport};
+use crow_sim::{
+    run_single, Campaign, CampaignPolicy, CrowError, Json, Mechanism, Scale, SimReport,
+};
 use crow_workloads::AppProfile;
 
 /// A simple fixed-width text table builder.
@@ -65,6 +68,122 @@ impl Table {
 /// Section header for reports.
 pub fn heading(title: &str) -> String {
     format!("\n=== {title} ===\n")
+}
+
+/// [`Scale::from_env`] for binaries: a malformed override prints one
+/// diagnostic and exits instead of unwinding.
+pub fn scale_from_env_or_exit() -> Scale {
+    Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// The stand-in report for a job that produced no result (panicked or
+/// timed out through every retry): NaN metrics so downstream figure
+/// arithmetic propagates "unknown" instead of a silently wrong number,
+/// and `finished: false`. The campaign trailer tells the reader why.
+pub fn failed_report() -> SimReport {
+    SimReport {
+        ipc: vec![f64::NAN; 4],
+        mpki: vec![f64::NAN; 4],
+        cpu_cycles: 0,
+        mem_cycles: 0,
+        mc: Default::default(),
+        commands: Default::default(),
+        crow: Default::default(),
+        energy: Default::default(),
+        finished: false,
+        violations: 0,
+        trace_faults: 0,
+        faults: Default::default(),
+        wall_seconds: 0.0,
+        sim_cycles_per_sec: 0.0,
+    }
+}
+
+/// The supervised campaign wrapper for figure harnesses.
+///
+/// Wraps a journaled [`Campaign`] (policy from the environment:
+/// `CROW_TIMEOUT_SECS`, `CROW_RETRIES`, `CROW_RESUME`; journal under
+/// `$CROW_CAMPAIGN_DIR` or `results/campaign/<name>.jsonl`) and adapts
+/// its outcomes back to the plain `Vec<SimReport>` shape the figure
+/// arithmetic expects, substituting [`failed_report`] for jobs that
+/// produced nothing. Call [`FigCampaign::finish`] at the end of the
+/// figure to emit the outcome counters (text trailer + a JSON summary
+/// next to the journal).
+pub struct FigCampaign {
+    camp: Campaign,
+}
+
+impl FigCampaign {
+    /// Opens the campaign for figure `name` at the requested scale.
+    ///
+    /// A bad environment knob is fatal (exit 2); an unwritable journal
+    /// degrades to supervision without resumability, with a warning.
+    pub fn new(name: &str, scale: Scale) -> Self {
+        let policy = CampaignPolicy::from_env(scale).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        let camp = Campaign::new(name, policy).unwrap_or_else(|e| {
+            eprintln!("warning: {e}; campaign '{name}' runs unjournaled");
+            Campaign::ephemeral(name, policy)
+        });
+        if camp.quarantined() > 0 {
+            eprintln!(
+                "campaign {name}: quarantined {} corrupt journal record(s)",
+                camp.quarantined()
+            );
+        }
+        Self { camp }
+    }
+
+    /// Runs one supervised batch; may be called repeatedly (job ids must
+    /// be unique across the whole campaign for the journal to resume
+    /// correctly).
+    pub fn run<J, F>(&mut self, jobs: Vec<(String, J)>, worker: F) -> Vec<SimReport>
+    where
+        J: Send + Sync + 'static,
+        F: Fn(&J, Scale) -> Result<SimReport, CrowError> + Send + Sync + 'static,
+    {
+        self.camp
+            .run(jobs, worker)
+            .into_iter()
+            .map(|o| o.result.unwrap_or_else(failed_report))
+            .collect()
+    }
+
+    /// Finishes the campaign: writes `<journal>.summary.json` with the
+    /// final job dispositions and returns the text trailer appended to
+    /// the figure output. Dispositions count a journal-restored job
+    /// under its original outcome, so a resumed figure regeneration
+    /// produces byte-identical output to an uninterrupted one; how many
+    /// jobs were restored this invocation goes to stderr only.
+    pub fn finish(&self) -> String {
+        let d = self.camp.dispositions();
+        let c = self.camp.counts();
+        if c.skipped > 0 {
+            eprintln!(
+                "campaign {}: restored {} journaled job(s), ran {}",
+                self.camp.name(),
+                c.skipped,
+                c.total() - c.skipped
+            );
+        }
+        if let Some(path) = self.camp.journal_path() {
+            let summary = Json::Obj(vec![
+                ("campaign".into(), Json::str(self.camp.name())),
+                ("outcomes".into(), d.to_json()),
+            ]);
+            let mut spath = path.as_os_str().to_owned();
+            spath.push(".summary.json");
+            if let Err(e) = std::fs::write(spath, summary.pretty()) {
+                eprintln!("campaign {}: cannot write summary: {e}", self.camp.name());
+            }
+        }
+        format!("\ncampaign {}: {}\n", self.camp.name(), d)
+    }
 }
 
 /// The single-core application set the performance figures sweep.
@@ -131,8 +250,9 @@ impl AloneIpcCache {
         v
     }
 
-    /// Pre-computes alone IPCs for many apps in parallel.
-    pub fn prefill(&mut self, apps: &[&'static AppProfile], scale: Scale) {
+    /// Pre-computes alone IPCs for many apps under `camp`'s supervision
+    /// (one journaled job per app, id `alone/<app>`).
+    pub fn prefill(&mut self, apps: &[&'static AppProfile], camp: &mut FigCampaign) {
         let missing: Vec<&'static AppProfile> = apps
             .iter()
             .filter(|a| !self.map.contains_key(a.name))
@@ -144,8 +264,12 @@ impl AloneIpcCache {
                 uniq.push(a);
             }
         }
-        let reports = crow_sim::run_many(uniq.clone(), |app| {
-            run_single(app, Mechanism::Baseline, scale)
+        let jobs: Vec<(String, &'static AppProfile)> = uniq
+            .iter()
+            .map(|a| (format!("alone/{}", a.name), *a))
+            .collect();
+        let reports = camp.run(jobs, |app, scale| {
+            Ok(run_single(app, Mechanism::Baseline, scale))
         });
         for (app, r) in uniq.iter().zip(reports) {
             self.map.insert(app.name, r.ipc[0].max(1e-9));

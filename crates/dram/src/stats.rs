@@ -46,6 +46,17 @@ impl ChannelStats {
             self.issued[i] += other.issued[i];
         }
     }
+
+    /// The raw per-command counters, indexed by [`Command::index`]
+    /// (campaign journal serialization).
+    pub fn snapshot(&self) -> [u64; 8] {
+        self.issued
+    }
+
+    /// Rebuilds a counter set from a [`ChannelStats::snapshot`].
+    pub fn from_snapshot(issued: [u64; 8]) -> Self {
+        Self { issued }
+    }
 }
 
 #[cfg(test)]

@@ -26,6 +26,13 @@ pub enum CrowError {
         /// dropped by the storage cap).
         first: Option<String>,
     },
+    /// A campaign result journal could not be read or written.
+    Journal {
+        /// The journal file involved.
+        path: String,
+        /// What went wrong (I/O error text or format diagnosis).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CrowError {
@@ -41,6 +48,9 @@ impl std::fmt::Display for CrowError {
                 }
                 Ok(())
             }
+            CrowError::Journal { path, reason } => {
+                write!(f, "campaign journal {path}: {reason}")
+            }
         }
     }
 }
@@ -51,7 +61,7 @@ impl std::error::Error for CrowError {
             CrowError::Config(e) => Some(e),
             CrowError::Controller(e) => Some(e),
             CrowError::Trace(e) => Some(e),
-            CrowError::Protocol { .. } => None,
+            CrowError::Protocol { .. } | CrowError::Journal { .. } => None,
         }
     }
 }
@@ -93,6 +103,14 @@ mod tests {
         };
         assert!(p.to_string().contains("2 protocol violation(s)"));
         assert!(p.to_string().contains("tFAW"));
+        let j = CrowError::Journal {
+            path: "results/campaign/fig8.jsonl".into(),
+            reason: "No space left on device".into(),
+        };
+        assert_eq!(
+            j.to_string(),
+            "campaign journal results/campaign/fig8.jsonl: No space left on device"
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crow_workloads::AppProfile;
 
 use crate::config::{Mechanism, SystemConfig};
+use crate::error::CrowError;
 use crate::report::SimReport;
 use crate::system::System;
 
@@ -29,19 +30,41 @@ pub struct Scale {
 
 impl Scale {
     /// The default evaluation scale (env-overridable).
-    pub fn from_env() -> Self {
-        let get = |k: &str, d: u64| -> u64 {
-            std::env::var(k)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(d)
+    ///
+    /// A malformed override (`CROW_INSTS=4OO000`) is a configuration
+    /// error, not a silent fallback to the default — quietly running a
+    /// figure at the wrong scale is worse than refusing to start.
+    pub fn from_env() -> Result<Self, CrowError> {
+        Self::from_lookup(|k| std::env::var(k).ok())
+    }
+
+    /// [`Scale::from_env`] against an arbitrary variable lookup, so the
+    /// parsing is testable without mutating process-global state.
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Result<Self, CrowError> {
+        let get = |k: &str, d: u64| -> Result<u64, CrowError> {
+            match lookup(k) {
+                None => Ok(d),
+                Some(v) => v.trim().parse().map_err(|_| {
+                    CrowError::Config(crow_dram::ConfigError::new(
+                        "Scale",
+                        format!("{k}={v:?} is not an unsigned integer"),
+                    ))
+                }),
+            }
         };
-        Self {
-            insts: get("CROW_INSTS", 400_000),
-            warmup: get("CROW_WARMUP", 50_000),
-            mixes_per_group: get("CROW_MIXES", 3) as usize,
-            max_cycles: get("CROW_MAX_CYCLES", 2_000_000_000),
+        let scale = Self {
+            insts: get("CROW_INSTS", 400_000)?,
+            warmup: get("CROW_WARMUP", 50_000)?,
+            mixes_per_group: get("CROW_MIXES", 3)? as usize,
+            max_cycles: get("CROW_MAX_CYCLES", 2_000_000_000)?,
+        };
+        if scale.insts == 0 {
+            return Err(CrowError::Config(crow_dram::ConfigError::new(
+                "Scale",
+                "CROW_INSTS must be positive",
+            )));
         }
+        Ok(scale)
     }
 
     /// A tiny scale for integration tests.
@@ -52,6 +75,16 @@ impl Scale {
             mixes_per_group: 1,
             max_cycles: 50_000_000,
         }
+    }
+
+    /// A stable text fingerprint of the scale, embedded in campaign
+    /// journal fingerprints so changing the scale invalidates journaled
+    /// results instead of silently reusing them.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "i{}w{}m{}c{}",
+            self.insts, self.warmup, self.mixes_per_group, self.max_cycles
+        )
     }
 }
 
@@ -78,12 +111,21 @@ pub fn run_with_config(mut cfg: SystemConfig, apps: &[&AppProfile], scale: Scale
 }
 
 /// Runs independent jobs on worker threads (deterministic per job).
+///
+/// Panic-safe: a panicking job no longer poisons the pool — the other
+/// jobs all run to completion, and the first panic is re-raised on the
+/// caller afterwards. Campaigns that must *survive* panics use
+/// [`crate::campaign::Campaign`] instead, which turns them into
+/// recorded outcomes.
 pub fn run_many<J, R, F>(jobs: Vec<J>, worker: F) -> Vec<R>
 where
     J: Send,
     R: Send,
     F: Fn(J) -> R + Sync,
 {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::PoisonError;
+
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -95,6 +137,8 @@ where
     let results: Vec<std::sync::Mutex<Option<R>>> = (0..jobs.len())
         .map(|_| std::sync::Mutex::new(None))
         .collect();
+    let panics: std::sync::Mutex<Vec<Box<dyn std::any::Any + Send>>> =
+        std::sync::Mutex::new(Vec::new());
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|s| {
         for _ in 0..threads {
@@ -103,19 +147,35 @@ where
                 if i >= jobs.len() {
                     break;
                 }
+                // Poison is ignored throughout: a mutex here is only
+                // poisoned by another job's panic, which says nothing
+                // about the (disjoint) slot it guards.
                 let job = jobs[i]
                     .lock()
-                    .expect("job mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .take()
                     .expect("job taken once");
-                let r = worker(job);
-                *results[i].lock().expect("result mutex poisoned") = Some(r);
+                match catch_unwind(AssertUnwindSafe(|| worker(job))) {
+                    Ok(r) => *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(r),
+                    Err(payload) => panics
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(payload),
+                }
             });
         }
     });
+    if let Some(payload) = panics
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .into_iter()
+        .next()
+    {
+        resume_unwind(payload);
+    }
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("result mutex poisoned"))
+        .map(|m| m.into_inner().unwrap_or_else(PoisonError::into_inner))
         .map(|r| r.expect("worker finished"))
         .collect()
 }
@@ -126,14 +186,57 @@ mod tests {
 
     #[test]
     fn scale_env_defaults() {
-        let s = Scale::from_env();
+        let s = Scale::from_lookup(|_| None).unwrap();
         assert!(s.insts > 0 && s.warmup < s.insts * 10);
+        assert_eq!(s.insts, 400_000);
+    }
+
+    #[test]
+    fn scale_rejects_malformed_overrides() {
+        // The motivating typo: O (letter) for 0 (digit).
+        let err = Scale::from_lookup(|k| (k == "CROW_INSTS").then(|| "4OO000".into()))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("CROW_INSTS"), "names the variable: {err}");
+        assert!(err.contains("4OO000"), "echoes the bad value: {err}");
+        assert!(Scale::from_lookup(|k| (k == "CROW_MIXES").then(|| "-1".into())).is_err());
+        assert!(Scale::from_lookup(|k| (k == "CROW_INSTS").then(|| "0".into())).is_err());
+        let ok = Scale::from_lookup(|k| (k == "CROW_WARMUP").then(|| " 1000 ".into())).unwrap();
+        assert_eq!(ok.warmup, 1000, "surrounding whitespace is tolerated");
+    }
+
+    #[test]
+    fn scale_fingerprint_is_stable_and_distinct() {
+        let a = Scale::tiny();
+        let mut b = a;
+        b.insts += 1;
+        assert_eq!(a.fingerprint(), Scale::tiny().fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
     fn run_many_preserves_order() {
         let out = run_many((0..32u64).collect(), |x| x * 2);
         assert_eq!(out, (0..32u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_many_finishes_all_jobs_despite_a_panic() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_many((0..16u64).collect(), |x| {
+                if x == 5 {
+                    panic!("one bad job");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        // The panic still reaches the caller (legacy semantics)...
+        assert!(caught.is_err());
+        // ...but only after every other job ran to completion.
+        assert_eq!(completed.load(Ordering::Relaxed), 15);
     }
 
     #[test]

@@ -1,0 +1,473 @@
+//! Minimal hand-rolled JSON used by the campaign journal and the figure
+//! summary files.
+//!
+//! Numbers are kept as *literal tokens* ([`Json::Num`] holds the exact
+//! text written to or read from the wire), so `u64` counters above 2^53
+//! and `f64` values round-trip bit-exactly: encoders write integers with
+//! `to_string` and floats with the shortest round-trippable `{:?}`
+//! representation, and decoders re-parse the stored token. Object keys
+//! keep insertion order, which makes re-rendering a parsed document
+//! byte-stable — the property the journal's content hash relies on.
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A numeric literal, stored as its exact token text.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An integer number node.
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// A float number node (shortest round-trippable representation);
+    /// non-finite values become `null` since JSON cannot carry them.
+    pub fn f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v:?}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// A string node.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on an object node.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The node as a `u64`, if it is an integer literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The node as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The node as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The node as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The node's elements, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    /// Appends the compact rendering to `out`.
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(t) => out.push_str(t),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Two-space-indented multi-line rendering (figure summary files).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.pretty_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn pretty_into(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Arr(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, v) in items.iter().enumerate() {
+                    indent(out, depth + 1);
+                    v.pretty_into(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(pairs) if !pairs.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    indent(out, depth + 1);
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.pretty_into(out, depth + 1);
+                    if i + 1 < pairs.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                indent(out, depth);
+                out.push('}');
+            }
+            other => other.write(out),
+        }
+    }
+
+    /// Parses a JSON document (trailing whitespace allowed, nothing else).
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with a byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl JsonError {
+    fn at(at: usize, reason: &'static str) -> Self {
+        Self { at, reason }
+    }
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.reason)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str, reason: &'static str) -> Result<(), JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(JsonError::at(*pos, reason))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null", "expected null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true", "expected true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false", "expected false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected , or ] in array")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(JsonError::at(*pos, "expected : after object key"));
+                }
+                *pos += 1;
+                let value = parse_value(b, pos)?;
+                pairs.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(JsonError::at(*pos, "expected , or } in object")),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError::at(*pos, "expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or(JsonError::at(*pos, "bad \\u escape"))?;
+                        // Surrogate pairs are not needed by our own
+                        // encoder; reject them rather than mis-decode.
+                        let c = char::from_u32(hex)
+                            .ok_or(JsonError::at(*pos, "non-scalar \\u escape"))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError::at(*pos, "bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar. The input came from a &str,
+                // so decoding a 4-byte window always yields at least one
+                // complete char unless the window is truncated mid-char,
+                // in which case `valid_up_to` still covers the first one.
+                let window = &b[*pos..(*pos + 4).min(b.len())];
+                let prefix = match std::str::from_utf8(window) {
+                    Ok(s) => s,
+                    Err(e) if e.valid_up_to() > 0 => {
+                        std::str::from_utf8(&window[..e.valid_up_to()])
+                            .map_err(|_| JsonError::at(*pos, "bad utf-8"))?
+                    }
+                    Err(_) => return Err(JsonError::at(*pos, "bad utf-8")),
+                };
+                let c = prefix
+                    .chars()
+                    .next()
+                    .ok_or(JsonError::at(*pos, "bad utf-8"))?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(JsonError::at(*pos, "expected number"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(JsonError::at(*pos, "expected fraction digits"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(JsonError::at(*pos, "expected exponent digits"));
+        }
+    }
+    let token = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| JsonError::at(start, "bad utf-8 in number"))?
+        .to_string();
+    Ok(Json::Num(token))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_exact_tokens() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::u64(u64::MAX)),
+            ("b".into(), Json::f64(0.1)),
+            ("c".into(), Json::f64(1.0)),
+            ("s".into(), Json::str("x\"y\\z\n")),
+            ("n".into(), Json::Null),
+            ("t".into(), Json::Bool(true)),
+            ("arr".into(), Json::Arr(vec![Json::u64(1), Json::u64(2)])),
+        ]);
+        let text = v.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+        // Re-rendering a parsed document is byte-stable.
+        assert_eq!(back.render(), text);
+        assert_eq!(back.get("a").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(back.get("b").unwrap().as_f64(), Some(0.1));
+    }
+
+    #[test]
+    fn f64_shortest_repr_roundtrips() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 12345.6789, f64::MIN_POSITIVE] {
+            let j = Json::f64(x);
+            let back = Json::parse(&j.render()).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
+        assert_eq!(Json::f64(f64::NAN), Json::Null);
+        assert_eq!(Json::f64(f64::INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\":1").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = Json::Obj(vec![
+            ("data".into(), Json::Obj(vec![("k".into(), Json::f64(2.5))])),
+            ("empty".into(), Json::Obj(vec![])),
+            ("list".into(), Json::Arr(vec![Json::str("a")])),
+        ]);
+        let p = v.pretty();
+        assert_eq!(Json::parse(&p).unwrap(), v);
+    }
+}

@@ -29,18 +29,24 @@
 //! assert!(report.ipc[0] > 0.0);
 //! ```
 
+pub mod campaign;
 pub mod config;
 pub mod error;
 pub mod experiments;
 pub mod fault;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod system;
 
+pub use campaign::{
+    Campaign, CampaignPolicy, JobOutcome, Journal, Journaled, OutcomeCounts, OutcomeKind,
+};
 pub use config::{Engine, Mechanism, SystemConfig};
 pub use error::CrowError;
 pub use experiments::{run_many, run_mix, run_single, run_with_config, Scale};
 pub use fault::{FaultPlan, FaultPolicy, FaultStats};
+pub use json::Json;
 pub use metrics::weighted_speedup;
 pub use report::SimReport;
 pub use system::System;

@@ -3,9 +3,12 @@
 use crow_core::CrowStats;
 use crow_dram::ChannelStats;
 use crow_energy::EnergyCounter;
+use crow_mem::stats::LATENCY_BUCKETS;
 use crow_mem::McStats;
 
+use crate::campaign::Journaled;
 use crate::fault::FaultStats;
+use crate::json::Json;
 
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
@@ -60,6 +63,185 @@ impl SimReport {
     }
 }
 
+// --- campaign journal codec -------------------------------------------
+//
+// Counter values ride the journal as exact JSON tokens (`u64` decimal,
+// `f64` shortest round-trip), so a report restored from a journal is
+// bit-identical to the freshly computed one and resumed figure output
+// matches a clean run byte for byte. The two wall-clock diagnostics are
+// journaled too, but figures must never put them in their data files —
+// they differ between a fresh and a restored run by construction.
+
+fn f64s(vs: &[f64]) -> Json {
+    Json::Arr(vs.iter().map(|&v| Json::f64(v)).collect())
+}
+
+fn u64s(vs: &[u64]) -> Json {
+    Json::Arr(vs.iter().map(|&v| Json::u64(v)).collect())
+}
+
+// Non-finite values journal as `null` (JSON has no NaN token) and
+// restore as NaN, so the NaN sentinels of failed-job reports round-trip.
+fn get_f64s(v: &Json, key: &str) -> Option<Vec<f64>> {
+    v.get(key)?
+        .as_arr()?
+        .iter()
+        .map(|e| match e {
+            Json::Null => Some(f64::NAN),
+            other => other.as_f64(),
+        })
+        .collect()
+}
+
+fn get_u64s(v: &Json, key: &str) -> Option<Vec<u64>> {
+    v.get(key)?.as_arr()?.iter().map(Json::as_u64).collect()
+}
+
+fn get_u64(v: &Json, key: &str) -> Option<u64> {
+    v.get(key)?.as_u64()
+}
+
+fn get_f64(v: &Json, key: &str) -> Option<f64> {
+    v.get(key)?.as_f64()
+}
+
+impl Journaled for SimReport {
+    fn encode(&self) -> Json {
+        let mc = &self.mc;
+        let mc_counters = [
+            mc.reads,
+            mc.writes,
+            mc.row_hits,
+            mc.row_misses,
+            mc.row_conflicts,
+            mc.refreshes,
+            mc.rejections,
+            mc.read_latency_sum,
+            mc.read_latency_max,
+            mc.restore_activations,
+            mc.hammer_copies,
+            mc.bus_drops,
+        ];
+        let crow = [
+            self.crow.cache_lookups,
+            self.crow.cache_hits,
+            self.crow.cache_installs,
+            self.crow.clean_evictions,
+            self.crow.restore_evictions,
+            self.crow.ref_redirects,
+            self.crow.hammer_redirects,
+            self.crow.hammer_remaps,
+        ];
+        let energy = [
+            self.energy.act_nj,
+            self.energy.rd_nj,
+            self.energy.wr_nj,
+            self.energy.ref_nj,
+            self.energy.background_nj,
+        ];
+        let faults = [
+            self.faults.vrt_injected,
+            self.faults.hammer_injected,
+            self.faults.hammer_victims,
+            self.faults.drops_injected,
+            self.faults.suppressed,
+        ];
+        Json::Obj(vec![
+            ("ipc".into(), f64s(&self.ipc)),
+            ("mpki".into(), f64s(&self.mpki)),
+            ("cpu_cycles".into(), Json::u64(self.cpu_cycles)),
+            ("mem_cycles".into(), Json::u64(self.mem_cycles)),
+            ("mc".into(), u64s(&mc_counters)),
+            ("latency_hist".into(), u64s(&mc.latency_hist)),
+            ("commands".into(), u64s(&self.commands.snapshot())),
+            ("crow".into(), u64s(&crow)),
+            ("energy".into(), f64s(&energy)),
+            ("finished".into(), Json::Bool(self.finished)),
+            ("violations".into(), Json::u64(self.violations)),
+            ("trace_faults".into(), Json::u64(self.trace_faults)),
+            ("faults".into(), u64s(&faults)),
+            ("wall_seconds".into(), Json::f64(self.wall_seconds)),
+            (
+                "sim_cycles_per_sec".into(),
+                Json::f64(self.sim_cycles_per_sec),
+            ),
+        ])
+    }
+
+    fn decode(v: &Json) -> Option<Self> {
+        let mc_counters = get_u64s(v, "mc")?;
+        let hist = get_u64s(v, "latency_hist")?;
+        let commands = get_u64s(v, "commands")?;
+        let crow = get_u64s(v, "crow")?;
+        let energy = get_f64s(v, "energy")?;
+        let faults = get_u64s(v, "faults")?;
+        if mc_counters.len() != 12
+            || hist.len() != LATENCY_BUCKETS
+            || commands.len() != 8
+            || crow.len() != 8
+            || energy.len() != 5
+            || faults.len() != 5
+        {
+            return None;
+        }
+        let mut latency_hist = [0u64; LATENCY_BUCKETS];
+        latency_hist.copy_from_slice(&hist);
+        let mut cmd = [0u64; 8];
+        cmd.copy_from_slice(&commands);
+        Some(SimReport {
+            ipc: get_f64s(v, "ipc")?,
+            mpki: get_f64s(v, "mpki")?,
+            cpu_cycles: get_u64(v, "cpu_cycles")?,
+            mem_cycles: get_u64(v, "mem_cycles")?,
+            mc: McStats {
+                reads: mc_counters[0],
+                writes: mc_counters[1],
+                row_hits: mc_counters[2],
+                row_misses: mc_counters[3],
+                row_conflicts: mc_counters[4],
+                refreshes: mc_counters[5],
+                rejections: mc_counters[6],
+                read_latency_sum: mc_counters[7],
+                read_latency_max: mc_counters[8],
+                restore_activations: mc_counters[9],
+                hammer_copies: mc_counters[10],
+                bus_drops: mc_counters[11],
+                latency_hist,
+            },
+            commands: ChannelStats::from_snapshot(cmd),
+            crow: CrowStats {
+                cache_lookups: crow[0],
+                cache_hits: crow[1],
+                cache_installs: crow[2],
+                clean_evictions: crow[3],
+                restore_evictions: crow[4],
+                ref_redirects: crow[5],
+                hammer_redirects: crow[6],
+                hammer_remaps: crow[7],
+            },
+            energy: EnergyCounter {
+                act_nj: energy[0],
+                rd_nj: energy[1],
+                wr_nj: energy[2],
+                ref_nj: energy[3],
+                background_nj: energy[4],
+            },
+            finished: v.get("finished")?.as_bool()?,
+            violations: get_u64(v, "violations")?,
+            trace_faults: get_u64(v, "trace_faults")?,
+            faults: FaultStats {
+                vrt_injected: faults[0],
+                hammer_injected: faults[1],
+                hammer_victims: faults[2],
+                drops_injected: faults[3],
+                suppressed: faults[4],
+            },
+            wall_seconds: get_f64(v, "wall_seconds").unwrap_or(0.0),
+            sim_cycles_per_sec: get_f64(v, "sim_cycles_per_sec").unwrap_or(0.0),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -84,5 +266,56 @@ mod tests {
         };
         assert!((r.ipc_sum() - 3.0).abs() < 1e-12);
         assert_eq!(r.energy_mj(), 0.0);
+    }
+
+    #[test]
+    fn journal_codec_roundtrips_bit_exact() {
+        let mut mc = McStats {
+            reads: u64::MAX,
+            read_latency_max: 123,
+            ..McStats::new()
+        };
+        mc.record_latency(100);
+        let mut commands = ChannelStats::new();
+        commands.record(crow_dram::Command::Act);
+        commands.record(crow_dram::Command::Rd);
+        let r = SimReport {
+            ipc: vec![0.1 + 0.2, 1.0 / 3.0, f64::NAN],
+            mpki: vec![5.0, 1e-300],
+            cpu_cycles: 1 << 62,
+            mem_cycles: 40,
+            mc,
+            commands,
+            crow: CrowStats {
+                cache_hits: 7,
+                ..CrowStats::new()
+            },
+            energy: EnergyCounter {
+                act_nj: 0.30000000000000004,
+                ..EnergyCounter::new()
+            },
+            finished: false,
+            violations: 2,
+            trace_faults: 1,
+            faults: FaultStats {
+                vrt_injected: 3,
+                ..FaultStats::default()
+            },
+            wall_seconds: 1.5,
+            sim_cycles_per_sec: 2e9,
+        };
+        let text = r.encode().render();
+        let back = SimReport::decode(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.ipc[0].to_bits(), (0.1f64 + 0.2).to_bits());
+        assert!(back.ipc[2].is_nan(), "NaN sentinel survives the journal");
+        assert_eq!(back.mpki[1].to_bits(), 1e-300f64.to_bits());
+        assert_eq!(back.cpu_cycles, 1 << 62);
+        assert_eq!(back.mc, r.mc);
+        assert_eq!(back.commands, r.commands);
+        assert_eq!(back.energy.act_nj.to_bits(), r.energy.act_nj.to_bits());
+        assert!(!back.finished);
+        assert_eq!(back.faults.vrt_injected, 3);
+        // Re-encoding the decoded report reproduces the bytes.
+        assert_eq!(back.encode().render(), text);
     }
 }

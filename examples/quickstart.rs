@@ -10,7 +10,7 @@ use crow::workloads::AppProfile;
 
 fn main() {
     let app = AppProfile::by_name("mcf").expect("mcf is part of the suite");
-    let scale = Scale::from_env();
+    let scale = Scale::from_env().expect("CROW_* scale overrides must be unsigned integers");
     println!(
         "workload: {} (target {:.1} MPKI), {} instructions",
         app.name, app.mpki, scale.insts

@@ -46,7 +46,7 @@ fn main() {
 
     println!("-- Measured impact vs chip density (cf. paper Fig. 13) --");
     let app = AppProfile::by_name("libq").unwrap();
-    let scale = Scale::from_env();
+    let scale = Scale::from_env().expect("CROW_* scale overrides must be unsigned integers");
     for density in [8u32, 16, 32, 64] {
         let base = crow::sim::run_with_config(
             SystemConfig::paper_default(Mechanism::Baseline).with_density(density),

@@ -17,7 +17,7 @@ use crow::workloads::AppProfile;
 
 fn main() {
     let app = AppProfile::by_name("mcf").unwrap();
-    let scale = Scale::from_env();
+    let scale = Scale::from_env().expect("CROW_* scale overrides must be unsigned integers");
     let base = run_with_config(
         SystemConfig::paper_default(Mechanism::Baseline),
         &[app],

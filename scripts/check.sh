@@ -23,4 +23,21 @@ echo "== cargo clippy unwrap audit (library code, tests exempt) =="
 cargo clippy --lib -p crow-dram -p crow-mem -p crow-cpu -p crow-core -p crow-sim -- \
     -D clippy::unwrap_used
 
+echo "== supervised campaign selftest (panic + timeout + kill/resume) =="
+# A tiny campaign with one injected panic, one wedged job under a short
+# deadline, and a simulated crash after three journaled jobs. The
+# resumed run must restore exactly those three, re-run only the missing
+# six, and reproduce the uninterrupted run's figure JSON byte-for-byte;
+# a second resume must re-run nothing at all.
+cargo build --release -p crow-bench --bin campaign_selftest
+SELFTEST=target/release/campaign_selftest
+CAMPDIR=$(mktemp -d)
+trap 'rm -rf "$CAMPDIR"' EXIT
+"$SELFTEST" --dir "$CAMPDIR/clean" --expect-fresh 9 --expect-restored 0
+"$SELFTEST" --dir "$CAMPDIR/crash" --kill-after 3 && {
+    echo "kill-after run should have exited 9"; exit 1; } || test $? -eq 9
+"$SELFTEST" --dir "$CAMPDIR/crash" --resume --expect-restored 3 --expect-fresh 6
+"$SELFTEST" --dir "$CAMPDIR/crash" --resume --expect-restored 9 --expect-fresh 0
+cmp "$CAMPDIR/clean/selftest.json" "$CAMPDIR/crash/selftest.json"
+
 echo "All checks passed."
