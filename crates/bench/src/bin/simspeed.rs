@@ -1,6 +1,8 @@
 //! Simulation-speed benchmark: runs the same workloads under the naive
-//! stepper and the event-driven engine and reports simulated CPU cycles
-//! per wall-clock second, writing `BENCH_simspeed.json`.
+//! stepper, the event-driven engine with the linear-scan scheduler
+//! (the previous generation), and the event-driven engine with the
+//! indexed scheduler, reporting simulated CPU cycles per wall-clock
+//! second and writing `BENCH_simspeed.json`.
 //!
 //! ```sh
 //! cargo run -p crow-bench --release --bin simspeed
@@ -8,6 +10,7 @@
 
 use std::fmt::Write as _;
 
+use crow_mem::SchedImpl;
 use crow_sim::{Engine, Mechanism, System, SystemConfig};
 use crow_workloads::AppProfile;
 
@@ -19,17 +22,35 @@ struct Case {
 struct Row {
     label: String,
     naive_cps: f64,
+    linear_cps: f64,
     event_cps: f64,
     naive_wall: f64,
+    linear_wall: f64,
     event_wall: f64,
     cycles: u64,
 }
 
-fn measure_once(case: &Case, engine: Engine, max_cycles: u64) -> (f64, f64, u64) {
+/// The three configurations each case is timed under: the naive
+/// cycle-by-cycle stepper, the event-driven engine with the linear-scan
+/// scheduler (the previous fast path, kept as the reference), and the
+/// event-driven engine with the indexed scheduler (the current default).
+const CONFIGS: [(Engine, SchedImpl); 3] = [
+    (Engine::Naive, SchedImpl::Indexed),
+    (Engine::EventDriven, SchedImpl::Linear),
+    (Engine::EventDriven, SchedImpl::Indexed),
+];
+
+fn measure_once(
+    case: &Case,
+    engine: Engine,
+    sched_impl: SchedImpl,
+    max_cycles: u64,
+) -> (f64, f64, u64) {
     let app = AppProfile::by_name(case.app).unwrap();
     let mut cfg = SystemConfig::quick_test(case.mechanism);
     cfg.cpu.target_insts = 200_000;
     cfg.engine = engine;
+    cfg.mc.sched_impl = sched_impl;
     let mut sys = System::new(cfg, &[app]);
     let r = sys.run(max_cycles);
     (r.sim_cycles_per_sec, r.wall_seconds, r.cpu_cycles)
@@ -38,10 +59,16 @@ fn measure_once(case: &Case, engine: Engine, max_cycles: u64) -> (f64, f64, u64)
 /// Best of `reps` runs: wall-clock measurements on a shared host are
 /// noisy in one direction only (interference slows a run down), so the
 /// fastest repetition is the least-perturbed one.
-fn measure(case: &Case, engine: Engine, max_cycles: u64, reps: u32) -> (f64, f64, u64) {
+fn measure(
+    case: &Case,
+    engine: Engine,
+    sched_impl: SchedImpl,
+    max_cycles: u64,
+    reps: u32,
+) -> (f64, f64, u64) {
     let mut best = (0.0f64, f64::INFINITY, 0u64);
     for _ in 0..reps {
-        let r = measure_once(case, engine, max_cycles);
+        let r = measure_once(case, engine, sched_impl, max_cycles);
         if r.0 > best.0 {
             best = r;
         }
@@ -67,37 +94,60 @@ fn main() {
             app: "mcf",
             mechanism: Mechanism::crow_cache(8),
         },
+        Case {
+            app: "omnetpp", // mcf-like pointer chasing: dense queues
+            mechanism: Mechanism::Baseline,
+        },
+        Case {
+            app: "random", // synthetic random-access stress: worst-case locality
+            mechanism: Mechanism::Baseline,
+        },
     ];
     let max_cycles = 50_000_000;
 
     let mut rows = Vec::new();
     for case in &cases {
         // Warm up the page cache / branch predictors with a short run of
-        // each engine before timing.
-        measure(case, Engine::Naive, 100_000, 1);
-        measure(case, Engine::EventDriven, 100_000, 1);
-        let (naive_cps, naive_wall, cycles) = measure(case, Engine::Naive, max_cycles, 3);
-        let (event_cps, event_wall, ev_cycles) = measure(case, Engine::EventDriven, max_cycles, 3);
-        assert_eq!(cycles, ev_cycles, "engines simulated different spans");
+        // each configuration before timing.
+        for (engine, sched_impl) in CONFIGS {
+            measure(case, engine, sched_impl, 100_000, 1);
+        }
+        let (naive_cps, naive_wall, cycles) =
+            measure(case, CONFIGS[0].0, CONFIGS[0].1, max_cycles, 3);
+        let (linear_cps, linear_wall, ln_cycles) =
+            measure(case, CONFIGS[1].0, CONFIGS[1].1, max_cycles, 3);
+        let (event_cps, event_wall, ev_cycles) =
+            measure(case, CONFIGS[2].0, CONFIGS[2].1, max_cycles, 3);
+        assert_eq!(
+            cycles, ln_cycles,
+            "configurations simulated different spans"
+        );
+        assert_eq!(
+            cycles, ev_cycles,
+            "configurations simulated different spans"
+        );
         rows.push(Row {
             label: format!("{}/{}", case.app, case.mechanism.label()),
             naive_cps,
+            linear_cps,
             event_cps,
             naive_wall,
+            linear_wall,
             event_wall,
             cycles,
         });
     }
 
     println!(
-        "{:<24} {:>14} {:>14} {:>8}",
-        "case", "naive cyc/s", "event cyc/s", "speedup"
+        "{:<24} {:>14} {:>14} {:>14} {:>8}",
+        "case", "naive cyc/s", "linear cyc/s", "event cyc/s", "speedup"
     );
     for r in &rows {
         println!(
-            "{:<24} {:>14.3e} {:>14.3e} {:>7.2}x",
+            "{:<24} {:>14.3e} {:>14.3e} {:>14.3e} {:>7.2}x",
             r.label,
             r.naive_cps,
+            r.linear_cps,
             r.event_cps,
             r.event_cps / r.naive_cps
         );
@@ -108,14 +158,18 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"case\": \"{}\", \"cpu_cycles\": {}, \
-             \"naive_cycles_per_sec\": {:.1}, \"event_cycles_per_sec\": {:.1}, \
-             \"naive_wall_seconds\": {:.4}, \"event_wall_seconds\": {:.4}, \
+             \"naive_cycles_per_sec\": {:.1}, \"linear_cycles_per_sec\": {:.1}, \
+             \"event_cycles_per_sec\": {:.1}, \
+             \"naive_wall_seconds\": {:.4}, \"linear_wall_seconds\": {:.4}, \
+             \"event_wall_seconds\": {:.4}, \
              \"speedup\": {:.3}}}{}",
             r.label,
             r.cycles,
             r.naive_cps,
+            r.linear_cps,
             r.event_cps,
             r.naive_wall,
+            r.linear_wall,
             r.event_wall,
             r.event_cps / r.naive_cps,
             if i + 1 == rows.len() { "" } else { "," }

@@ -158,6 +158,7 @@ mod tests {
             violations: 0,
             trace_faults: 0,
             faults: Default::default(),
+            sched: Default::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

@@ -4,6 +4,7 @@
 
 use std::collections::HashMap;
 
+use crow_mem::SchedStats;
 use crow_sim::{
     run_single, Campaign, CampaignPolicy, CrowError, Json, Mechanism, Scale, SimReport,
 };
@@ -97,6 +98,7 @@ pub fn failed_report() -> SimReport {
         violations: 0,
         trace_faults: 0,
         faults: Default::default(),
+        sched: Default::default(),
         wall_seconds: 0.0,
         sim_cycles_per_sec: 0.0,
     }
@@ -114,6 +116,7 @@ pub fn failed_report() -> SimReport {
 /// next to the journal).
 pub struct FigCampaign {
     camp: Campaign,
+    sched: SchedStats,
 }
 
 impl FigCampaign {
@@ -136,7 +139,10 @@ impl FigCampaign {
                 camp.quarantined()
             );
         }
-        Self { camp }
+        Self {
+            camp,
+            sched: SchedStats::new(),
+        }
     }
 
     /// Runs one supervised batch; may be called repeatedly (job ids must
@@ -151,6 +157,7 @@ impl FigCampaign {
             .run(jobs, worker)
             .into_iter()
             .map(|o| o.result.unwrap_or_else(failed_report))
+            .inspect(|r| self.sched.merge(&r.sched))
             .collect()
     }
 
@@ -172,9 +179,21 @@ impl FigCampaign {
             );
         }
         if let Some(path) = self.camp.journal_path() {
+            let s = &self.sched;
             let summary = Json::Obj(vec![
                 ("campaign".into(), Json::str(self.camp.name())),
                 ("outcomes".into(), d.to_json()),
+                (
+                    "scheduler".into(),
+                    Json::Obj(vec![
+                        ("picks".into(), Json::u64(s.picks)),
+                        ("scanned".into(), Json::u64(s.scanned)),
+                        ("scanned_per_pick".into(), Json::f64(s.scanned_per_pick())),
+                        ("fastpath_skips".into(), Json::u64(s.fastpath_skips)),
+                        ("rebuilds".into(), Json::u64(s.rebuilds)),
+                        ("wakeup_skips".into(), Json::u64(s.wakeup_skips)),
+                    ]),
+                ),
             ]);
             let mut spath = path.as_os_str().to_owned();
             spath.push(".summary.json");

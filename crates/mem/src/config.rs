@@ -16,6 +16,20 @@ pub enum SchedKind {
     },
 }
 
+/// Candidate-selection implementation. Both produce bit-identical
+/// command streams (the indexed path reproduces the linear scan's
+/// (priority, arrival, queue-position) order exactly); they differ only
+/// in work per tick and in how far the event-driven engine can skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedImpl {
+    /// Per-(rank,bank) request buckets with row-hit sublists and a
+    /// memoized per-bank readiness cache: O(banks) selection plus wake
+    /// hints that let the engine skip dead cycles under load.
+    Indexed,
+    /// The reference O(queue) scan over the whole queue every tick.
+    Linear,
+}
+
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowPolicy {
@@ -40,6 +54,9 @@ pub struct McConfig {
     pub write_q: usize,
     /// Scheduling discipline.
     pub sched: SchedKind,
+    /// Candidate-selection implementation (identical command streams;
+    /// see [`SchedImpl`]).
+    pub sched_impl: SchedImpl,
     /// Row-buffer policy.
     pub policy: RowPolicy,
     /// Write-drain high watermark: entering drain mode.
@@ -67,6 +84,7 @@ impl McConfig {
             read_q: 64,
             write_q: 64,
             sched: SchedKind::FrFcfsCap { cap: 4 },
+            sched_impl: SchedImpl::Indexed,
             // 75 ns at 0.625 ns/cycle = 120 cycles.
             policy: RowPolicy::Timeout { cycles: 120 },
             wr_high: 48,
@@ -86,6 +104,13 @@ impl McConfig {
     /// Returns a copy with a different scheduler.
     pub fn with_sched(mut self, sched: SchedKind) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Returns a copy with a different candidate-selection
+    /// implementation (equivalence testing / benchmarking).
+    pub fn with_sched_impl(mut self, sched_impl: SchedImpl) -> Self {
+        self.sched_impl = sched_impl;
         self
     }
 

@@ -11,9 +11,10 @@ use crow_dram::{
 };
 use crow_energy::{EnergyCounter, EnergyModel, EnergySpec};
 
-use crate::config::{McConfig, RowPolicy, SchedKind};
+use crate::config::{McConfig, RowPolicy, SchedImpl, SchedKind};
 use crate::error::McError;
 use crate::request::{Completion, MemRequest, ReqKind};
+use crate::sched::{Cursor, QueueIndex, SchedStats, Wake, MISS_STREAM};
 use crate::stats::McStats;
 
 /// How CROW-table hits and misses translate into DRAM commands.
@@ -97,6 +98,34 @@ pub struct MemController {
     scratch_open: Vec<(u32, u32, u32)>,
     /// Reusable FR-FCFS candidate-order buffer (same rationale).
     scratch_order: Vec<(u8, Cycle, usize)>,
+    /// Scheduler work counters (see [`SchedStats`]).
+    sched: SchedStats,
+    /// Per-(rank,bank) read-queue index ([`SchedImpl::Indexed`] only).
+    rd_index: QueueIndex,
+    /// Write-queue counterpart of `rd_index`.
+    wr_index: QueueIndex,
+    /// Monotonic stamp of scheduler-visible mutations (issues, queue
+    /// changes, maintenance pops, refresh flags, injections). Readiness
+    /// and wake-hint memos are valid only while their stored stamp
+    /// still matches.
+    sched_epoch: u64,
+    /// Per-queue, per-(rank,bank) memoized earliest cycle at which any
+    /// of the bank's queued candidates could issue, as (epoch, cycle);
+    /// written only by a scan that attempted every candidate of the
+    /// bank and issued nothing.
+    bank_ready: [Vec<(u64, Cycle)>; 2],
+    /// Written by a tick that issued nothing: while the stamped epoch
+    /// matches, no tick strictly before the stored cycle can issue.
+    wake_hint: Option<(u64, Cycle)>,
+    /// Maintained count of set `refresh_pending` flags (replaces the
+    /// per-tick `iter().any()` scan).
+    refresh_pending_count: u32,
+    /// Reusable merge-cursor buffer for indexed selection.
+    scratch_cursors: Vec<Cursor>,
+    /// Reusable per-bank readiness-bound accumulator.
+    scratch_bounds: Vec<(u32, Cycle)>,
+    /// Recycled hit-sublist storage for bucket rebuilds.
+    stream_pool: Vec<Vec<(Cycle, u32)>>,
 }
 
 impl MemController {
@@ -131,6 +160,7 @@ impl MemController {
             EnergyModel::new(EnergySpec::lpddr4(), dram_cfg.timings).with_banks(dram_cfg.banks);
         let trefi = u64::from(dram_cfg.timings.trefi);
         let ranks = dram_cfg.ranks as usize;
+        let slots = (dram_cfg.ranks * dram_cfg.banks) as usize;
         Ok(Self {
             cfg,
             dram_cfg,
@@ -142,10 +172,12 @@ impl MemController {
             bg_cycles: 0,
             bg_open_cycles: 0,
             stats: McStats::new(),
-            read_q: Vec::new(),
-            write_q: Vec::new(),
-            inflight: Vec::new(),
-            copy_ops: VecDeque::new(),
+            // Pre-size to the configured caps: the steady-state hot path
+            // performs no queue reallocation.
+            read_q: Vec::with_capacity(cfg.read_q),
+            write_q: Vec::with_capacity(cfg.write_q),
+            inflight: Vec::with_capacity(cfg.read_q),
+            copy_ops: VecDeque::with_capacity(16),
             forced_restore: Vec::new(),
             open_list: Vec::new(),
             opener: std::collections::HashMap::new(),
@@ -156,13 +188,77 @@ impl MemController {
             drain_writes: false,
             drop_pending: false,
             scratch_open: Vec::new(),
-            scratch_order: Vec::new(),
+            scratch_order: Vec::with_capacity(cfg.read_q.max(cfg.write_q)),
+            sched: SchedStats::new(),
+            rd_index: QueueIndex::new(slots),
+            wr_index: QueueIndex::new(slots),
+            sched_epoch: 1,
+            bank_ready: [vec![(0, 0); slots], vec![(0, 0); slots]],
+            wake_hint: None,
+            refresh_pending_count: 0,
+            scratch_cursors: Vec::new(),
+            scratch_bounds: Vec::new(),
+            stream_pool: Vec::new(),
         })
     }
 
     /// Switches hit/miss translation (TL-DRAM baseline support).
     pub fn set_cache_mode(&mut self, mode: CacheMode) {
         self.mode = mode;
+        self.invalidate_classification();
+    }
+
+    /// Records a mutation that may change any bucket's hit/miss
+    /// classification (mode switches, external CROW-table access).
+    fn invalidate_classification(&mut self) {
+        self.bump_epoch();
+        self.rd_index.mark_all_stale();
+        self.wr_index.mark_all_stale();
+    }
+
+    /// Records a scheduler-visible mutation: readiness and wake-hint
+    /// memos computed before this point are dead.
+    fn bump_epoch(&mut self) {
+        self.sched_epoch += 1;
+    }
+
+    fn use_index(&self) -> bool {
+        self.cfg.sched_impl == SchedImpl::Indexed
+    }
+
+    fn slot_of(&self, rank: u32, bank: u32) -> usize {
+        (rank * self.dram_cfg.banks + bank) as usize
+    }
+
+    fn kind_ix(kind: ReqKind) -> usize {
+        match kind {
+            ReqKind::Read => 0,
+            ReqKind::Write => 1,
+        }
+    }
+
+    fn index(&self, kind: ReqKind) -> &QueueIndex {
+        match kind {
+            ReqKind::Read => &self.rd_index,
+            ReqKind::Write => &self.wr_index,
+        }
+    }
+
+    fn index_mut(&mut self, kind: ReqKind) -> &mut QueueIndex {
+        match kind {
+            ReqKind::Read => &mut self.rd_index,
+            ReqKind::Write => &mut self.wr_index,
+        }
+    }
+
+    /// Whether any scheduling flow could want the command bus.
+    fn has_pending_work(&self) -> bool {
+        !self.read_q.is_empty()
+            || !self.write_q.is_empty()
+            || !self.copy_ops.is_empty()
+            || !self.forced_restore.is_empty()
+            || self.drop_pending
+            || self.refresh_pending_count > 0
     }
 
     /// Attaches the data-integrity oracle to the underlying channel.
@@ -206,12 +302,19 @@ impl MemController {
 
     /// Mutable CROW substrate access (boot-time CROW-ref installation).
     pub fn crow_mut(&mut self) -> Option<&mut CrowSubstrate> {
+        // The caller may install remaps that change hit classification.
+        self.invalidate_classification();
         self.crow.as_mut()
     }
 
     /// Controller statistics.
     pub fn stats(&self) -> &McStats {
         &self.stats
+    }
+
+    /// Scheduler work counters.
+    pub fn sched_stats(&self) -> &SchedStats {
+        &self.sched
     }
 
     /// Total DRAM energy so far (events + background).
@@ -252,11 +355,50 @@ impl MemController {
             return Err(req);
         }
         req.arrival = self.bg_cycles;
+        let slot = self.slot_of(req.rank, req.bank);
+        let use_index = self.use_index();
         match req.kind {
-            ReqKind::Read => self.read_q.push(req),
-            ReqKind::Write => self.write_q.push(req),
+            ReqKind::Read => {
+                self.read_q.push(req);
+                if use_index {
+                    self.rd_index
+                        .on_push(slot, req.arrival, (self.read_q.len() - 1) as u32);
+                }
+            }
+            ReqKind::Write => {
+                self.write_q.push(req);
+                if use_index {
+                    self.wr_index
+                        .on_push(slot, req.arrival, (self.write_q.len() - 1) as u32);
+                }
+            }
         }
+        self.bump_epoch();
         Ok(())
+    }
+
+    /// `swap_remove` on a request queue, keeping the bank index
+    /// consistent: the removed entry leaves its bucket and the element
+    /// moved into the vacated position is re-keyed.
+    fn q_swap_remove(&mut self, kind: ReqKind, idx: usize) -> MemRequest {
+        let use_index = self.use_index();
+        let banks = self.dram_cfg.banks;
+        let (q, index) = match kind {
+            ReqKind::Read => (&mut self.read_q, &mut self.rd_index),
+            ReqKind::Write => (&mut self.write_q, &mut self.wr_index),
+        };
+        let old_last = (q.len() - 1) as u32;
+        let removed = q.swap_remove(idx);
+        if use_index {
+            let slot = (removed.rank * banks + removed.bank) as usize;
+            index.remove(slot, removed.arrival, idx as u32);
+            if idx < q.len() {
+                let moved = q[idx];
+                let mslot = (moved.rank * banks + moved.bank) as usize;
+                index.reposition(mslot, moved.arrival, old_last, idx as u32);
+            }
+        }
+        removed
     }
 
     /// Advances the controller by one memory-clock cycle, issuing at most
@@ -283,10 +425,12 @@ impl MemController {
             let busy = !self.read_q.is_empty() || !self.write_q.is_empty();
             let trefi = self.trefi_eff();
             for rank in 0..self.dram_cfg.ranks as usize {
-                if now >= self.next_ref[rank] {
+                if now >= self.next_ref[rank] && !self.refresh_pending[rank] {
                     let debt = (now - self.next_ref[rank]) / trefi;
                     if !busy || debt >= u64::from(self.cfg.max_postponed_refreshes) {
                         self.refresh_pending[rank] = true;
+                        self.refresh_pending_count += 1;
+                        self.bump_epoch();
                     }
                 }
             }
@@ -296,37 +440,54 @@ impl MemController {
 
     /// A conservative lower bound on the next cycle at which
     /// [`MemController::tick`] could have any observable effect beyond
-    /// background accounting: deliver a completion, schedule or issue a
-    /// refresh, serve queued work, or close a row under the row policy.
-    ///
-    /// The event-driven engine may replace every tick strictly before the
-    /// returned cycle with [`MemController::skip_idle`]; the bound is
-    /// invalidated by anything that mutates the controller (a tick or an
-    /// enqueue), after which it must be recomputed. Always `> now`.
+    /// background accounting. Alias of [`MemController::min_wakeup`].
     pub fn next_event_at(&self, now: Cycle) -> Cycle {
-        // Any queued or pending work means the very next tick may issue a
-        // command: no skipping.
-        if !self.read_q.is_empty()
-            || !self.write_q.is_empty()
-            || !self.copy_ops.is_empty()
-            || !self.forced_restore.is_empty()
-            || self.drop_pending
-            || self.refresh_pending.iter().any(|&p| p)
-        {
-            return now + 1;
-        }
+        self.min_wakeup(now)
+    }
+
+    /// The earliest cycle at which a tick could have any observable
+    /// effect beyond background accounting: deliver a completion,
+    /// schedule or issue a refresh, serve queued work, or close a row
+    /// under the row policy.
+    ///
+    /// With queued work and the indexed scheduler, the bound comes from
+    /// the wake hint the last (issue-less) tick recorded — the minimum
+    /// retry cycle over every failed issue flow — so the event engine
+    /// can skip dead cycles even under load. The hint is epoch-stamped:
+    /// any scheduler-visible mutation since it was computed degrades
+    /// the bound to `now + 1`.
+    ///
+    /// The event-driven engine may replace every tick strictly before
+    /// the returned cycle with [`MemController::skip_idle`]; the bound
+    /// is invalidated by anything that mutates the controller (a tick
+    /// or an enqueue), after which it must be recomputed. Always
+    /// `> now`.
+    pub fn min_wakeup(&self, now: Cycle) -> Cycle {
         let mut next = Cycle::MAX;
         for &(at, _) in &self.inflight {
             next = next.min(at);
         }
         if self.cfg.refresh {
-            // Idle queues: ticks mark refreshes pending exactly at
-            // `next_ref` (no postponement without demand traffic).
-            for &at in &self.next_ref {
-                next = next.min(at);
+            let busy = !self.read_q.is_empty() || !self.write_q.is_empty();
+            let postpone = u64::from(self.cfg.max_postponed_refreshes) * self.trefi_eff();
+            for (rank, &at) in self.next_ref.iter().enumerate() {
+                if self.refresh_pending[rank] {
+                    // Already pending: the refresh flow's wake notes (or
+                    // the pending-work fallback below) bound it.
+                    continue;
+                }
+                // Ticks set the flag at `next_ref` when idle; while
+                // demand requests are queued, exactly when the
+                // postponement debt reaches the cap.
+                next = next.min(if busy { at + postpone } else { at });
             }
         }
-        if !self.open_list.is_empty() {
+        if self.has_pending_work() {
+            match self.wake_hint {
+                Some((stamp, at)) if stamp == self.sched_epoch => next = next.min(at),
+                _ => return now + 1,
+            }
+        } else if !self.open_list.is_empty() {
             match self.cfg.policy {
                 RowPolicy::OpenPage => {}
                 RowPolicy::ClosedPage => return now + 1,
@@ -348,6 +509,9 @@ impl MemController {
     pub fn skip_idle(&mut self, cycles: u64) {
         self.bg_cycles += cycles;
         self.bg_open_cycles += cycles * self.open_list.len() as u64;
+        if !self.read_q.is_empty() || !self.write_q.is_empty() {
+            self.sched.wakeup_skips += cycles;
+        }
     }
 
     /// The effective refresh interval (honours CROW-ref's extension).
@@ -393,33 +557,36 @@ impl MemController {
         false
     }
 
-    /// Issues at most one command this cycle.
+    /// Issues at most one command this cycle, recording a wake hint for
+    /// the event-driven engine when nothing could issue.
     fn issue_one(&mut self, now: Cycle) {
+        self.wake_hint = None;
         if self.drop_pending {
             // Injected command-bus drop: whatever would have issued this
             // cycle is lost; the scheduler retries next tick.
             self.drop_pending = false;
             self.stats.bus_drops += 1;
+            self.bump_epoch();
             return;
         }
-        if self.try_refresh(now) {
-            return;
+        let mut wake = Wake::new();
+        let issued = self.try_refresh(now, &mut wake)
+            || self.try_forced_restore_pre(now, &mut wake)
+            || self.try_maintenance_copy(now, &mut wake)
+            || self.try_serve_queues(now, &mut wake)
+            || self.try_policy_pre(now, &mut wake);
+        if !issued && self.use_index() {
+            // Every flow reached this tick noted its earliest retry
+            // cycle (timing failures) or depends only on state that
+            // cannot change without bumping the epoch; ticks strictly
+            // before the minimum provably repeat the same failures.
+            self.wake_hint = Some((self.sched_epoch, wake.at));
         }
-        if self.try_forced_restore_pre(now) {
-            return;
-        }
-        if self.try_maintenance_copy(now) {
-            return;
-        }
-        if self.try_serve_queues(now) {
-            return;
-        }
-        let _ = self.try_policy_pre(now);
     }
 
     /// Refresh flow: drain open rows of a pending rank, then issue `REF`
     /// (or drain only the target bank and issue `REFpb` in per-bank mode).
-    fn try_refresh(&mut self, now: Cycle) -> bool {
+    fn try_refresh(&mut self, now: Cycle, wake: &mut Wake) -> bool {
         for rank in 0..self.dram_cfg.ranks {
             if !self.refresh_pending[rank as usize] {
                 continue;
@@ -428,20 +595,26 @@ impl MemController {
                 let bank = self.refresh_bank[rank as usize] % self.dram_cfg.banks;
                 if self.channel.open_count(rank, bank) == 0 {
                     let d = CmdDesc::refresh_bank(rank, bank);
-                    if self.channel.check(&d, now).is_ok() {
-                        self.issue(&d, now, None);
-                        self.stats.refreshes += 1;
-                        self.refresh_pending[rank as usize] = false;
-                        self.refresh_bank[rank as usize] = (bank + 1) % self.dram_cfg.banks;
-                        self.next_ref[rank as usize] += self.trefi_eff();
-                        if bank == self.dram_cfg.banks - 1 {
-                            if let Some(crow) = self.crow.as_mut() {
-                                crow.on_refresh();
+                    match self.channel.check(&d, now) {
+                        Ok(()) => {
+                            self.issue(&d, now, None);
+                            self.stats.refreshes += 1;
+                            self.refresh_pending[rank as usize] = false;
+                            self.refresh_pending_count -= 1;
+                            self.refresh_bank[rank as usize] = (bank + 1) % self.dram_cfg.banks;
+                            self.next_ref[rank as usize] += self.trefi_eff();
+                            if bank == self.dram_cfg.banks - 1 {
+                                if let Some(crow) = self.crow.as_mut() {
+                                    crow.on_refresh();
+                                }
                             }
+                            return true;
                         }
-                        return true;
+                        Err(e) => {
+                            wake.note_err(&e);
+                            return false;
+                        }
                     }
-                    return false;
                 }
                 // Precharge only the target bank's open rows.
                 let mut candidates = std::mem::take(&mut self.scratch_open);
@@ -455,7 +628,7 @@ impl MemController {
                 let mut issued = false;
                 for &(r, b, sa) in &candidates {
                     let full = self.forced_restore.contains(&(r, b, sa));
-                    if self.try_pre_subarray(now, r, b, sa, full) {
+                    if self.try_pre_subarray(now, r, b, sa, full, wake) {
                         issued = true;
                         break;
                     }
@@ -465,18 +638,24 @@ impl MemController {
             }
             if self.channel.all_banks_closed(rank) {
                 let d = CmdDesc::refresh(rank);
-                if self.channel.check(&d, now).is_ok() {
-                    self.issue(&d, now, None);
-                    self.stats.refreshes += 1;
-                    self.refresh_pending[rank as usize] = false;
-                    self.next_ref[rank as usize] += self.trefi_eff();
-                    if let Some(crow) = self.crow.as_mut() {
-                        // Refresh resets RowHammer disturbance.
-                        crow.on_refresh();
+                match self.channel.check(&d, now) {
+                    Ok(()) => {
+                        self.issue(&d, now, None);
+                        self.stats.refreshes += 1;
+                        self.refresh_pending[rank as usize] = false;
+                        self.refresh_pending_count -= 1;
+                        self.next_ref[rank as usize] += self.trefi_eff();
+                        if let Some(crow) = self.crow.as_mut() {
+                            // Refresh resets RowHammer disturbance.
+                            crow.on_refresh();
+                        }
+                        return true;
                     }
-                    return true;
+                    Err(e) => {
+                        wake.note_err(&e);
+                        return false;
+                    }
                 }
-                return false;
             }
             // Precharge open rows of this rank (oldest-opened first).
             let mut candidates = std::mem::take(&mut self.scratch_open);
@@ -495,7 +674,7 @@ impl MemController {
             let mut issued = false;
             for &(r, b, s) in &candidates {
                 let full = self.forced_restore.contains(&(r, b, s));
-                if self.try_pre_subarray(now, r, b, s, full) {
+                if self.try_pre_subarray(now, r, b, s, full, wake) {
                     issued = true;
                     break;
                 }
@@ -515,11 +694,13 @@ impl MemController {
         bank: u32,
         sa: u32,
         full_restore: bool,
+        wake: &mut Wake,
     ) -> bool {
         let Some(act) = self.channel.subarray_activation(rank, bank, sa) else {
             return false;
         };
         if full_restore && now < act.full_restore_at {
+            wake.note(act.full_restore_at);
             return false;
         }
         let d = if self.dram_cfg.subarray_parallelism {
@@ -527,18 +708,23 @@ impl MemController {
         } else {
             CmdDesc::pre(rank, bank)
         };
-        if self.channel.check(&d, now).is_err() {
-            return false;
+        match self.channel.check(&d, now) {
+            Ok(()) => {
+                self.issue(&d, now, None);
+                true
+            }
+            Err(e) => {
+                wake.note_err(&e);
+                false
+            }
         }
-        self.issue(&d, now, None);
-        true
     }
 
     /// Precharges maintenance activations that reached full restoration.
-    fn try_forced_restore_pre(&mut self, now: Cycle) -> bool {
+    fn try_forced_restore_pre(&mut self, now: Cycle, wake: &mut Wake) -> bool {
         for i in 0..self.forced_restore.len() {
             let (rank, bank, sa) = self.forced_restore[i];
-            if self.try_pre_subarray(now, rank, bank, sa, true) {
+            if self.try_pre_subarray(now, rank, bank, sa, true, wake) {
                 return true;
             }
         }
@@ -562,6 +748,7 @@ impl MemController {
             row,
             purpose: CopyPurpose::WeakRow,
         });
+        self.bump_epoch();
     }
 
     /// Injects `burst` RowHammer-style disturbance activations of `row`
@@ -599,6 +786,9 @@ impl MemController {
                 purpose: CopyPurpose::Hammer,
             });
         }
+        // The detector advanced (and copies may be queued): any memoized
+        // wake bound is stale.
+        self.bump_epoch();
         queued
     }
 
@@ -607,11 +797,12 @@ impl MemController {
     /// counted in [`McStats::bus_drops`].
     pub fn drop_next_issue(&mut self) {
         self.drop_pending = true;
+        self.bump_epoch();
     }
 
     /// Starts a pending maintenance copy (RowHammer victim or VRT weak
     /// row) when its bank is free.
-    fn try_maintenance_copy(&mut self, now: Cycle) -> bool {
+    fn try_maintenance_copy(&mut self, now: Cycle, wake: &mut Wake) -> bool {
         let Some(&op) = self.copy_ops.front() else {
             return false;
         };
@@ -619,7 +810,10 @@ impl MemController {
             return false;
         }
         let Some(crow) = self.crow.as_mut() else {
+            // Popping changes what the next tick attempts.
             self.copy_ops.pop_front();
+            self.bump_epoch();
+            wake.note(now + 1);
             return false;
         };
         // Reserve a way. For a hammer victim with no way available, the
@@ -636,6 +830,8 @@ impl MemController {
                 crow.ref_fallback();
             }
             self.copy_ops.pop_front();
+            self.bump_epoch();
+            wake.note(now + 1);
             return false;
         };
         let d = CmdDesc::act(
@@ -646,28 +842,32 @@ impl MemController {
                 copy: way,
             },
         );
-        if self.channel.check(&d, now).is_ok() {
-            self.issue(&d, now, None);
-            if op.purpose == CopyPurpose::Hammer {
-                self.stats.hammer_copies += 1;
+        match self.channel.check(&d, now) {
+            Ok(()) => {
+                self.issue(&d, now, None);
+                if op.purpose == CopyPurpose::Hammer {
+                    self.stats.hammer_copies += 1;
+                }
+                self.forced_restore.push((op.rank, op.bank, op.subarray));
+                self.copy_ops.pop_front();
+                true
             }
-            self.forced_restore.push((op.rank, op.bank, op.subarray));
-            self.copy_ops.pop_front();
-            true
-        } else {
-            // Roll back the reservation; retry next cycle.
-            let crow = self.crow.as_mut().expect("checked above");
-            match op.purpose {
-                CopyPurpose::Hammer => crow.undo_hammer_remap(cb, op.subarray, way),
-                CopyPurpose::WeakRow => crow.undo_runtime_remap(cb, op.subarray, way),
+            Err(e) => {
+                // Roll back the reservation; retry next cycle.
+                let crow = self.crow.as_mut().expect("checked above");
+                match op.purpose {
+                    CopyPurpose::Hammer => crow.undo_hammer_remap(cb, op.subarray, way),
+                    CopyPurpose::WeakRow => crow.undo_runtime_remap(cb, op.subarray, way),
+                }
+                wake.note_err(&e);
+                false
             }
-            false
         }
     }
 
     /// Main request scheduling: pick the highest-priority issuable command
     /// from the active queue.
-    fn try_serve_queues(&mut self, now: Cycle) -> bool {
+    fn try_serve_queues(&mut self, now: Cycle, wake: &mut Wake) -> bool {
         // Write drain hysteresis.
         if self.write_q.len() >= self.cfg.wr_high {
             self.drain_writes = true;
@@ -676,17 +876,26 @@ impl MemController {
         }
         let use_writes = self.drain_writes || self.read_q.is_empty();
         if use_writes && !self.write_q.is_empty() {
-            self.serve_from(now, ReqKind::Write)
+            self.serve_from(now, ReqKind::Write, wake)
         } else if !self.read_q.is_empty() {
-            self.serve_from(now, ReqKind::Read)
+            self.serve_from(now, ReqKind::Read, wake)
         } else {
             false
         }
     }
 
-    /// Builds the FR-FCFS(-Cap) candidate order and issues the first
-    /// legal command.
-    fn serve_from(&mut self, now: Cycle, kind: ReqKind) -> bool {
+    /// Picks the FR-FCFS(-Cap) candidate order and issues the first
+    /// legal command. Both implementations attempt candidates in the
+    /// identical (priority, arrival, queue-position) order.
+    fn serve_from(&mut self, now: Cycle, kind: ReqKind, wake: &mut Wake) -> bool {
+        match self.cfg.sched_impl {
+            SchedImpl::Linear => self.serve_from_linear(now, kind, wake),
+            SchedImpl::Indexed => self.serve_from_indexed(now, kind, wake),
+        }
+    }
+
+    /// Reference implementation: scan the whole queue, sort, attempt.
+    fn serve_from_linear(&mut self, now: Cycle, kind: ReqKind, wake: &mut Wake) -> bool {
         // Candidate order: (priority, arrival, index).
         let mut order = std::mem::take(&mut self.scratch_order);
         order.clear();
@@ -712,9 +921,11 @@ impl MemController {
             order.push((prio, req.arrival, i));
         }
         order.sort_unstable();
+        self.sched.scanned += order.len() as u64;
         let mut issued = false;
         for &(_, _, idx) in &order {
-            if self.try_serve_request(now, kind, idx) {
+            if self.try_serve_request(now, kind, idx, wake) {
+                self.sched.picks += 1;
                 issued = true;
                 break;
             }
@@ -723,10 +934,166 @@ impl MemController {
         issued
     }
 
+    /// Indexed implementation: k-way merge over per-bank hit sublists
+    /// and miss lists, skipping banks whose memoized readiness bound
+    /// proves every candidate still fails (DESIGN.md §3.13).
+    fn serve_from_indexed(&mut self, now: Cycle, kind: ReqKind, wake: &mut Wake) -> bool {
+        let banks = self.dram_cfg.banks;
+        let slots = (self.dram_cfg.ranks * banks) as usize;
+        let ki = Self::kind_ix(kind);
+        let mut cursors = std::mem::take(&mut self.scratch_cursors);
+        let mut bounds = std::mem::take(&mut self.scratch_bounds);
+        cursors.clear();
+        bounds.clear();
+        for slot in 0..slots {
+            if self.index(kind).bucket(slot).cands.is_empty() {
+                continue;
+            }
+            let rank = slot as u32 / banks;
+            let bank = slot as u32 % banks;
+            // Refresh hold-back: the linear scan rejects these candidates
+            // without side effects, so skipping them wholesale is
+            // equivalent (the pending flag flips only with an epoch bump).
+            if self.refresh_pending[rank as usize]
+                && (!self.cfg.per_bank_refresh || bank == self.refresh_bank[rank as usize] % banks)
+            {
+                continue;
+            }
+            // Readiness fast path: while the epoch is unchanged the
+            // memoized bound is exact, so a future bound means every
+            // candidate of this bank fails this tick exactly as before.
+            let (stamp, ready) = self.bank_ready[ki][slot];
+            if stamp == self.sched_epoch && ready > now {
+                wake.note(ready);
+                self.sched.fastpath_skips += 1;
+                continue;
+            }
+            self.ensure_bucket_fresh(kind, slot);
+            let b = self.index(kind).bucket(slot);
+            for (si, (sa, sub)) in b.hits.iter().enumerate() {
+                if sub.is_empty() {
+                    continue;
+                }
+                // One priority per hit sublist: `served` is constant
+                // during the scan, so the whole sublist shares it.
+                let prio = match self.cfg.sched {
+                    SchedKind::Fcfs => 1,
+                    SchedKind::FrFcfs => 0,
+                    SchedKind::FrFcfsCap { cap } => {
+                        let count = self.served.get(&(rank, bank, *sa)).copied().unwrap_or(0);
+                        u8::from(count >= cap)
+                    }
+                };
+                cursors.push(Cursor {
+                    prio,
+                    slot: slot as u32,
+                    stream: si as u32,
+                    next: 0,
+                });
+            }
+            if !b.miss.is_empty() {
+                cursors.push(Cursor {
+                    prio: 1,
+                    slot: slot as u32,
+                    stream: MISS_STREAM,
+                    next: 0,
+                });
+            }
+            bounds.push((slot as u32, Cycle::MAX));
+        }
+        let mut issued = false;
+        loop {
+            // Smallest (priority, arrival, position) across stream heads:
+            // identical to the linear scan's sorted order (keys are
+            // unique because positions are).
+            let mut best: Option<((u8, Cycle, u32), usize)> = None;
+            for (ci, c) in cursors.iter().enumerate() {
+                let Some((arrival, pos)) = self.stream_head(kind, c) else {
+                    continue;
+                };
+                let key = (c.prio, arrival, pos);
+                if best.is_none_or(|(bk, _)| key < bk) {
+                    best = Some((key, ci));
+                }
+            }
+            let Some(((_, _, pos), ci)) = best else {
+                break;
+            };
+            self.sched.scanned += 1;
+            let mut attempt = Wake::new();
+            if self.try_serve_request(now, kind, pos as usize, &mut attempt) {
+                self.sched.picks += 1;
+                issued = true;
+                break;
+            }
+            wake.merge(&attempt);
+            let slot = cursors[ci].slot;
+            if let Some(e) = bounds.iter_mut().find(|e| e.0 == slot) {
+                e.1 = e.1.min(attempt.at);
+            }
+            cursors[ci].next += 1;
+        }
+        if !issued {
+            // Every participating bank was attempted to exhaustion:
+            // memoize its earliest possible issue cycle under this epoch.
+            for &(slot, bound) in &bounds {
+                self.bank_ready[ki][slot as usize] = (self.sched_epoch, bound);
+            }
+        }
+        self.scratch_cursors = cursors;
+        self.scratch_bounds = bounds;
+        issued
+    }
+
+    /// The next unconsumed (arrival, position) of a merge cursor.
+    fn stream_head(&self, kind: ReqKind, c: &Cursor) -> Option<(Cycle, u32)> {
+        let b = self.index(kind).bucket(c.slot as usize);
+        let sub = if c.stream == MISS_STREAM {
+            &b.miss
+        } else {
+            &b.hits[c.stream as usize].1
+        };
+        sub.get(c.next as usize).copied()
+    }
+
+    /// Rebuilds `slot`'s hit/miss split if a bank-state change
+    /// invalidated it since the last scan.
+    fn ensure_bucket_fresh(&mut self, kind: ReqKind, slot: usize) {
+        if self.index(kind).bucket(slot).fresh {
+            return;
+        }
+        let mut b = std::mem::take(self.index_mut(kind).bucket_mut(slot));
+        let mut pool = std::mem::take(&mut self.stream_pool);
+        b.clear_split(&mut pool);
+        for i in 0..b.cands.len() {
+            let (arrival, pos) = b.cands[i];
+            let req = match kind {
+                ReqKind::Read => self.read_q[pos as usize],
+                ReqKind::Write => self.write_q[pos as usize],
+            };
+            if self.serving_activation(&req) {
+                b.hit_push(self.subarray_of(req.row), (arrival, pos), &mut pool);
+            } else {
+                b.miss.push((arrival, pos));
+            }
+        }
+        b.fresh = true;
+        self.sched.scanned += b.cands.len() as u64;
+        self.sched.rebuilds += 1;
+        self.stream_pool = pool;
+        *self.index_mut(kind).bucket_mut(slot) = b;
+    }
+
     /// Attempts to advance one request: column access if its row is open,
     /// otherwise activate (via the CROW decision) or precharge a
     /// conflicting row.
-    fn try_serve_request(&mut self, now: Cycle, kind: ReqKind, idx: usize) -> bool {
+    fn try_serve_request(
+        &mut self,
+        now: Cycle,
+        kind: ReqKind,
+        idx: usize,
+        wake: &mut Wake,
+    ) -> bool {
         let req = match kind {
             ReqKind::Read => self.read_q[idx],
             ReqKind::Write => self.write_q[idx],
@@ -746,7 +1113,7 @@ impl MemController {
         }
         let sa = self.subarray_of(req.row);
         if self.serving_activation(&req) {
-            return self.try_column(now, kind, idx);
+            return self.try_column(now, kind, idx, wake);
         }
         // Row not open. In a maintenance window, leave the bank alone.
         if self.forced_restore.contains(&(req.rank, req.bank, sa)) {
@@ -774,18 +1141,18 @@ impl MemController {
             {
                 return false;
             }
-            if self.try_pre_subarray(now, req.rank, req.bank, victim_sa, false) {
+            if self.try_pre_subarray(now, req.rank, req.bank, victim_sa, false, wake) {
                 self.stats.row_conflicts += 1;
                 return true;
             }
             return false;
         }
         // Bank/subarray closed: activate, honouring the CROW decision.
-        self.try_activate(now, &req)
+        self.try_activate(now, &req, wake)
     }
 
     /// Issues the activation for a request, consulting the CROW substrate.
-    fn try_activate(&mut self, now: Cycle, req: &MemRequest) -> bool {
+    fn try_activate(&mut self, now: Cycle, req: &MemRequest, wake: &mut Wake) -> bool {
         let sa = self.subarray_of(req.row);
         let cb = self.crow_bank(req.rank, req.bank);
         let decision = self
@@ -854,7 +1221,8 @@ impl MemController {
         };
         let mut d = CmdDesc::act(req.rank, req.bank, kind);
         d.act_mod = act_mod;
-        if self.channel.check(&d, now).is_err() {
+        if let Err(e) = self.channel.check(&d, now) {
+            wake.note_err(&e);
             return false;
         }
         self.issue(&d, now, None);
@@ -892,7 +1260,7 @@ impl MemController {
     }
 
     /// Issues the column command for a request whose row is open.
-    fn try_column(&mut self, now: Cycle, kind: ReqKind, idx: usize) -> bool {
+    fn try_column(&mut self, now: Cycle, kind: ReqKind, idx: usize, wake: &mut Wake) -> bool {
         let req = match kind {
             ReqKind::Read => self.read_q[idx],
             ReqKind::Write => self.write_q[idx],
@@ -904,7 +1272,8 @@ impl MemController {
             (ReqKind::Write, false) => CmdDesc::wr(req.rank, req.bank, req.col),
             (ReqKind::Write, true) => CmdDesc::wr_subarray(req.rank, req.bank, sa, req.col),
         };
-        if self.channel.check(&d, now).is_err() {
+        if let Err(e) = self.channel.check(&d, now) {
+            wake.note_err(&e);
             return false;
         }
         let fx = self.issue(&d, now, Some(req.row));
@@ -919,7 +1288,7 @@ impl MemController {
         }
         match kind {
             ReqKind::Read => {
-                let req = self.read_q.swap_remove(idx);
+                let req = self.q_swap_remove(ReqKind::Read, idx);
                 let done = fx.read_done.expect("RD returns completion time");
                 let latency = done.saturating_sub(req.arrival);
                 self.stats.reads += 1;
@@ -938,7 +1307,7 @@ impl MemController {
                 ));
             }
             ReqKind::Write => {
-                self.write_q.swap_remove(idx);
+                self.q_swap_remove(ReqKind::Write, idx);
                 self.stats.writes += 1;
             }
         }
@@ -946,7 +1315,7 @@ impl MemController {
     }
 
     /// Row-buffer policy precharges (timeout / closed-page).
-    fn try_policy_pre(&mut self, now: Cycle) -> bool {
+    fn try_policy_pre(&mut self, now: Cycle, wake: &mut Wake) -> bool {
         let timeout = match self.cfg.policy {
             RowPolicy::OpenPage => return false,
             RowPolicy::Timeout { cycles } => Some(cycles),
@@ -957,26 +1326,61 @@ impl MemController {
             if self.forced_restore.contains(&(rank, bank, sa)) {
                 continue;
             }
-            let Some(act) = self.channel.subarray_activation(rank, bank, sa) else {
-                continue;
+            let (last_use, open) = {
+                let Some(act) = self.channel.subarray_activation(rank, bank, sa) else {
+                    continue;
+                };
+                (act.last_use, act.open)
             };
             if let Some(t) = timeout {
-                if now.saturating_sub(act.last_use) < t {
+                if now.saturating_sub(last_use) < t {
+                    wake.note(last_use + t);
                     continue;
                 }
             }
             // Any queued request served by this activation keeps it open.
-            let open = act.open;
-            let wanted = self.read_q.iter().chain(self.write_q.iter()).any(|r| {
-                r.rank == rank
-                    && r.bank == bank
-                    && self.subarray_of(r.row) == sa
-                    && (open.serves_regular(r.row) || self.serving_activation(r))
-            });
+            // (The `wanted` predicate is time-independent, so rows skipped
+            // here impose no wake bound.)
+            let wanted = if self.use_index() {
+                self.wanted_indexed(rank, bank, sa)
+            } else {
+                self.read_q.iter().chain(self.write_q.iter()).any(|r| {
+                    r.rank == rank
+                        && r.bank == bank
+                        && self.subarray_of(r.row) == sa
+                        && (open.serves_regular(r.row) || self.serving_activation(r))
+                })
+            };
             if wanted {
                 continue;
             }
-            if self.try_pre_subarray(now, rank, bank, sa, false) {
+            if self.try_pre_subarray(now, rank, bank, sa, false, wake) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Index-backed `wanted` test for the row policy: the activation in
+    /// (rank, bank, sa) serves some queued request iff either queue's
+    /// hit sublist for that subarray is non-empty. (The linear scan's
+    /// `serves_regular` disjunct is subsumed: an open activation always
+    /// serves its own regular row, so such a request classifies as a
+    /// hit in exactly this sublist.)
+    fn wanted_indexed(&mut self, rank: u32, bank: u32, sa: u32) -> bool {
+        let slot = self.slot_of(rank, bank);
+        for kind in [ReqKind::Read, ReqKind::Write] {
+            if self.index(kind).bucket(slot).cands.is_empty() {
+                continue;
+            }
+            self.ensure_bucket_fresh(kind, slot);
+            if self
+                .index(kind)
+                .bucket(slot)
+                .hits
+                .iter()
+                .any(|(s, sub)| *s == sa && !sub.is_empty())
+            {
                 return true;
             }
         }
@@ -987,6 +1391,25 @@ impl MemController {
     /// tracking, and CROW restoration state.
     fn issue(&mut self, d: &CmdDesc, now: Cycle, _touch_row: Option<u32>) -> IssueFx {
         let fx = self.channel.issue(d, now);
+        self.bump_epoch();
+        if self.use_index() {
+            // The bank's row state (and with it hit/miss classification)
+            // may have changed; refresh commands touch the whole rank.
+            match d.cmd {
+                Command::Ref | Command::RefPb => {
+                    let lo = self.slot_of(d.rank, 0);
+                    for slot in lo..lo + self.dram_cfg.banks as usize {
+                        self.rd_index.mark_stale(slot);
+                        self.wr_index.mark_stale(slot);
+                    }
+                }
+                _ => {
+                    let slot = self.slot_of(d.rank, d.bank);
+                    self.rd_index.mark_stale(slot);
+                    self.wr_index.mark_stale(slot);
+                }
+            }
+        }
         // Activation energy is accounted at PRE time, when the actual
         // restoration-drive duration is known (early termination
         // transfers less charge).
@@ -1004,11 +1427,10 @@ impl MemController {
                     let mra = matches!(closed.open, OpenRow::Pair { .. });
                     self.energy_events
                         .on_act_pair(&self.energy_model, closed.restore_drive, mra);
-                    self.open_list
-                        .retain(|&(r, b, s)| !(r == d.rank && b == d.bank && s == closed.subarray));
-                    self.forced_restore
-                        .retain(|&(r, b, s)| !(r == d.rank && b == d.bank && s == closed.subarray));
-                    self.opener.remove(&(d.rank, d.bank, closed.subarray));
+                    let key = (d.rank, d.bank, closed.subarray);
+                    Self::drop_tracking_entry(&mut self.open_list, key);
+                    Self::drop_tracking_entry(&mut self.forced_restore, key);
+                    self.opener.remove(&key);
                     let cb = d.rank * self.dram_cfg.banks + d.bank;
                     if let (Some(crow), OpenRow::Pair { row, .. }) =
                         (self.crow.as_mut(), closed.open)
@@ -1026,6 +1448,12 @@ impl MemController {
             Command::Rd | Command::Wr => {}
         }
         fx
+    }
+
+    /// Drops every entry equal to `key` from a (rank, bank, subarray)
+    /// tracking list (open rows, forced restores).
+    fn drop_tracking_entry(list: &mut Vec<(u32, u32, u32)>, key: (u32, u32, u32)) {
+        list.retain(|&e| e != key);
     }
 }
 

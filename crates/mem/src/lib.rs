@@ -38,10 +38,12 @@ pub mod config;
 pub mod controller;
 pub mod error;
 pub mod request;
+pub mod sched;
 pub mod stats;
 
-pub use config::{McConfig, RowPolicy, SchedKind};
+pub use config::{McConfig, RowPolicy, SchedImpl, SchedKind};
 pub use controller::MemController;
 pub use error::McError;
 pub use request::{Completion, MemRequest, ReqKind};
+pub use sched::SchedStats;
 pub use stats::McStats;

@@ -1,0 +1,309 @@
+//! Scheduler index structures and diagnostics.
+//!
+//! The controller's linear FR-FCFS scan visits every queued request on
+//! every tick. The indexed implementation ([`crate::config::SchedImpl::
+//! Indexed`]) keeps one [`BankBucket`] per (rank, bank) and queue: the
+//! bucket's candidate list is maintained incrementally on enqueue and
+//! dequeue, and its split into row-hit sublists (keyed by subarray) and
+//! a row-miss list is rebuilt lazily, only after a command to that bank
+//! invalidated the classification. Candidate selection then becomes a
+//! k-way merge over per-bank sublists in the *exact* (priority, arrival,
+//! queue-position) order the linear scan produces, so both
+//! implementations issue bit-identical command streams (DESIGN.md
+//! §3.13 has the argument).
+//!
+//! On top of the buckets, the controller memoizes a per-bank readiness
+//! bound (`bank_ready`): when a full scan issues nothing, each
+//! participating bank records the earliest cycle any of its candidates
+//! could issue, stamped with the scheduler epoch. While the epoch is
+//! unchanged, later ticks skip those banks entirely, and the minimum
+//! over all recorded bounds becomes the controller-level wake hint that
+//! lets the event-driven engine skip dead cycles even under load.
+
+use crow_dram::{Cycle, IssueError};
+
+/// Scheduler work counters, observable per [`SimReport`] and in
+/// campaign `.summary.json` output. Diagnostic: like the wall-clock
+/// fields they are *not* part of the cross-engine equivalence contract
+/// (engines and scheduler implementations legitimately differ here).
+///
+/// [`SimReport`]: ../../crow_sim/struct.SimReport.html
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Commands issued from the request queues (scheduler picks).
+    pub picks: u64,
+    /// Candidates examined across all scans (classification during
+    /// bucket rebuilds plus merge attempts, or full linear-scan visits).
+    pub scanned: u64,
+    /// Banks skipped by the memoized readiness bound without touching
+    /// any of their candidates.
+    pub fastpath_skips: u64,
+    /// Lazy hit/miss bucket rebuilds.
+    pub rebuilds: u64,
+    /// Memory cycles the event engine skipped while requests were
+    /// queued (possible only through the indexed wake hint).
+    pub wakeup_skips: u64,
+}
+
+impl SchedStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another controller's counters.
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.picks += other.picks;
+        self.scanned += other.scanned;
+        self.fastpath_skips += other.fastpath_skips;
+        self.rebuilds += other.rebuilds;
+        self.wakeup_skips += other.wakeup_skips;
+    }
+
+    /// Average candidates examined per issued command (0 when nothing
+    /// was picked).
+    pub fn scanned_per_pick(&self) -> f64 {
+        if self.picks == 0 {
+            0.0
+        } else {
+            self.scanned as f64 / self.picks as f64
+        }
+    }
+}
+
+/// Accumulates the earliest cycle at which any failed issue attempt of
+/// the current tick could succeed. `Cycle::MAX` means no reached code
+/// path imposed a time bound (state-dependent failures are covered by
+/// the epoch invalidation instead).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Wake {
+    /// Minimum retry cycle noted so far.
+    pub at: Cycle,
+}
+
+impl Wake {
+    pub fn new() -> Self {
+        Self { at: Cycle::MAX }
+    }
+
+    /// Notes that a failed attempt becomes retriable at `at`.
+    pub fn note(&mut self, at: Cycle) {
+        self.at = self.at.min(at);
+    }
+
+    /// Notes a timing failure; structural (`WrongState`/`BadAddress`)
+    /// failures carry no bound — they can only flip through a command
+    /// issue or an enqueue, both of which bump the scheduler epoch.
+    pub fn note_err(&mut self, e: &IssueError) {
+        if let IssueError::TooEarly { ready_at } = e {
+            self.note(*ready_at);
+        }
+    }
+
+    pub fn merge(&mut self, other: &Wake) {
+        self.at = self.at.min(other.at);
+    }
+}
+
+/// Stream id of the row-miss sublist in a [`Cursor`] (hit sublists use
+/// their position in [`BankBucket::hits`]).
+pub(crate) const MISS_STREAM: u32 = u32::MAX;
+
+/// One merge cursor over a bucket sublist during indexed selection.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Cursor {
+    /// Scheduling priority of every candidate in the sublist (0 = row
+    /// hit under the discipline's rules, 1 otherwise).
+    pub prio: u8,
+    /// Bucket slot (`rank * banks + bank`).
+    pub slot: u32,
+    /// Sublist: an index into `hits`, or [`MISS_STREAM`].
+    pub stream: u32,
+    /// Next unconsumed element of the sublist.
+    pub next: u32,
+}
+
+/// Per-(rank, bank) candidate bucket of one request queue.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BankBucket {
+    /// Live queue positions of this bank's requests as
+    /// (arrival, position) pairs, kept sorted — the linear scan's exact
+    /// intra-priority tie-break.
+    pub cands: Vec<(Cycle, u32)>,
+    /// Whether `hits`/`miss` reflect the bank's current row state.
+    pub fresh: bool,
+    /// Row-hit sublists keyed by subarray (candidates the subarray's
+    /// open activation can serve), each sorted like `cands`.
+    pub hits: Vec<(u32, Vec<(Cycle, u32)>)>,
+    /// Candidates not served by any open activation, sorted likewise.
+    pub miss: Vec<(Cycle, u32)>,
+}
+
+impl BankBucket {
+    /// Drops the hit/miss split, recycling sublist storage into `pool`.
+    pub fn clear_split(&mut self, pool: &mut Vec<Vec<(Cycle, u32)>>) {
+        for (_, mut v) in self.hits.drain(..) {
+            v.clear();
+            pool.push(v);
+        }
+        self.miss.clear();
+    }
+
+    /// Appends a candidate to the hit sublist of subarray `sa`.
+    pub fn hit_push(&mut self, sa: u32, entry: (Cycle, u32), pool: &mut Vec<Vec<(Cycle, u32)>>) {
+        if let Some((_, v)) = self.hits.iter_mut().find(|(s, _)| *s == sa) {
+            v.push(entry);
+            return;
+        }
+        let mut v = pool.pop().unwrap_or_default();
+        v.push(entry);
+        self.hits.push((sa, v));
+    }
+}
+
+/// One request queue's bank index: a [`BankBucket`] per (rank, bank).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueueIndex {
+    buckets: Vec<BankBucket>,
+}
+
+impl QueueIndex {
+    pub fn new(slots: usize) -> Self {
+        Self {
+            buckets: (0..slots).map(|_| BankBucket::default()).collect(),
+        }
+    }
+
+    pub fn bucket(&self, slot: usize) -> &BankBucket {
+        &self.buckets[slot]
+    }
+
+    pub fn bucket_mut(&mut self, slot: usize) -> &mut BankBucket {
+        &mut self.buckets[slot]
+    }
+
+    /// Records a push to the back of the queue. Arrival stamps are
+    /// non-decreasing and the position is the queue's maximum, so
+    /// appending keeps the bucket sorted.
+    pub fn on_push(&mut self, slot: usize, arrival: Cycle, pos: u32) {
+        let b = &mut self.buckets[slot];
+        debug_assert!(b.cands.last().is_none_or(|&last| last < (arrival, pos)));
+        b.cands.push((arrival, pos));
+        b.fresh = false;
+    }
+
+    /// Removes the entry `(arrival, pos)` from `slot`.
+    pub fn remove(&mut self, slot: usize, arrival: Cycle, pos: u32) {
+        let b = &mut self.buckets[slot];
+        match b.cands.binary_search(&(arrival, pos)) {
+            Ok(i) => {
+                b.cands.remove(i);
+            }
+            Err(_) => debug_assert!(false, "bank index lost entry ({arrival}, {pos})"),
+        }
+        b.fresh = false;
+    }
+
+    /// Re-keys the entry a queue `swap_remove` moved from the back
+    /// (`old_pos`) into the vacated position (`new_pos`).
+    pub fn reposition(&mut self, slot: usize, arrival: Cycle, old_pos: u32, new_pos: u32) {
+        let b = &mut self.buckets[slot];
+        match b.cands.binary_search(&(arrival, old_pos)) {
+            Ok(i) => {
+                b.cands.remove(i);
+            }
+            Err(_) => debug_assert!(false, "bank index lost entry ({arrival}, {old_pos})"),
+        }
+        let at = match b.cands.binary_search(&(arrival, new_pos)) {
+            Ok(i) | Err(i) => i,
+        };
+        b.cands.insert(at, (arrival, new_pos));
+        b.fresh = false;
+    }
+
+    /// Marks one bucket's hit/miss split stale (bank state changed).
+    pub fn mark_stale(&mut self, slot: usize) {
+        self.buckets[slot].fresh = false;
+    }
+
+    /// Marks every bucket stale (global state change, e.g. a CROW-table
+    /// mutation through external access).
+    pub fn mark_all_stale(&mut self) {
+        for b in &mut self.buckets {
+            b.fresh = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_and_ratio() {
+        let mut a = SchedStats {
+            picks: 2,
+            scanned: 10,
+            ..SchedStats::new()
+        };
+        let b = SchedStats {
+            picks: 3,
+            scanned: 5,
+            fastpath_skips: 7,
+            rebuilds: 1,
+            wakeup_skips: 9,
+        };
+        a.merge(&b);
+        assert_eq!(a.picks, 5);
+        assert_eq!(a.scanned, 15);
+        assert_eq!(a.fastpath_skips, 7);
+        assert_eq!(a.wakeup_skips, 9);
+        assert!((a.scanned_per_pick() - 3.0).abs() < 1e-12);
+        assert_eq!(SchedStats::new().scanned_per_pick(), 0.0);
+    }
+
+    #[test]
+    fn wake_tracks_minimum_and_ignores_structural_errors() {
+        let mut w = Wake::new();
+        assert_eq!(w.at, Cycle::MAX);
+        w.note_err(&IssueError::WrongState("no open row"));
+        assert_eq!(w.at, Cycle::MAX);
+        w.note_err(&IssueError::TooEarly { ready_at: 90 });
+        w.note(120);
+        assert_eq!(w.at, 90);
+        let mut other = Wake::new();
+        other.note(50);
+        w.merge(&other);
+        assert_eq!(w.at, 50);
+    }
+
+    #[test]
+    fn index_maintains_sorted_candidates_across_swap_remove() {
+        let mut ix = QueueIndex::new(2);
+        // Queue: pos0(bank0,t5) pos1(bank1,t6) pos2(bank0,t7).
+        ix.on_push(0, 5, 0);
+        ix.on_push(1, 6, 1);
+        ix.on_push(0, 7, 2);
+        // swap_remove(0): pos2 moves to pos0.
+        ix.remove(0, 5, 0);
+        ix.reposition(0, 7, 2, 0);
+        assert_eq!(ix.bucket(0).cands, vec![(7, 0)]);
+        assert_eq!(ix.bucket(1).cands, vec![(6, 1)]);
+        assert!(!ix.bucket(0).fresh);
+    }
+
+    #[test]
+    fn bucket_split_recycles_storage() {
+        let mut b = BankBucket::default();
+        let mut pool = Vec::new();
+        b.hit_push(3, (10, 0), &mut pool);
+        b.hit_push(3, (11, 1), &mut pool);
+        b.hit_push(4, (12, 2), &mut pool);
+        assert_eq!(b.hits.len(), 2);
+        b.clear_split(&mut pool);
+        assert_eq!(pool.len(), 2);
+        assert!(b.hits.is_empty());
+        b.hit_push(5, (13, 0), &mut pool);
+        assert_eq!(pool.len(), 1, "sublist storage reused");
+    }
+}

@@ -4,7 +4,7 @@ use crow_core::CrowStats;
 use crow_dram::ChannelStats;
 use crow_energy::EnergyCounter;
 use crow_mem::stats::LATENCY_BUCKETS;
-use crow_mem::McStats;
+use crow_mem::{McStats, SchedStats};
 
 use crate::campaign::Journaled;
 use crate::fault::FaultStats;
@@ -38,6 +38,10 @@ pub struct SimReport {
     pub trace_faults: u64,
     /// Fault-harness injection counters (all zero without a fault plan).
     pub faults: FaultStats,
+    /// Merged scheduler work counters across channels (diagnostic; not
+    /// part of the cross-engine equivalence contract — engines and
+    /// scheduler implementations legitimately differ here).
+    pub sched: SchedStats,
     /// Wall-clock seconds the `run` call took (diagnostic; not part of
     /// the cross-engine equivalence contract).
     pub wall_seconds: f64,
@@ -146,6 +150,13 @@ impl Journaled for SimReport {
             self.faults.drops_injected,
             self.faults.suppressed,
         ];
+        let sched = [
+            self.sched.picks,
+            self.sched.scanned,
+            self.sched.fastpath_skips,
+            self.sched.rebuilds,
+            self.sched.wakeup_skips,
+        ];
         Json::Obj(vec![
             ("ipc".into(), f64s(&self.ipc)),
             ("mpki".into(), f64s(&self.mpki)),
@@ -160,6 +171,7 @@ impl Journaled for SimReport {
             ("violations".into(), Json::u64(self.violations)),
             ("trace_faults".into(), Json::u64(self.trace_faults)),
             ("faults".into(), u64s(&faults)),
+            ("sched".into(), u64s(&sched)),
             ("wall_seconds".into(), Json::f64(self.wall_seconds)),
             (
                 "sim_cycles_per_sec".into(),
@@ -175,6 +187,25 @@ impl Journaled for SimReport {
         let crow = get_u64s(v, "crow")?;
         let energy = get_f64s(v, "energy")?;
         let faults = get_u64s(v, "faults")?;
+        // Journals written before the scheduler counters existed lack
+        // the key entirely (restore as zeros); a present but malformed
+        // array is still a decode error.
+        let sched = match v.get("sched") {
+            None => SchedStats::default(),
+            Some(_) => {
+                let s = get_u64s(v, "sched")?;
+                if s.len() != 5 {
+                    return None;
+                }
+                SchedStats {
+                    picks: s[0],
+                    scanned: s[1],
+                    fastpath_skips: s[2],
+                    rebuilds: s[3],
+                    wakeup_skips: s[4],
+                }
+            }
+        };
         if mc_counters.len() != 12
             || hist.len() != LATENCY_BUCKETS
             || commands.len() != 8
@@ -236,6 +267,7 @@ impl Journaled for SimReport {
                 drops_injected: faults[3],
                 suppressed: faults[4],
             },
+            sched,
             wall_seconds: get_f64(v, "wall_seconds").unwrap_or(0.0),
             sim_cycles_per_sec: get_f64(v, "sim_cycles_per_sec").unwrap_or(0.0),
         })
@@ -261,6 +293,7 @@ mod tests {
             violations: 0,
             trace_faults: 0,
             faults: FaultStats::default(),
+            sched: SchedStats::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };
@@ -301,6 +334,13 @@ mod tests {
                 vrt_injected: 3,
                 ..FaultStats::default()
             },
+            sched: SchedStats {
+                picks: 11,
+                scanned: 97,
+                fastpath_skips: 5,
+                rebuilds: 2,
+                wakeup_skips: u64::MAX,
+            },
             wall_seconds: 1.5,
             sim_cycles_per_sec: 2e9,
         };
@@ -315,7 +355,50 @@ mod tests {
         assert_eq!(back.energy.act_nj.to_bits(), r.energy.act_nj.to_bits());
         assert!(!back.finished);
         assert_eq!(back.faults.vrt_injected, 3);
+        assert_eq!(back.sched, r.sched);
         // Re-encoding the decoded report reproduces the bytes.
         assert_eq!(back.encode().render(), text);
+    }
+
+    #[test]
+    fn journal_without_sched_counters_decodes_as_zeros() {
+        let mut r = SimReport {
+            ipc: vec![1.0],
+            mpki: vec![0.0],
+            cpu_cycles: 1,
+            mem_cycles: 1,
+            mc: McStats::new(),
+            commands: ChannelStats::new(),
+            crow: CrowStats::new(),
+            energy: EnergyCounter::new(),
+            finished: true,
+            violations: 0,
+            trace_faults: 0,
+            faults: FaultStats::default(),
+            sched: SchedStats {
+                picks: 9,
+                ..SchedStats::default()
+            },
+            wall_seconds: 0.0,
+            sim_cycles_per_sec: 0.0,
+        };
+        // Simulate a pre-counter journal by stripping the key.
+        let Json::Obj(mut fields) = r.encode() else {
+            panic!("encode returns an object")
+        };
+        fields.retain(|(k, _)| k != "sched");
+        let back = SimReport::decode(&Json::Obj(fields)).unwrap();
+        assert_eq!(back.sched, SchedStats::default());
+        // A malformed length is rejected, not silently zeroed.
+        r.sched = SchedStats::default();
+        let Json::Obj(mut fields) = r.encode() else {
+            panic!("encode returns an object")
+        };
+        for (k, v) in &mut fields {
+            if k == "sched" {
+                *v = Json::Arr(vec![Json::u64(1)]);
+            }
+        }
+        assert!(SimReport::decode(&Json::Obj(fields)).is_none());
     }
 }

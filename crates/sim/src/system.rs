@@ -6,7 +6,7 @@ use crow_cpu::{CpuCluster, CpuMemReq, MemPort};
 use crow_dram::{ActTimingMod, AddrMapper, ChannelStats};
 use crow_energy::EnergyCounter;
 use crow_mem::controller::CacheMode;
-use crow_mem::{Completion, McStats, MemController, MemRequest, ReqKind};
+use crow_mem::{Completion, McStats, MemController, MemRequest, ReqKind, SchedStats};
 use crow_workloads::AppProfile;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -397,7 +397,7 @@ impl System {
                 } else {
                     mc.tick(self.mem_cycle, &mut self.completions);
                     if event_driven {
-                        self.mc_next_event[i] = mc.next_event_at(self.mem_cycle);
+                        self.mc_next_event[i] = mc.min_wakeup(self.mem_cycle);
                     }
                 }
             }
@@ -553,11 +553,13 @@ impl System {
         let mut commands = ChannelStats::new();
         let mut crow = CrowStats::new();
         let mut energy = EnergyCounter::new();
+        let mut sched = SchedStats::new();
         let mut violations = 0u64;
         for c in &self.mcs {
             mc.merge(c.stats());
             commands.merge(c.channel().stats());
             energy.merge(&c.energy());
+            sched.merge(c.sched_stats());
             if let Some(s) = c.crow() {
                 crow.merge(s.stats());
             }
@@ -578,6 +580,7 @@ impl System {
             violations,
             trace_faults: self.cluster.trace_faults().len() as u64,
             faults: self.fault_stats,
+            sched,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         }

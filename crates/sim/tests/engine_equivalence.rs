@@ -1,30 +1,60 @@
 //! The event-driven engine must be an *exact* optimization: for any
 //! workload and mechanism, it produces a bit-identical [`SimReport`] to
-//! the naive cycle-by-cycle stepper — only wall-clock fields may differ.
+//! the naive cycle-by-cycle stepper — only wall-clock fields (and the
+//! scheduler diagnostics, which count implementation work rather than
+//! architectural events) may differ.
+//!
+//! The same contract covers the indexed scheduler: every test runs the
+//! full engine × scheduler-implementation matrix, so four configurations
+//! must agree bit-for-bit, not two.
 
+use crow_mem::SchedImpl;
 use crow_sim::{Engine, FaultPlan, Mechanism, System, SystemConfig};
 use crow_workloads::AppProfile;
 
-/// Runs one configuration under both engines and compares the full
-/// reports (with the wall-clock diagnostics zeroed out).
+/// The engine × scheduler-implementation matrix every equivalence test
+/// sweeps. The first entry is the reference everything else is
+/// compared against.
+const MATRIX: [(Engine, SchedImpl); 4] = [
+    (Engine::Naive, SchedImpl::Linear),
+    (Engine::Naive, SchedImpl::Indexed),
+    (Engine::EventDriven, SchedImpl::Linear),
+    (Engine::EventDriven, SchedImpl::Indexed),
+];
+
+/// Zeroes the fields excluded from the equivalence contract: wall-clock
+/// measurements and the scheduler work counters (the whole point of the
+/// indexed path is that those differ).
+fn normalize(r: &mut crow_sim::SimReport) {
+    r.wall_seconds = 0.0;
+    r.sim_cycles_per_sec = 0.0;
+    r.sched = Default::default();
+}
+
+/// Runs one configuration under the full matrix and compares the
+/// reports (normalized) against the naive/linear reference.
 fn assert_equivalent(mechanism: Mechanism, app: &str, vrt: Option<u64>) {
     let profile = AppProfile::by_name(app).unwrap();
     let mut reports = Vec::new();
-    for engine in [Engine::Naive, Engine::EventDriven] {
+    for (engine, sched_impl) in MATRIX {
         let mut cfg = SystemConfig::quick_test(mechanism);
         cfg.engine = engine;
+        cfg.mc.sched_impl = sched_impl;
         cfg.vrt_interval_cycles = vrt;
         let mut sys = System::new(cfg, &[profile]);
         let mut r = sys.run(2_000_000);
-        r.wall_seconds = 0.0;
-        r.sim_cycles_per_sec = 0.0;
+        normalize(&mut r);
         reports.push(r);
     }
-    assert_eq!(
-        format!("{:?}", reports[0]),
-        format!("{:?}", reports[1]),
-        "engines diverged for {mechanism:?} on {app}"
-    );
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            format!("{:?}", reports[0]),
+            format!("{r:?}"),
+            "{:?} diverged from {:?} for {mechanism:?} on {app}",
+            MATRIX[i],
+            MATRIX[0],
+        );
+    }
 }
 
 #[test]
@@ -57,28 +87,31 @@ fn crow_combined_with_vrt_matches() {
 #[test]
 fn fault_plan_under_both_engines_matches() {
     // Fault injections (VRT remaps, hammer bursts, bus drops) are
-    // scheduled on CPU-cycle boundaries with a dedicated RNG, so both
-    // engines must apply the exact same schedule — including the
-    // validator's violation count and every fault counter — and produce
-    // bit-identical reports.
+    // scheduled on CPU-cycle boundaries with a dedicated RNG, so all
+    // four configurations must apply the exact same schedule —
+    // including the validator's violation count and every fault
+    // counter — and produce bit-identical reports.
     let profile = AppProfile::by_name("mcf").unwrap();
     let mut reports = Vec::new();
-    for engine in [Engine::Naive, Engine::EventDriven] {
+    for (engine, sched_impl) in MATRIX {
         let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
         cfg.engine = engine;
+        cfg.mc.sched_impl = sched_impl;
         cfg.validate_protocol = true;
         cfg.fault_plan = Some(FaultPlan::stress(0xFA17));
         let mut sys = System::new(cfg, &[profile]);
         let mut r = sys.run(2_000_000);
-        r.wall_seconds = 0.0;
-        r.sim_cycles_per_sec = 0.0;
+        normalize(&mut r);
         reports.push(r);
     }
-    assert_eq!(
-        format!("{:?}", reports[0]),
-        format!("{:?}", reports[1]),
-        "engines diverged under an active fault plan"
-    );
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            format!("{:?}", reports[0]),
+            format!("{r:?}"),
+            "{:?} diverged under an active fault plan",
+            MATRIX[i],
+        );
+    }
     assert!(
         reports[0].faults.total_injected() > 0,
         "the stress plan must actually inject: {:?}",
@@ -91,24 +124,29 @@ fn fault_plan_under_both_engines_matches() {
 #[test]
 fn crow8_validated_run_is_violation_free_on_both_engines() {
     // Acceptance: a full CROW-8 run with the shadow validator attached
-    // reports zero protocol violations on both engines.
+    // reports zero protocol violations on every engine × scheduler
+    // combination.
     let profile = AppProfile::by_name("mcf").unwrap();
-    for engine in [Engine::Naive, Engine::EventDriven] {
+    for (engine, sched_impl) in MATRIX {
         let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
         cfg.engine = engine;
+        cfg.mc.sched_impl = sched_impl;
         cfg.validate_protocol = true;
         let mut sys = System::new(cfg, &[profile]);
         let r = sys
             .run_checked(30_000_000)
-            .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
-        assert!(r.finished, "{engine:?} did not finish");
+            .unwrap_or_else(|e| panic!("{engine:?}/{sched_impl:?}: {e}"));
+        assert!(r.finished, "{engine:?}/{sched_impl:?} did not finish");
         assert_eq!(r.violations, 0);
         let observed: u64 = sys
             .controllers()
             .iter()
             .map(|mc| mc.channel().validator().expect("attached").observed())
             .sum();
-        assert!(observed > 0, "{engine:?}: validator saw no commands");
+        assert!(
+            observed > 0,
+            "{engine:?}/{sched_impl:?}: validator saw no commands"
+        );
     }
 }
 
@@ -119,14 +157,21 @@ fn multicore_mix_matches() {
         .map(|n| AppProfile::by_name(n).unwrap())
         .collect();
     let mut reports = Vec::new();
-    for engine in [Engine::Naive, Engine::EventDriven] {
+    for (engine, sched_impl) in MATRIX {
         let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
         cfg.engine = engine;
+        cfg.mc.sched_impl = sched_impl;
         let mut sys = System::new(cfg, &apps);
         let mut r = sys.run(2_000_000);
-        r.wall_seconds = 0.0;
-        r.sim_cycles_per_sec = 0.0;
+        normalize(&mut r);
         reports.push(r);
     }
-    assert_eq!(format!("{:?}", reports[0]), format!("{:?}", reports[1]));
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        assert_eq!(
+            format!("{:?}", reports[0]),
+            format!("{r:?}"),
+            "{:?} diverged in the multicore mix",
+            MATRIX[i],
+        );
+    }
 }

@@ -40,4 +40,11 @@ trap 'rm -rf "$CAMPDIR"' EXIT
 "$SELFTEST" --dir "$CAMPDIR/crash" --resume --expect-restored 9 --expect-fresh 0
 cmp "$CAMPDIR/clean/selftest.json" "$CAMPDIR/crash/selftest.json"
 
+echo "== scheduler perf gate (counter-based, deterministic) =="
+# Indexed vs. linear FR-FCFS on the random-access stress trace: same
+# architectural stats, strictly fewer candidates scanned, and scanned
+# per pick below a fixed bound. Counters only — no wall-clock flake.
+cargo build --release -p crow-bench --bin sched_gate
+target/release/sched_gate
+
 echo "All checks passed."
