@@ -140,6 +140,8 @@ fn main() {
         warmup: 0,
         mixes_per_group: 1,
         max_cycles: u64::MAX,
+        threads: 1,
+        checkpoints: false,
     };
     let full_insts = scale.insts;
 

@@ -1,0 +1,159 @@
+//! Warm-checkpoint gate for `scripts/check.sh`.
+//!
+//! Runs a repeated-configuration campaign (one workload under the
+//! engine × scheduler × thread-count matrix — configurations that
+//! *share* a warmup fingerprint) twice against a fresh checkpoint
+//! directory, and asserts from the process-wide counters:
+//!
+//! 1. the second pass restores every warmup from the cache (≥1 hit,
+//!    **zero** warmup instructions re-simulated);
+//! 2. both passes produce bit-identical reports — a restored warmup is
+//!    indistinguishable from a cold one;
+//! 3. the per-campaign checkpoint delta lands in the campaign's
+//!    `.summary.json`, where the warmup wall-clock elimination is
+//!    recorded (`saved_seconds` vs `cold_seconds`).
+//!
+//! Counter-based throughout so the gate cannot flake on a loaded host;
+//! the wall-clock elimination ratio is printed for the record. Exits
+//! non-zero with a diagnostic on any violation.
+
+use crow_bench::util::FigCampaign;
+use crow_mem::SchedImpl;
+use crow_sim::{checkpoint, run_with_config, Engine, Json, Mechanism, Scale, SystemConfig};
+use crow_workloads::AppProfile;
+
+type Cell = (Engine, SchedImpl, u32);
+
+const MATRIX: [Cell; 4] = [
+    (Engine::Naive, SchedImpl::Linear, 1),
+    (Engine::EventDriven, SchedImpl::Linear, 1),
+    (Engine::EventDriven, SchedImpl::Indexed, 1),
+    (Engine::EventDriven, SchedImpl::Indexed, 4),
+];
+
+fn fail(msg: &str) -> ! {
+    eprintln!("checkpoint_gate: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+fn pass(name: &str, scale: Scale) -> (Vec<String>, std::path::PathBuf) {
+    let mut camp = FigCampaign::new(name, scale);
+    let jobs: Vec<(String, Cell)> = MATRIX.iter().map(|&c| (format!("cell/{c:?}"), c)).collect();
+    let reports = camp.run(jobs, |&(engine, sched_impl, threads), scale| {
+        let app = AppProfile::by_name("mcf").expect("known app");
+        let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
+        cfg.channels = 4;
+        cfg.engine = engine;
+        cfg.mc.sched_impl = sched_impl;
+        let scale = Scale { threads, ..scale };
+        Ok(run_with_config(cfg, &[app], scale))
+    });
+    let trailer = camp.finish();
+    print!("{trailer}");
+    let summary = std::path::PathBuf::from(format!(
+        "{}/{name}.jsonl.summary.json",
+        std::env::var("CROW_CAMPAIGN_DIR").expect("set below")
+    ));
+    let normalized = reports
+        .into_iter()
+        .map(|mut r| {
+            if !r.finished {
+                fail("a campaign job failed outright");
+            }
+            r.wall_seconds = 0.0;
+            r.sim_cycles_per_sec = 0.0;
+            format!("{r:?}")
+        })
+        .collect();
+    (normalized, summary)
+}
+
+fn main() {
+    // Fresh scratch state: the gate must prove the cache works, not
+    // inherit artifacts of an earlier run.
+    let scratch = std::env::temp_dir().join(format!("crow-ckpt-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::env::set_var("CROW_CHECKPOINT_DIR", scratch.join("checkpoints"));
+    std::env::set_var("CROW_CAMPAIGN_DIR", scratch.join("campaign"));
+    std::env::remove_var("CROW_RESUME");
+
+    let scale = Scale {
+        insts: 60_000,
+        warmup: 150_000,
+        mixes_per_group: 1,
+        max_cycles: 50_000_000,
+        threads: 1,
+        checkpoints: true,
+    };
+
+    let (first, _) = pass("checkpoint_gate_warm", scale);
+    let before = checkpoint::stats();
+    let (second, summary_path) = pass("checkpoint_gate", scale);
+    let delta = checkpoint::stats().since(&before);
+
+    // The second pass must be all hits: every configuration shares the
+    // one warmup fingerprint the first pass published.
+    if delta.hits < 1 {
+        fail(&format!(
+            "second pass recorded no checkpoint hits: {delta:?}"
+        ));
+    }
+    if delta.misses != 0 || delta.insts_simulated != 0 {
+        fail(&format!(
+            "second pass re-simulated warmup ({} insts, {} misses): {delta:?}",
+            delta.insts_simulated, delta.misses
+        ));
+    }
+    if first != second {
+        for (a, b) in first.iter().zip(&second) {
+            if a != b {
+                fail(&format!(
+                    "restored warmup diverged from cold\n  cold:     {a}\n  restored: {b}"
+                ));
+            }
+        }
+    }
+
+    // The campaign summary must carry the delta (the artifact the
+    // acceptance criterion points at).
+    let text = std::fs::read_to_string(&summary_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", summary_path.display())));
+    let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("bad summary JSON: {e}")));
+    let ck = doc
+        .get("checkpoints")
+        .unwrap_or_else(|| fail("summary lacks a checkpoints object"));
+    let hits = ck.get("hits").and_then(Json::as_u64).unwrap_or(0);
+    let resim = ck
+        .get("insts_simulated")
+        .and_then(Json::as_u64)
+        .unwrap_or(u64::MAX);
+    if hits < 1 || resim != 0 {
+        fail(&format!(
+            "summary checkpoints object disagrees: hits {hits}, insts_simulated {resim}"
+        ));
+    }
+
+    let eliminated = if delta.saved_seconds > 0.0 {
+        100.0 * (1.0 - delta.restore_seconds / delta.saved_seconds)
+    } else {
+        0.0
+    };
+    // The headline acceptance number: restoring must eliminate ≥90% of
+    // the warmup wall-clock. Restore cost is file-size-bound (~0.5 ms)
+    // while cold warmup scales with the warmup length (~12 ms here), so
+    // the margin is wide enough to hold on a loaded host.
+    if eliminated < 90.0 {
+        fail(&format!(
+            "restore eliminated only {eliminated:.1}% of warmup wall-clock \
+             (restore {:.4}s vs cold {:.4}s)",
+            delta.restore_seconds, delta.saved_seconds
+        ));
+    }
+    println!(
+        "checkpoint_gate: OK  second pass: {} hits, 0 warmup insts re-simulated \
+         ({} insts restored); restore {:.4}s vs cold {:.4}s recorded \
+         (~{eliminated:.1}% of warmup wall-clock eliminated)",
+        delta.hits, delta.insts_restored, delta.restore_seconds, delta.saved_seconds,
+    );
+    let _ = std::fs::remove_dir_all(&scratch);
+}

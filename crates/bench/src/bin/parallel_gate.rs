@@ -1,0 +1,64 @@
+//! Deterministic parallel-engine gate for `scripts/check.sh`.
+//!
+//! Runs a bench-suite slice — both engines, both scheduler
+//! implementations, baseline and CROW mechanisms, single apps and a
+//! four-core mix — on the four-channel platform, serial and with four
+//! shard worker threads, and asserts the reports are **bit-identical**
+//! (wall-clock fields excepted). The sharded engine is an exactness
+//! claim, not an approximation: any divergence — architectural stats,
+//! command streams, energy, even the scheduler work counters — fails
+//! the gate.
+//!
+//! Exits non-zero with a diagnostic on any violation.
+
+use crow_mem::SchedImpl;
+use crow_sim::{Engine, Mechanism, System, SystemConfig};
+use crow_workloads::AppProfile;
+
+const THREADS: u32 = 4;
+
+fn run(mechanism: Mechanism, apps: &[&str], engine: Engine, si: SchedImpl, threads: u32) -> String {
+    let profiles: Vec<&AppProfile> = apps
+        .iter()
+        .map(|n| AppProfile::by_name(n).expect("known app"))
+        .collect();
+    let mut cfg = SystemConfig::quick_test(mechanism);
+    cfg.channels = 4;
+    cfg.cpu.target_insts = 100_000;
+    cfg.engine = engine;
+    cfg.mc.sched_impl = si;
+    cfg.threads = threads;
+    let mut sys = System::new(cfg, &profiles);
+    let mut r = sys.run(50_000_000);
+    r.wall_seconds = 0.0;
+    r.sim_cycles_per_sec = 0.0;
+    format!("{r:?}")
+}
+
+fn main() {
+    let suite: [(Mechanism, &[&str]); 4] = [
+        (Mechanism::Baseline, &["mcf"]),
+        (Mechanism::crow_cache(8), &["random"]),
+        (Mechanism::crow_combined(), &["libq"]),
+        (Mechanism::crow_cache(8), &["mcf", "povray", "libq", "gcc"]),
+    ];
+    let mut cells = 0;
+    for (mechanism, apps) in suite {
+        for engine in [Engine::Naive, Engine::EventDriven] {
+            for si in [SchedImpl::Linear, SchedImpl::Indexed] {
+                let serial = run(mechanism, apps, engine, si, 1);
+                let sharded = run(mechanism, apps, engine, si, THREADS);
+                if serial != sharded {
+                    eprintln!(
+                        "parallel_gate: FAIL: {engine:?}/{si:?} {mechanism:?} {apps:?}: \
+                         {THREADS}-thread report diverged from serial\n  \
+                         serial:  {serial}\n  sharded: {sharded}"
+                    );
+                    std::process::exit(1);
+                }
+                cells += 1;
+            }
+        }
+    }
+    println!("parallel_gate: OK  {cells} suite cells bit-identical at {THREADS} threads vs serial");
+}

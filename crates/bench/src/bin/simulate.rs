@@ -66,7 +66,11 @@ fn usage() -> ! {
          \x20    campaign job (journaled under results/campaign/simulate.jsonl):\n\
          \x20    a panic, Abort-policy fault, or overrun deadline is retried at\n\
          \x20    a degraded instruction budget, and --resume restores a\n\
-         \x20    previously journaled result instead of re-running"
+         \x20    previously journaled result instead of re-running\n\
+         \n\
+         env: CROW_THREADS=N runs one shard worker per channel group\n\
+         \x20    (bit-identical reports); CROW_CHECKPOINTS=1 caches warmed\n\
+         \x20    architectural state under results/checkpoints/"
     );
     std::process::exit(2);
 }
@@ -219,16 +223,16 @@ fn parse_mechanism(s: &str) -> Mechanism {
 /// budget, and journaled under `results/campaign/simulate.jsonl` so
 /// `--resume` restores the result instead of re-running. Returns the
 /// report and whether it was restored from the journal.
-fn run_supervised<F>(args: &Args, cfg: SystemConfig, build: F) -> (SimReport, bool)
+fn run_supervised<F>(
+    args: &Args,
+    scale: Scale,
+    names: Vec<String>,
+    cfg: SystemConfig,
+    build: F,
+) -> (SimReport, bool)
 where
     F: Fn(SystemConfig) -> Result<System, crow_sim::CrowError> + Send + Sync + 'static,
 {
-    let scale = Scale {
-        insts: args.insts,
-        warmup: args.warmup,
-        mixes_per_group: 1,
-        max_cycles: u64::MAX,
-    };
     let mut policy = CampaignPolicy::new(scale);
     policy.timeout = args
         .timeout
@@ -272,9 +276,23 @@ where
     let outcomes = camp.run(vec![(job_fp, cfg)], move |cfg, scale| {
         let mut cfg = cfg.clone();
         cfg.cpu.target_insts = scale.insts;
-        let mut sys = build(cfg)?;
+        cfg.threads = scale.threads;
+        let mut sys = build(cfg.clone())?;
         if scale.warmup > 0 {
-            sys.warm(scale.warmup);
+            if scale.checkpoints {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let out = crow_sim::warm_via_cache(
+                    &mut sys,
+                    || build(cfg).expect("a system that built once builds again"),
+                    &refs,
+                    scale.warmup,
+                );
+                if let Some(e) = out.error {
+                    eprintln!("warning: {e} (ran a cold warmup instead)");
+                }
+            } else {
+                sys.warm(scale.warmup);
+            }
         }
         let r = sys.run_checked(u64::MAX)?;
         if oracle {
@@ -313,6 +331,21 @@ where
 
 fn main() {
     let args = parse_args();
+    // `CROW_THREADS`/`CROW_CHECKPOINTS` ride the environment scale; the
+    // CLI flags keep owning the per-run knobs (insts, warmup). Malformed
+    // env is a diagnostic exit, never a silent default.
+    let env_scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    let scale = Scale {
+        insts: args.insts,
+        warmup: args.warmup,
+        mixes_per_group: 1,
+        max_cycles: u64::MAX,
+        threads: env_scale.threads,
+        checkpoints: env_scale.checkpoints,
+    };
     let mech = parse_mechanism(&args.mechanism);
     let base = if args.ddr4 {
         SystemConfig::ddr4(mech)
@@ -323,6 +356,7 @@ fn main() {
     cfg.channels = args.channels;
     cfg.seed = args.seed;
     cfg.cpu.target_insts = args.insts;
+    cfg.threads = scale.threads;
     cfg.mc.per_bank_refresh = args.per_bank_refresh;
     cfg.oracle = args.oracle;
     if args.prefetch {
@@ -385,14 +419,27 @@ fn main() {
     let supervised = args.timeout.is_some() || args.retries.is_some() || args.resume;
     let start = std::time::Instant::now();
     let (r, restored) = if supervised {
-        run_supervised(&args, cfg, build)
+        run_supervised(&args, scale, names.clone(), cfg, build)
     } else {
-        let mut sys = build(cfg).unwrap_or_else(|e| {
+        let mut sys = build(cfg.clone()).unwrap_or_else(|e| {
             eprintln!("simulate: {e}");
             std::process::exit(1);
         });
         if args.warmup > 0 {
-            sys.warm(args.warmup);
+            if scale.checkpoints {
+                let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+                let out = crow_sim::warm_via_cache(
+                    &mut sys,
+                    || build(cfg).expect("a system that built once builds again"),
+                    &refs,
+                    args.warmup,
+                );
+                if let Some(e) = out.error {
+                    eprintln!("warning: {e} (ran a cold warmup instead)");
+                }
+            } else {
+                sys.warm(args.warmup);
+            }
         }
         let r = sys.run_checked(u64::MAX).unwrap_or_else(|e| {
             eprintln!("simulate: {e}");

@@ -117,6 +117,9 @@ pub fn failed_report() -> SimReport {
 pub struct FigCampaign {
     camp: Campaign,
     sched: SchedStats,
+    /// Checkpoint counters at campaign open, so the summary reports the
+    /// delta attributable to this campaign alone.
+    ckpt_base: crow_sim::CheckpointStats,
 }
 
 impl FigCampaign {
@@ -142,6 +145,7 @@ impl FigCampaign {
         Self {
             camp,
             sched: SchedStats::new(),
+            ckpt_base: crow_sim::checkpoint::stats(),
         }
     }
 
@@ -193,6 +197,12 @@ impl FigCampaign {
                         ("rebuilds".into(), Json::u64(s.rebuilds)),
                         ("wakeup_skips".into(), Json::u64(s.wakeup_skips)),
                     ]),
+                ),
+                (
+                    "checkpoints".into(),
+                    crow_sim::checkpoint::stats()
+                        .since(&self.ckpt_base)
+                        .to_json(),
                 ),
             ]);
             let mut spath = path.as_os_str().to_owned();

@@ -917,6 +917,8 @@ mod tests {
             warmup: 8_000,
             mixes_per_group: 1,
             max_cycles: 1_000_000,
+            threads: 1,
+            checkpoints: false,
         }
     }
 

@@ -1,0 +1,323 @@
+//! Warm architectural checkpoints.
+//!
+//! Functional warmup ([`System::warm`]) is pure CPU-side state: trace
+//! cursors, page tables, and LLC contents. That state depends only on
+//! the *warmup fingerprint* — applications, master seed, warmup length,
+//! CPU/cache geometry, and the physical address space — and **not** on
+//! the CROW mechanism, scheduler, stepping engine, or thread count. A
+//! campaign sweeping mechanisms over the same workload therefore
+//! re-simulates the identical warmup dozens of times; this module
+//! caches it once under `results/checkpoints/` (override with
+//! `CROW_CHECKPOINT_DIR`) and restores it in O(state).
+//!
+//! Checkpoints are serialized through the [`crate::json`] codec (number
+//! tokens are kept literally, so 64-bit RNG words round-trip exactly)
+//! and written atomically (temp file + rename). A corrupt, truncated,
+//! or mismatched checkpoint never fails the run: the warmup falls back
+//! to cold simulation and the incident is recorded as a
+//! [`CrowError::Checkpoint`] in the returned [`WarmOutcome`] and the
+//! process-wide [`stats`].
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::config::SystemConfig;
+use crate::error::CrowError;
+use crate::json::Json;
+use crate::system::System;
+
+/// Result of [`warm_via_cache`].
+#[derive(Debug)]
+pub struct WarmOutcome {
+    /// Whether the warmup state came from a checkpoint (hit) instead of
+    /// cold simulation (miss).
+    pub restored: bool,
+    /// The recorded incident when a checkpoint existed but could not be
+    /// used (the run still completed via cold warmup).
+    pub error: Option<CrowError>,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static CORRUPT: AtomicU64 = AtomicU64::new(0);
+static INSTS_RESTORED: AtomicU64 = AtomicU64::new(0);
+static INSTS_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static COLD_NANOS: AtomicU64 = AtomicU64::new(0);
+static RESTORE_NANOS: AtomicU64 = AtomicU64::new(0);
+static SAVED_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide checkpoint counters (cumulative; snapshot with
+/// [`stats`] and difference two snapshots with
+/// [`CheckpointStats::since`] to scope them to a campaign).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CheckpointStats {
+    /// Warmups restored from a checkpoint.
+    pub hits: u64,
+    /// Warmups simulated cold (no usable checkpoint).
+    pub misses: u64,
+    /// Checkpoints found but rejected (corrupt/truncated/mismatched).
+    pub corrupt: u64,
+    /// Warmup instructions restored instead of simulated (per core).
+    pub insts_restored: u64,
+    /// Warmup instructions simulated cold (per core).
+    pub insts_simulated: u64,
+    /// Wall-clock seconds spent simulating cold warmups.
+    pub cold_seconds: f64,
+    /// Wall-clock seconds spent restoring checkpoints.
+    pub restore_seconds: f64,
+    /// Wall-clock seconds of cold warmup avoided by hits (as recorded
+    /// in each checkpoint by the run that produced it).
+    pub saved_seconds: f64,
+}
+
+impl CheckpointStats {
+    /// The counters accumulated since an earlier snapshot.
+    pub fn since(&self, base: &CheckpointStats) -> CheckpointStats {
+        CheckpointStats {
+            hits: self.hits - base.hits,
+            misses: self.misses - base.misses,
+            corrupt: self.corrupt - base.corrupt,
+            insts_restored: self.insts_restored - base.insts_restored,
+            insts_simulated: self.insts_simulated - base.insts_simulated,
+            cold_seconds: self.cold_seconds - base.cold_seconds,
+            restore_seconds: self.restore_seconds - base.restore_seconds,
+            saved_seconds: self.saved_seconds - base.saved_seconds,
+        }
+    }
+
+    /// The counters as a JSON object (campaign summaries).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::u64(self.hits)),
+            ("misses".into(), Json::u64(self.misses)),
+            ("corrupt".into(), Json::u64(self.corrupt)),
+            ("insts_restored".into(), Json::u64(self.insts_restored)),
+            ("insts_simulated".into(), Json::u64(self.insts_simulated)),
+            ("cold_seconds".into(), Json::f64(self.cold_seconds)),
+            ("restore_seconds".into(), Json::f64(self.restore_seconds)),
+            ("saved_seconds".into(), Json::f64(self.saved_seconds)),
+        ])
+    }
+}
+
+/// Snapshot of the process-wide checkpoint counters.
+pub fn stats() -> CheckpointStats {
+    CheckpointStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        corrupt: CORRUPT.load(Ordering::Relaxed),
+        insts_restored: INSTS_RESTORED.load(Ordering::Relaxed),
+        insts_simulated: INSTS_SIMULATED.load(Ordering::Relaxed),
+        cold_seconds: COLD_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+        restore_seconds: RESTORE_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+        saved_seconds: SAVED_NANOS.load(Ordering::Relaxed) as f64 * 1e-9,
+    }
+}
+
+const VERSION: u64 = 1;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The canonical text the fingerprint hashes. Everything the functional
+/// warmup state depends on is here — and nothing else, so
+/// configurations differing only in mechanism, scheduler, engine,
+/// thread count, or measured-instruction target share one checkpoint.
+/// (A mechanism that changes the physical capacity changes the page
+/// tables and is split automatically via the capacity term.)
+fn descriptor(cfg: &SystemConfig, capacity_bytes: u64, app_names: &[&str], warmup: u64) -> String {
+    let mut cpu = cfg.cpu;
+    cpu.target_insts = 0;
+    format!(
+        "v{VERSION}|apps={app_names:?}|seed={}|warmup={warmup}|cpu={cpu:?}|capacity={capacity_bytes}|channels={}",
+        cfg.seed, cfg.channels,
+    )
+}
+
+/// The warmup fingerprint for a built system: a stable 64-bit key over
+/// [`descriptor`].
+pub fn fingerprint(sys: &System, app_names: &[&str], warmup: u64) -> u64 {
+    fnv1a64(descriptor(sys.config(), sys.mapper.capacity_bytes(), app_names, warmup).as_bytes())
+}
+
+/// The directory checkpoints live in (`CROW_CHECKPOINT_DIR` override).
+pub fn checkpoint_dir() -> PathBuf {
+    std::env::var_os("CROW_CHECKPOINT_DIR")
+        .map_or_else(|| PathBuf::from("results/checkpoints"), PathBuf::from)
+}
+
+/// The file a given (apps, fingerprint) pair is cached under. The app
+/// names are only for human readability; the fingerprint is the key.
+pub fn checkpoint_path(app_names: &[&str], fp: u64) -> PathBuf {
+    let mut slug: String = app_names
+        .join("+")
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '+' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(48)
+        .collect();
+    if slug.is_empty() {
+        slug.push('x');
+    }
+    checkpoint_dir().join(format!("{slug}-{fp:016x}.json"))
+}
+
+fn ck_err(path: &std::path::Path, reason: impl Into<String>) -> CrowError {
+    CrowError::Checkpoint {
+        path: path.display().to_string(),
+        reason: reason.into(),
+    }
+}
+
+/// Reads and validates a checkpoint file. `Ok(None)` is a plain miss
+/// (no file); `Err` is a recorded incident (unreadable, corrupt,
+/// truncated, or keyed to a different warmup).
+fn load(path: &std::path::Path, fp: u64, desc: &str) -> Result<Option<(Vec<u64>, f64)>, CrowError> {
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(ck_err(path, e.to_string())),
+    };
+    let doc = Json::parse(&text).map_err(|e| ck_err(path, e.to_string()))?;
+    if doc.get("version").and_then(Json::as_u64) != Some(VERSION) {
+        return Err(ck_err(path, "unsupported or missing version"));
+    }
+    let stored_fp = doc
+        .get("fingerprint")
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok());
+    if stored_fp != Some(fp) || doc.get("descriptor").and_then(Json::as_str) != Some(desc) {
+        return Err(ck_err(
+            path,
+            "fingerprint mismatch (stale or colliding checkpoint)",
+        ));
+    }
+    let words: Option<Vec<u64>> = doc
+        .get("words")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().map(Json::as_u64).collect())
+        .unwrap_or(None);
+    let Some(words) = words else {
+        return Err(ck_err(path, "malformed word array"));
+    };
+    let cold = doc
+        .get("cold_warm_seconds")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    Ok(Some((words, cold)))
+}
+
+/// Writes a checkpoint atomically (temp file in the same directory,
+/// then rename), so a crashed or concurrent writer can never leave a
+/// half-written file under the final name.
+fn save(
+    path: &std::path::Path,
+    fp: u64,
+    desc: &str,
+    warmup: u64,
+    cold_seconds: f64,
+    words: &[u64],
+) -> Result<(), CrowError> {
+    let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
+    fs::create_dir_all(dir).map_err(|e| ck_err(path, e.to_string()))?;
+    let doc = Json::Obj(vec![
+        ("version".into(), Json::u64(VERSION)),
+        ("fingerprint".into(), Json::str(format!("{fp:016x}"))),
+        ("descriptor".into(), Json::str(desc)),
+        ("warmup_insts".into(), Json::u64(warmup)),
+        ("cold_warm_seconds".into(), Json::f64(cold_seconds)),
+        (
+            "words".into(),
+            Json::Arr(words.iter().map(|&w| Json::u64(w)).collect()),
+        ),
+    ]);
+    let tmp = dir.join(format!(
+        ".{}.tmp{}",
+        path.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt"),
+        std::process::id()
+    ));
+    let write = |p: &std::path::Path| -> std::io::Result<()> {
+        let mut f = fs::File::create(p)?;
+        f.write_all(doc.pretty().as_bytes())?;
+        f.sync_all()
+    };
+    write(&tmp).map_err(|e| ck_err(&tmp, e.to_string()))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        ck_err(path, e.to_string())
+    })
+}
+
+/// Warms `sys` through the checkpoint cache: restore on a hit, simulate
+/// cold (and publish the checkpoint) on a miss. `rebuild` is invoked
+/// only when a rejected restore may have left the system partially
+/// mutated — the replacement is then warmed cold.
+///
+/// Never fails the run: every checkpoint problem degrades to a cold
+/// warmup, with the incident returned in [`WarmOutcome::error`].
+pub fn warm_via_cache(
+    sys: &mut System,
+    rebuild: impl FnOnce() -> System,
+    app_names: &[&str],
+    warmup: u64,
+) -> WarmOutcome {
+    let ncores = app_names.len() as u64;
+    let desc = descriptor(sys.config(), sys.mapper.capacity_bytes(), app_names, warmup);
+    let fp = fnv1a64(desc.as_bytes());
+    let path = checkpoint_path(app_names, fp);
+    let mut error = None;
+    match load(&path, fp, &desc) {
+        Ok(Some((words, cold_seconds))) => {
+            let t = Instant::now();
+            if sys.restore_checkpoint_words(&words) {
+                HITS.fetch_add(1, Ordering::Relaxed);
+                INSTS_RESTORED.fetch_add(warmup * ncores, Ordering::Relaxed);
+                RESTORE_NANOS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                SAVED_NANOS.fetch_add((cold_seconds * 1e9) as u64, Ordering::Relaxed);
+                return WarmOutcome {
+                    restored: true,
+                    error: None,
+                };
+            }
+            CORRUPT.fetch_add(1, Ordering::Relaxed);
+            error = Some(ck_err(&path, "restore rejected the stored words"));
+            // The rejected restore may have committed some components;
+            // start over from a clean system.
+            *sys = rebuild();
+        }
+        Ok(None) => {}
+        Err(e) => {
+            CORRUPT.fetch_add(1, Ordering::Relaxed);
+            error = Some(e);
+        }
+    }
+    MISSES.fetch_add(1, Ordering::Relaxed);
+    INSTS_SIMULATED.fetch_add(warmup * ncores, Ordering::Relaxed);
+    let t = Instant::now();
+    sys.warm(warmup);
+    let cold_seconds = t.elapsed().as_secs_f64();
+    COLD_NANOS.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    if let Some(words) = sys.checkpoint_words() {
+        if let Err(e) = save(&path, fp, &desc, warmup, cold_seconds, &words) {
+            error.get_or_insert(e);
+        }
+    }
+    WarmOutcome {
+        restored: false,
+        error,
+    }
+}

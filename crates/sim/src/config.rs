@@ -163,6 +163,11 @@ pub struct SystemConfig {
     /// the `CROW_VALIDATE` environment variable so an entire test run
     /// can be validated with `CROW_VALIDATE=1`.
     pub validate_protocol: bool,
+    /// Worker threads for the sharded per-channel engine. `1` runs the
+    /// classic serial loop; values above `1` (with more than one
+    /// channel) shard channels across workers. Reports are bit-identical
+    /// at any thread count.
+    pub threads: u32,
 }
 
 /// Preset default for [`SystemConfig::validate_protocol`]: true iff the
@@ -190,6 +195,7 @@ impl SystemConfig {
             engine: Engine::EventDriven,
             fault_plan: None,
             validate_protocol: validate_from_env(),
+            threads: 1,
         }
     }
 
@@ -211,6 +217,7 @@ impl SystemConfig {
             engine: Engine::EventDriven,
             fault_plan: None,
             validate_protocol: validate_from_env(),
+            threads: 1,
         }
     }
 
@@ -237,6 +244,7 @@ impl SystemConfig {
             engine: Engine::EventDriven,
             fault_plan: None,
             validate_protocol: validate_from_env(),
+            threads: 1,
         }
     }
 

@@ -33,6 +33,15 @@ pub enum CrowError {
         /// What went wrong (I/O error text or format diagnosis).
         reason: String,
     },
+    /// A warm-architectural-state checkpoint could not be used (corrupt,
+    /// truncated, or mismatched). The run falls back to a cold warmup;
+    /// this error records why.
+    Checkpoint {
+        /// The checkpoint file involved.
+        path: String,
+        /// What went wrong (I/O error text or format diagnosis).
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CrowError {
@@ -51,6 +60,9 @@ impl std::fmt::Display for CrowError {
             CrowError::Journal { path, reason } => {
                 write!(f, "campaign journal {path}: {reason}")
             }
+            CrowError::Checkpoint { path, reason } => {
+                write!(f, "checkpoint {path}: {reason}")
+            }
         }
     }
 }
@@ -61,7 +73,9 @@ impl std::error::Error for CrowError {
             CrowError::Config(e) => Some(e),
             CrowError::Controller(e) => Some(e),
             CrowError::Trace(e) => Some(e),
-            CrowError::Protocol { .. } | CrowError::Journal { .. } => None,
+            CrowError::Protocol { .. }
+            | CrowError::Journal { .. }
+            | CrowError::Checkpoint { .. } => None,
         }
     }
 }

@@ -11,7 +11,11 @@ use crate::system::System;
 ///
 /// * `CROW_INSTS` — instructions per core (default 400 000);
 /// * `CROW_WARMUP` — functional warmup instructions (default 50 000);
-/// * `CROW_MIXES` — mixes per four-core group (default 3, paper uses 20).
+/// * `CROW_MIXES` — mixes per four-core group (default 3, paper uses 20);
+/// * `CROW_THREADS` — shard worker threads per simulation (default 1,
+///   the serial engine; reports are bit-identical at any value);
+/// * `CROW_CHECKPOINTS` — `1`/`true` caches post-warmup architectural
+///   state under `results/checkpoints/` (default off).
 ///
 /// The paper simulates 200 M instructions per app; the defaults keep a
 /// full figure regeneration in the minutes range while preserving the
@@ -26,6 +30,10 @@ pub struct Scale {
     pub mixes_per_group: usize,
     /// Hard cap on simulated CPU cycles.
     pub max_cycles: u64,
+    /// Worker threads for the sharded per-channel engine (1 = serial).
+    pub threads: u32,
+    /// Whether to reuse warm architectural checkpoints.
+    pub checkpoints: bool,
 }
 
 impl Scale {
@@ -52,16 +60,42 @@ impl Scale {
                 }),
             }
         };
+        let checkpoints = match lookup("CROW_CHECKPOINTS") {
+            None => false,
+            Some(v) => match v.trim() {
+                "0" | "false" => false,
+                "1" | "true" => true,
+                _ => {
+                    return Err(CrowError::Config(crow_dram::ConfigError::new(
+                        "Scale",
+                        format!("CROW_CHECKPOINTS={v:?} is not 0/1/true/false"),
+                    )))
+                }
+            },
+        };
         let scale = Self {
             insts: get("CROW_INSTS", 400_000)?,
             warmup: get("CROW_WARMUP", 50_000)?,
             mixes_per_group: get("CROW_MIXES", 3)? as usize,
             max_cycles: get("CROW_MAX_CYCLES", 2_000_000_000)?,
+            threads: u32::try_from(get("CROW_THREADS", 1)?).map_err(|_| {
+                CrowError::Config(crow_dram::ConfigError::new(
+                    "Scale",
+                    "CROW_THREADS does not fit in 32 bits",
+                ))
+            })?,
+            checkpoints,
         };
         if scale.insts == 0 {
             return Err(CrowError::Config(crow_dram::ConfigError::new(
                 "Scale",
                 "CROW_INSTS must be positive",
+            )));
+        }
+        if scale.threads == 0 {
+            return Err(CrowError::Config(crow_dram::ConfigError::new(
+                "Scale",
+                "CROW_THREADS must be positive",
             )));
         }
         Ok(scale)
@@ -74,12 +108,16 @@ impl Scale {
             warmup: 5_000,
             mixes_per_group: 1,
             max_cycles: 50_000_000,
+            threads: 1,
+            checkpoints: false,
         }
     }
 
     /// A stable text fingerprint of the scale, embedded in campaign
     /// journal fingerprints so changing the scale invalidates journaled
-    /// results instead of silently reusing them.
+    /// results instead of silently reusing them. `threads` and
+    /// `checkpoints` are deliberately excluded: they change how fast a
+    /// result is produced, never what it is.
     pub fn fingerprint(&self) -> String {
         format!(
             "i{}w{}m{}c{}",
@@ -103,9 +141,23 @@ pub fn run_mix(apps: &[&AppProfile], mechanism: Mechanism, scale: Scale) -> SimR
 /// Runs an explicit configuration (density/LLC/prefetcher sweeps).
 pub fn run_with_config(mut cfg: SystemConfig, apps: &[&AppProfile], scale: Scale) -> SimReport {
     cfg.cpu.target_insts = scale.insts;
-    let mut sys = System::new(cfg, apps);
+    cfg.threads = scale.threads;
+    let mut sys = System::new(cfg.clone(), apps);
     if scale.warmup > 0 {
-        sys.warm(scale.warmup);
+        if scale.checkpoints {
+            let names: Vec<&str> = apps.iter().map(|a| a.name).collect();
+            let outcome = crate::checkpoint::warm_via_cache(
+                &mut sys,
+                || System::new(cfg, apps),
+                &names,
+                scale.warmup,
+            );
+            if let Some(e) = outcome.error {
+                eprintln!("warning: {e} (ran a cold warmup instead)");
+            }
+        } else {
+            sys.warm(scale.warmup);
+        }
     }
     sys.run(scale.max_cycles)
 }
@@ -203,6 +255,36 @@ mod tests {
         assert!(Scale::from_lookup(|k| (k == "CROW_INSTS").then(|| "0".into())).is_err());
         let ok = Scale::from_lookup(|k| (k == "CROW_WARMUP").then(|| " 1000 ".into())).unwrap();
         assert_eq!(ok.warmup, 1000, "surrounding whitespace is tolerated");
+    }
+
+    #[test]
+    fn scale_parses_thread_and_checkpoint_knobs_strictly() {
+        let s = Scale::from_lookup(|_| None).unwrap();
+        assert_eq!((s.threads, s.checkpoints), (1, false), "defaults");
+        let s = Scale::from_lookup(|k| match k {
+            "CROW_THREADS" => Some("4".into()),
+            "CROW_CHECKPOINTS" => Some("true".into()),
+            _ => None,
+        })
+        .unwrap();
+        assert_eq!((s.threads, s.checkpoints), (4, true));
+        let s = Scale::from_lookup(|k| (k == "CROW_CHECKPOINTS").then(|| " 0 ".into())).unwrap();
+        assert!(!s.checkpoints, "whitespace-tolerant like the integers");
+        // Malformed values are configuration errors, never silent
+        // fallbacks — the same contract as the integer knobs.
+        for (k, v) in [
+            ("CROW_THREADS", "fast"),
+            ("CROW_THREADS", "0"),
+            ("CROW_THREADS", "-2"),
+            ("CROW_THREADS", "99999999999"),
+            ("CROW_CHECKPOINTS", "yes"),
+            ("CROW_CHECKPOINTS", "2"),
+        ] {
+            let err = Scale::from_lookup(|q| (q == k).then(|| v.into()))
+                .expect_err(&format!("{k}={v} must be rejected"))
+                .to_string();
+            assert!(err.contains(k), "names the variable: {err}");
+        }
     }
 
     #[test]

@@ -30,18 +30,21 @@
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod error;
 pub mod experiments;
 pub mod fault;
 pub mod json;
 pub mod metrics;
+mod parallel;
 pub mod report;
 pub mod system;
 
 pub use campaign::{
     Campaign, CampaignPolicy, JobOutcome, Journal, Journaled, OutcomeCounts, OutcomeKind,
 };
+pub use checkpoint::{warm_via_cache, CheckpointStats, WarmOutcome};
 pub use config::{Engine, Mechanism, SystemConfig};
 pub use error::CrowError;
 pub use experiments::{run_many, run_mix, run_single, run_with_config, Scale};

@@ -1,0 +1,488 @@
+//! Sharded per-channel parallel simulation.
+//!
+//! Each (channel, controller, DRAM, validator) shard replays its memory
+//! ticks on a worker thread while the main thread drives the CPU
+//! cluster; deterministic epoch barriers keep reports **bit-identical**
+//! to the serial engine at any thread count (see `DESIGN.md` §3.14).
+//!
+//! The window (epoch) protocol exploits two invariants of the serial
+//! loop:
+//!
+//! 1. *Bounded feedback latency.* The only controller→cluster traffic is
+//!    read completions, and a read issued at memory tick `m` completes
+//!    no earlier than `m + RL + tBL`. Inside a window of `RL + tBL`
+//!    ticks, every completion the cluster can observe is therefore
+//!    already sitting in some controller's in-flight list *at window
+//!    start* — the main thread pre-extracts them (each channel delivers
+//!    at most one completion per tick because the controller issues at
+//!    most one command per tick and read latencies are constant) and
+//!    delivers them at exactly the CPU cycles the serial loop would.
+//! 2. *Tagged replay.* Cluster→controller traffic (requests) is
+//!    buffered per channel, tagged with the index of the first memory
+//!    tick that observes it. A conservative occupancy model (queue
+//!    depth can only be over-estimated) guarantees no enqueue in the
+//!    window is rejected in either engine, so the window ends *before*
+//!    any cycle where the serial engine could have diverged on a retry;
+//!    those cycles fall back to the literal serial `System::step`.
+//!
+//! After the cluster phase, each shard's controller is moved to its
+//! worker, which replays ticks `[m0, m_end)` — applying tagged sends
+//! and the per-channel skip-vs-tick decision (`m < next_event`) exactly
+//! as the serial event-driven engine would — then moves it back at the
+//! barrier. Completions observed by workers are reconciled against the
+//! pre-extracted schedule in fixed (channel, cycle) order.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use crow_cpu::{CpuMemReq, MemPort};
+use crow_dram::AddrMapper;
+use crow_mem::{Completion, MemController, MemRequest, ReqKind};
+
+use crate::config::{Engine, SystemConfig};
+use crate::system::System;
+
+/// One shard's work order for a window: its controller, the tick range
+/// to replay, and the tagged requests the cluster sent it.
+struct Job {
+    ch: usize,
+    mc: MemController,
+    m0: u64,
+    m_end: u64,
+    /// The shard's `mc_next_event` bound at window start.
+    next_event: u64,
+    /// `(first observing tick, request)`, tick-ordered.
+    sends: Vec<(u64, MemRequest)>,
+    event_driven: bool,
+}
+
+/// A shard's controller handed back at the barrier.
+struct JobOut {
+    ch: usize,
+    mc: MemController,
+    next_event: u64,
+    /// Completions the replay produced, as `(tick, id)`.
+    delivered: Vec<(u64, u64)>,
+}
+
+enum SlotState {
+    Idle,
+    Work(Vec<Job>),
+    Done(Vec<JobOut>),
+    Poisoned,
+    Quit,
+}
+
+/// One worker's mailbox (blocking handoff: the host may have a single
+/// hardware thread, so the barrier must sleep, never spin).
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(SlotState::Idle),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn put_work(&self, jobs: Vec<Job>) {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = SlotState::Work(jobs);
+        self.cv.notify_all();
+    }
+
+    fn take_done(&self) -> Vec<JobOut> {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*g {
+                SlotState::Done(_) | SlotState::Poisoned => break,
+                _ => g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+        match std::mem::replace(&mut *g, SlotState::Idle) {
+            SlotState::Done(outs) => outs,
+            _ => panic!("parallel shard worker panicked"),
+        }
+    }
+
+    fn quit(&self) {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = SlotState::Quit;
+        self.cv.notify_all();
+    }
+}
+
+fn worker_loop(slot: &Slot) {
+    loop {
+        let jobs = {
+            let mut g = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                match &*g {
+                    SlotState::Work(_) => break,
+                    SlotState::Quit => return,
+                    _ => g = slot.cv.wait(g).unwrap_or_else(PoisonError::into_inner),
+                }
+            }
+            match std::mem::replace(&mut *g, SlotState::Idle) {
+                SlotState::Work(jobs) => jobs,
+                _ => unreachable!("matched Work above"),
+            }
+        };
+        let outs = catch_unwind(AssertUnwindSafe(|| {
+            jobs.into_iter().map(replay).collect::<Vec<_>>()
+        }));
+        let mut g = slot.state.lock().unwrap_or_else(PoisonError::into_inner);
+        *g = match outs {
+            Ok(outs) => SlotState::Done(outs),
+            Err(_) => SlotState::Poisoned,
+        };
+        slot.cv.notify_all();
+    }
+}
+
+/// Replays one shard over `[m0, m_end)`, reproducing the serial engine's
+/// per-channel schedule: tagged sends land before the tick that first
+/// observes them (resetting the wakeup bound, as `Router` does), and
+/// provably idle ticks are charged with `skip_idle` exactly when
+/// `m < next_event` — the same predicate the serial event-driven step
+/// uses.
+fn replay(job: Job) -> JobOut {
+    let Job {
+        ch,
+        mut mc,
+        m0,
+        m_end,
+        mut next_event,
+        sends,
+        event_driven,
+    } = job;
+    let mut m = m0;
+    let mut si = 0;
+    let mut buf: Vec<Completion> = Vec::new();
+    let mut delivered = Vec::new();
+    while m < m_end {
+        while si < sends.len() && sends[si].0 == m {
+            assert!(
+                mc.try_enqueue(sends[si].1).is_ok(),
+                "window occupancy model admitted a rejected enqueue"
+            );
+            next_event = 0;
+            si += 1;
+        }
+        if event_driven && m < next_event {
+            let next_send = sends.get(si).map_or(m_end, |s| s.0);
+            let stop = next_event.min(next_send).min(m_end);
+            mc.skip_idle(stop - m);
+            m = stop;
+            continue;
+        }
+        mc.tick(m, &mut buf);
+        for c in buf.drain(..) {
+            delivered.push((m, c.id));
+        }
+        if event_driven {
+            next_event = mc.min_wakeup(m);
+        }
+        m += 1;
+    }
+    JobOut {
+        ch,
+        mc,
+        next_event,
+        delivered,
+    }
+}
+
+/// Buffers cluster requests during a window instead of enqueuing them,
+/// mirroring `Router` exactly (same decode, same request construction).
+/// Sends always succeed: the per-cycle occupancy pre-check already
+/// proved no queue can be full.
+struct BufferPort<'a> {
+    mapper: &'a AddrMapper,
+    /// Index of the first memory tick that will observe a send made now.
+    tag: u64,
+    sends: &'a mut [Vec<(u64, MemRequest)>],
+    model_read: &'a mut [usize],
+    model_write: &'a mut [usize],
+}
+
+impl MemPort for BufferPort<'_> {
+    fn send(&mut self, req: CpuMemReq) -> bool {
+        let a = self.mapper.decode(req.line_pa);
+        let kind = if req.is_write {
+            ReqKind::Write
+        } else {
+            ReqKind::Read
+        };
+        let mut r = MemRequest::new(req.id, kind, a.rank, a.bank, a.row, a.col, req.core);
+        r.is_prefetch = req.is_prefetch;
+        let ch = a.channel as usize;
+        if req.is_write {
+            self.model_write[ch] += 1;
+        } else {
+            self.model_read[ch] += 1;
+        }
+        self.sends[ch].push((self.tag, r));
+        true
+    }
+}
+
+/// Drives the system to completion with channel shards on worker
+/// threads. Called by [`System::run`] when `threads > 1` and more than
+/// one channel exists; behaves exactly like the configured serial
+/// engine, report-bit for report-bit.
+pub(crate) fn drive(sys: &mut System, max_cpu_cycles: u64) {
+    let event_driven = matches!(sys.cfg.engine, Engine::EventDriven);
+    let workers = (sys.cfg.threads as usize).min(sys.mcs.len()).max(1);
+    let slots: Vec<Slot> = (0..workers).map(|_| Slot::new()).collect();
+    // Workers must be told to quit even when the main thread unwinds
+    // (a reconciliation assert, say) — `thread::scope` joins them
+    // before propagating the panic, so a missed quit is a deadlock.
+    struct QuitOnDrop<'a>(&'a [Slot]);
+    impl Drop for QuitOnDrop<'_> {
+        fn drop(&mut self) {
+            for slot in self.0 {
+                slot.quit();
+            }
+        }
+    }
+    std::thread::scope(|scope| {
+        for slot in &slots {
+            scope.spawn(move || worker_loop(slot));
+        }
+        let _quit = QuitOnDrop(&slots);
+        while !sys.cluster.done() && sys.cpu_cycle < max_cpu_cycles {
+            // Idle spans are cheapest in closed form on the main thread —
+            // exactly the serial engine's fast path.
+            if event_driven {
+                let skip = sys.idle_skip(max_cpu_cycles);
+                if skip > 0 {
+                    sys.apply_skip(skip);
+                    continue;
+                }
+            }
+            if !run_window(sys, &slots, max_cpu_cycles, event_driven) {
+                // No viable window (injection boundary due, queues near
+                // capacity, or the horizon is exhausted): take one
+                // literal serial step, which handles every such case by
+                // construction.
+                sys.step(event_driven);
+            }
+        }
+    });
+}
+
+/// Runs one window (epoch). Returns `false` without touching the system
+/// if no progress could be made; the caller then serial-steps.
+fn run_window(sys: &mut System, slots: &[Slot], max_cpu_cycles: u64, event_driven: bool) -> bool {
+    let t0 = sys.cpu_cycle;
+    let m0 = sys.mem_cycle;
+    let nch = sys.mcs.len();
+    // Feedback horizon: a read issued inside the window completes at
+    // least RL + tBL ticks later, i.e. outside `[m0, m_max)`.
+    let t = &sys.mcs[0].channel().config().timings;
+    let horizon = u64::from(t.rl) + u64::from(t.tbl);
+    if horizon == 0 {
+        return false;
+    }
+    let m_max = m0 + horizon;
+    // The window may not contain an injection boundary: those cycles
+    // mutate controllers from the main thread and are serial-stepped.
+    let mut c_bound = max_cpu_cycles;
+    if let Some(interval) = sys.cfg.vrt_interval_cycles {
+        if t0 > 0 && t0.is_multiple_of(interval) {
+            return false;
+        }
+        c_bound = c_bound.min((t0 / interval + 1) * interval);
+    }
+    if let Some(plan) = &sys.cfg.fault_plan {
+        if plan.due(t0) {
+            return false;
+        }
+        c_bound = c_bound.min(t0.saturating_add(plan.next_boundary_in(t0)));
+    }
+    if c_bound <= t0 {
+        return false;
+    }
+    // Pre-extract the window's completion schedule. Dues are strictly
+    // distinct per channel (one issue per tick, constant read latency);
+    // bail out defensively rather than guess an intra-tick order.
+    let mut due: Vec<Vec<(u64, Completion)>> = Vec::with_capacity(nch);
+    for mc in &sys.mcs {
+        let mut v: Vec<(u64, Completion)> = mc
+            .inflight()
+            .iter()
+            .filter(|(d, _)| *d < m_max)
+            .copied()
+            .collect();
+        v.sort_unstable_by_key(|(d, _)| *d);
+        if v.windows(2).any(|w| w[0].0 == w[1].0) || v.first().is_some_and(|(d, _)| *d < m0) {
+            return false;
+        }
+        due.push(v);
+    }
+    // Conservative queue-occupancy model: starts at the real depth and
+    // only ever grows, so "model fits" implies "real enqueue succeeds"
+    // for both this run and the serial reference.
+    let read_cap = sys.cfg.mc.read_q;
+    let write_cap = sys.cfg.mc.write_q;
+    let mut model_read: Vec<usize> = sys.mcs.iter().map(MemController::read_q_len).collect();
+    let mut model_write: Vec<usize> = sys.mcs.iter().map(MemController::write_q_len).collect();
+    let mut sends: Vec<Vec<(u64, MemRequest)>> = vec![Vec::new(); nch];
+    let mut next_idx = vec![0usize; nch];
+    let (num, den) = SystemConfig::CLOCK_RATIO;
+    let mut acc = sys.clock_accum;
+    let mut m = m0;
+    let mut cpu = t0;
+    // Cluster phase: advance the CPU side, delivering the pre-extracted
+    // completions at their exact cycles and buffering sends.
+    loop {
+        if cpu >= c_bound || sys.cluster.done() {
+            break;
+        }
+        let tick_fires = acc + den >= num;
+        if tick_fires && m >= m_max {
+            break;
+        }
+        // Completions due this tick (at most one per channel).
+        let mut deliveries = 0usize;
+        if tick_fires {
+            for ch in 0..nch {
+                if due[ch].get(next_idx[ch]).is_some_and(|(d, _)| *d == m) {
+                    deliveries += 1;
+                }
+            }
+        }
+        // Occupancy pre-check, *before* mutating anything: this cycle
+        // can send at most `mshr headroom + deliveries` reads (each
+        // delivery frees an MSHR before the cluster runs) and
+        // `pending writebacks + deliveries` writes (each fill can evict
+        // one dirty victim) — all conservatively chargeable to any one
+        // channel.
+        let headroom = sys.cluster.mshr_headroom() as usize;
+        let wb = sys.cluster.pending_writebacks_len();
+        let fits = (0..nch).all(|ch| {
+            model_read[ch] + headroom + deliveries <= read_cap
+                && model_write[ch] + wb + deliveries <= write_cap
+        });
+        if !fits {
+            break;
+        }
+        acc += den;
+        if acc >= num {
+            acc -= num;
+            for ch in 0..nch {
+                if due[ch].get(next_idx[ch]).is_some_and(|(d, _)| *d == m) {
+                    let c = due[ch][next_idx[ch]].1;
+                    sys.cluster.on_completion(c.id, cpu);
+                    next_idx[ch] += 1;
+                }
+            }
+            m += 1;
+        }
+        let mut port = BufferPort {
+            mapper: &sys.mapper,
+            tag: m,
+            sends: &mut sends,
+            model_read: &mut model_read,
+            model_write: &mut model_write,
+        };
+        sys.cluster.cycle(cpu, &mut port);
+        cpu += 1;
+        // Inert fast path: while the cluster provably does nothing and
+        // no delivery is due, advance in closed form (the skipped memory
+        // ticks are the workers' to replay). Not past retirement: the
+        // serial loop re-checks `done` every cycle, so coasting beyond
+        // it would overshoot the final cycle counts.
+        if event_driven && !sys.cluster.done() {
+            let inert = sys.cluster.inert_cycles(cpu);
+            if inert > 0 {
+                let mem_next = (0..nch)
+                    .filter_map(|ch| due[ch].get(next_idx[ch]).map(|(d, _)| *d))
+                    .min()
+                    .unwrap_or(m_max)
+                    .min(m_max);
+                let r = mem_next.saturating_sub(m);
+                let budget = num.saturating_mul(r + 1).saturating_sub(1 + acc);
+                let k = inert.min(budget / den).min(c_bound - cpu);
+                if k > 0 {
+                    sys.cluster.advance_inert(cpu, k);
+                    let total = acc + den * k;
+                    m += total / num;
+                    acc = total % num;
+                    cpu += k;
+                }
+            }
+        }
+    }
+    if cpu == t0 {
+        return false;
+    }
+    let m_end = m;
+    // Fork: ship each shard (controller + tagged sends) to its worker.
+    // Sends tagged `m_end` were produced after the window's final tick;
+    // they are applied on the main thread after the barrier, exactly as
+    // the serial engine would observe them.
+    let mcs = std::mem::take(&mut sys.mcs);
+    let mut leftovers: Vec<Vec<MemRequest>> = vec![Vec::new(); nch];
+    let mut per_worker: Vec<Vec<Job>> = (0..slots.len()).map(|_| Vec::new()).collect();
+    for (ch, mc) in mcs.into_iter().enumerate() {
+        let mut shard_sends = std::mem::take(&mut sends[ch]);
+        while shard_sends.last().is_some_and(|(tag, _)| *tag >= m_end) {
+            let (_, req) = shard_sends.pop().expect("checked non-empty");
+            leftovers[ch].push(req);
+        }
+        leftovers[ch].reverse();
+        per_worker[ch % slots.len()].push(Job {
+            ch,
+            mc,
+            m0,
+            m_end,
+            next_event: sys.mc_next_event[ch],
+            sends: shard_sends,
+            event_driven,
+        });
+    }
+    for (slot, jobs) in slots.iter().zip(per_worker) {
+        slot.put_work(jobs);
+    }
+    // Barrier: collect shards back in fixed channel order and reconcile
+    // the observed completions against the pre-extracted schedule.
+    let mut returned: Vec<Option<JobOut>> = (0..nch).map(|_| None).collect();
+    for slot in slots {
+        for out in slot.take_done() {
+            let ch = out.ch;
+            returned[ch] = Some(out);
+        }
+    }
+    sys.mcs = Vec::with_capacity(nch);
+    for (ch, slot_out) in returned.into_iter().enumerate() {
+        let out = slot_out.expect("every channel returns from its worker");
+        // Only the dues the cluster phase actually consumed: the window
+        // may have closed before the full pre-extracted horizon.
+        let expect: Vec<(u64, u64)> = due[ch][..next_idx[ch]]
+            .iter()
+            .map(|(d, c)| (*d, c.id))
+            .collect();
+        assert!(
+            out.delivered == expect,
+            "shard {ch} diverged from the pre-extracted completion schedule"
+        );
+        sys.mcs.push(out.mc);
+        sys.mc_next_event[ch] = out.next_event;
+        for req in leftovers[ch].drain(..) {
+            assert!(
+                sys.mcs[ch].try_enqueue(req).is_ok(),
+                "window occupancy model admitted a rejected enqueue"
+            );
+            sys.mc_next_event[ch] = 0;
+        }
+    }
+    sys.cpu_cycle = cpu;
+    sys.mem_cycle = m_end;
+    sys.clock_accum = acc;
+    true
+}

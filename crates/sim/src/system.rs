@@ -48,20 +48,20 @@ impl MemPort for Router<'_> {
 
 /// The assembled system: cores + LLC + channels.
 pub struct System {
-    cfg: SystemConfig,
-    cluster: CpuCluster,
-    mcs: Vec<MemController>,
-    mapper: AddrMapper,
-    cpu_cycle: u64,
-    mem_cycle: u64,
-    clock_accum: u64,
+    pub(crate) cfg: SystemConfig,
+    pub(crate) cluster: CpuCluster,
+    pub(crate) mcs: Vec<MemController>,
+    pub(crate) mapper: AddrMapper,
+    pub(crate) cpu_cycle: u64,
+    pub(crate) mem_cycle: u64,
+    pub(crate) clock_accum: u64,
     completions: Vec<Completion>,
     vrt_rng: StdRng,
     vrt_events: u64,
     /// Per-channel conservative next-event bounds (event-driven engine):
     /// memory ticks strictly before `mc_next_event[i]` are provable
     /// no-ops for controller `i`. 0 forces a real tick.
-    mc_next_event: Vec<u64>,
+    pub(crate) mc_next_event: Vec<u64>,
     /// Target selection for the fault harness (independent of `vrt_rng`
     /// so `cfg.vrt_interval_cycles` and `cfg.fault_plan` compose without
     /// perturbing each other's draws).
@@ -369,6 +369,25 @@ impl System {
         self.cluster.warm(instructions);
     }
 
+    /// Serializes the post-warmup architectural state (cores, page
+    /// tables, LLC) as opaque words, or `None` when the system has
+    /// already started timing simulation or a component cannot
+    /// checkpoint. Pair with [`System::restore_checkpoint_words`] on a
+    /// freshly built system of identical configuration.
+    pub fn checkpoint_words(&self) -> Option<Vec<u64>> {
+        if self.cpu_cycle != 0 || self.mem_cycle != 0 {
+            return None;
+        }
+        self.cluster.checkpoint_words()
+    }
+
+    /// Restores warmup state captured by [`System::checkpoint_words`].
+    /// Returns `false` on malformed or mismatched words; the system must
+    /// then be rebuilt and warmed cold.
+    pub fn restore_checkpoint_words(&mut self, words: &[u64]) -> bool {
+        self.cpu_cycle == 0 && self.mem_cycle == 0 && self.cluster.restore_checkpoint_words(words)
+    }
+
     /// Direct access to the controllers (tests/diagnostics).
     pub fn controllers(&self) -> &[MemController] {
         &self.mcs
@@ -380,7 +399,7 @@ impl System {
     /// controller's next event are replaced by the equivalent background
     /// accounting ([`MemController::skip_idle`]); everything else is
     /// stepped identically to the naive engine.
-    fn step(&mut self, event_driven: bool) {
+    pub(crate) fn step(&mut self, event_driven: bool) {
         if let Some(interval) = self.cfg.vrt_interval_cycles {
             if self.cpu_cycle > 0 && self.cpu_cycle.is_multiple_of(interval) {
                 self.inject_vrt_event();
@@ -419,7 +438,7 @@ impl System {
     /// system can provably fast-forward: the cluster is inert, no VRT
     /// injection is due, and no skipped memory tick would reach a
     /// controller's next event. 0 means the next cycle must step.
-    fn idle_skip(&self, max_cpu_cycles: u64) -> u64 {
+    pub(crate) fn idle_skip(&self, max_cpu_cycles: u64) -> u64 {
         let inert = self.cluster.inert_cycles(self.cpu_cycle);
         if inert == 0 {
             return 0;
@@ -457,7 +476,7 @@ impl System {
     /// advances inert cores in closed form, replays the clock
     /// accumulator, and charges the skipped memory ticks as idle
     /// background time.
-    fn apply_skip(&mut self, skip: u64) {
+    pub(crate) fn apply_skip(&mut self, skip: u64) {
         self.cluster.advance_inert(self.cpu_cycle, skip);
         let (num, den) = SystemConfig::CLOCK_RATIO;
         let total = self.clock_accum + den * skip;
@@ -478,19 +497,23 @@ impl System {
     pub fn run(&mut self, max_cpu_cycles: u64) -> SimReport {
         let started = std::time::Instant::now();
         let start_cycle = self.cpu_cycle;
-        match self.cfg.engine {
-            Engine::Naive => {
-                while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
-                    self.step(false);
+        if self.cfg.threads > 1 && self.cfg.channels > 1 {
+            crate::parallel::drive(self, max_cpu_cycles);
+        } else {
+            match self.cfg.engine {
+                Engine::Naive => {
+                    while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
+                        self.step(false);
+                    }
                 }
-            }
-            Engine::EventDriven => {
-                while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
-                    let skip = self.idle_skip(max_cpu_cycles);
-                    if skip > 0 {
-                        self.apply_skip(skip);
-                    } else {
-                        self.step(true);
+                Engine::EventDriven => {
+                    while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
+                        let skip = self.idle_skip(max_cpu_cycles);
+                        if skip > 0 {
+                            self.apply_skip(skip);
+                        } else {
+                            self.step(true);
+                        }
                     }
                 }
             }

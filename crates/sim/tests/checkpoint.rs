@@ -1,0 +1,197 @@
+//! Warm-checkpoint contract tests: a restored warmup must be
+//! indistinguishable from a cold one (bit-identical report), and a
+//! damaged checkpoint must degrade to a cold warmup with a recorded
+//! error — never a failed or silently-wrong run.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crow_sim::checkpoint::{checkpoint_path, fingerprint, warm_via_cache};
+use crow_sim::{CampaignPolicy, Mechanism, Scale, System, SystemConfig};
+use crow_workloads::AppProfile;
+
+/// `CROW_CHECKPOINT_DIR` is process-global, so tests that point it at
+/// their own scratch directory serialize on this lock.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn scratch_dir(test: &str) -> (MutexGuard<'static, ()>, std::path::PathBuf) {
+    let guard = ENV_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let dir = std::env::temp_dir().join(format!("crow-ckpt-{}-{test}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::env::set_var("CROW_CHECKPOINT_DIR", &dir);
+    (guard, dir)
+}
+
+fn test_cfg() -> SystemConfig {
+    SystemConfig::quick_test(Mechanism::crow_cache(8))
+}
+
+const WARMUP: u64 = 5_000;
+
+fn run_normalized(sys: &mut System) -> String {
+    let mut r = sys.run(2_000_000);
+    r.wall_seconds = 0.0;
+    r.sim_cycles_per_sec = 0.0;
+    format!("{r:?}")
+}
+
+#[test]
+fn roundtrip_restore_matches_cold_run_bit_for_bit() {
+    let (_guard, dir) = scratch_dir("roundtrip");
+    let app = AppProfile::by_name("mcf").unwrap();
+
+    // Pass 1: no checkpoint exists — cold warmup, and the state is
+    // published for the next run.
+    let mut cold = System::new(test_cfg(), &[app]);
+    let out = warm_via_cache(
+        &mut cold,
+        || System::new(test_cfg(), &[app]),
+        &["mcf"],
+        WARMUP,
+    );
+    assert!(!out.restored, "first warmup must be a miss");
+    assert!(out.error.is_none(), "a plain miss records no error");
+    let fp = fingerprint(&System::new(test_cfg(), &[app]), &["mcf"], WARMUP);
+    assert!(
+        checkpoint_path(&["mcf"], fp).exists(),
+        "miss publishes a checkpoint"
+    );
+    let cold_report = run_normalized(&mut cold);
+
+    // Pass 2: same warmup fingerprint — restore, then an identical run.
+    let mut warm = System::new(test_cfg(), &[app]);
+    let out = warm_via_cache(
+        &mut warm,
+        || System::new(test_cfg(), &[app]),
+        &["mcf"],
+        WARMUP,
+    );
+    assert!(out.restored, "second warmup must hit the checkpoint");
+    assert!(out.error.is_none());
+    assert_eq!(
+        cold_report,
+        run_normalized(&mut warm),
+        "a restored warmup must be bit-identical to a cold one"
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn damaged_checkpoints_fall_back_to_cold_warmup_with_recorded_error() {
+    let (_guard, dir) = scratch_dir("damaged");
+    let app = AppProfile::by_name("libq").unwrap();
+    let names = ["libq"];
+    let build = || System::new(test_cfg(), &[app]);
+
+    // Publish a good checkpoint and keep the cold reference report.
+    let mut cold = build();
+    warm_via_cache(&mut cold, build, &names, WARMUP);
+    let cold_report = run_normalized(&mut cold);
+    let fp = fingerprint(&build(), &names, WARMUP);
+    let path = checkpoint_path(&names, fp);
+    let good = std::fs::read_to_string(&path).unwrap();
+
+    // Damage it in three distinct ways; each run must complete with the
+    // cold-reference report and a recorded (not raised) CrowError.
+    let truncated_words = {
+        // Valid JSON, but the word array loses its tail: the decode
+        // succeeds and the *restore* is what rejects it, exercising the
+        // rebuild path.
+        let cut = good.rfind(',').unwrap();
+        let mut s = good[..cut].to_string();
+        s.push_str("]}\n");
+        s
+    };
+    for (label, text) in [
+        ("unparseable", "{not json".to_string()),
+        ("truncated file", good[..good.len() / 2].to_string()),
+        ("truncated words", truncated_words),
+    ] {
+        std::fs::write(&path, &text).unwrap();
+        let mut sys = build();
+        let out = warm_via_cache(&mut sys, build, &names, WARMUP);
+        assert!(!out.restored, "{label}: a damaged checkpoint cannot hit");
+        match &out.error {
+            Some(crow_sim::CrowError::Checkpoint { path: p, .. }) => {
+                assert!(
+                    p.contains("crow-ckpt"),
+                    "{label}: error names the file: {p}"
+                )
+            }
+            other => panic!("{label}: expected a recorded Checkpoint error, got {other:?}"),
+        }
+        assert_eq!(
+            cold_report,
+            run_normalized(&mut sys),
+            "{label}: the fallback cold warmup must produce the reference report"
+        );
+        // The fallback re-publishes a usable checkpoint.
+        let mut again = build();
+        let out = warm_via_cache(&mut again, build, &names, WARMUP);
+        assert!(
+            out.restored,
+            "{label}: the cold fallback must republish a working checkpoint"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn degrade_ladder_retries_use_distinct_fingerprints() {
+    // The campaign degrade ladder halves the warmup on retry; the
+    // halved attempt must key a *different* checkpoint, never restore
+    // the stale full-warmup snapshot.
+    let scale = Scale {
+        warmup: 8_000,
+        ..Scale::tiny()
+    };
+    let policy = CampaignPolicy::new(scale);
+    let app = AppProfile::by_name("mcf").unwrap();
+    let sys = System::new(test_cfg(), &[app]);
+    let full = policy.scale_for_attempt(0);
+    let retry = policy.scale_for_attempt(1);
+    assert_eq!(retry.warmup, full.warmup / 2, "the ladder halves warmup");
+    let fp_full = fingerprint(&sys, &["mcf"], full.warmup);
+    let fp_retry = fingerprint(&sys, &["mcf"], retry.warmup);
+    assert_ne!(
+        fp_full, fp_retry,
+        "a degraded retry must never restore the full-warmup checkpoint"
+    );
+    assert_ne!(
+        checkpoint_path(&["mcf"], fp_full),
+        checkpoint_path(&["mcf"], fp_retry),
+        "distinct fingerprints map to distinct files"
+    );
+}
+
+#[test]
+fn fingerprint_ignores_mechanism_and_threads_but_not_seed() {
+    // Mechanism (at equal capacity), scheduler, engine, and thread
+    // count don't touch functional warmup state — configs differing
+    // only there share one checkpoint. The seed and warmup length do.
+    let app = AppProfile::by_name("mcf").unwrap();
+    let base = fingerprint(&System::new(test_cfg(), &[app]), &["mcf"], WARMUP);
+
+    let mut threaded = test_cfg();
+    threaded.threads = 4;
+    threaded.engine = crow_sim::Engine::Naive;
+    assert_eq!(
+        base,
+        fingerprint(&System::new(threaded, &[app]), &["mcf"], WARMUP),
+        "engine/threads must not split the checkpoint space"
+    );
+
+    let mut reseeded = test_cfg();
+    reseeded.seed ^= 1;
+    assert_ne!(
+        base,
+        fingerprint(&System::new(reseeded, &[app]), &["mcf"], WARMUP),
+        "the seed drives trace and page-table contents"
+    );
+    assert_ne!(
+        base,
+        fingerprint(&System::new(test_cfg(), &[app]), &["mcf"], WARMUP - 1),
+        "the warmup length is part of the key"
+    );
+}

@@ -57,6 +57,48 @@ fn assert_equivalent(mechanism: Mechanism, app: &str, vrt: Option<u64>) {
     }
 }
 
+/// Zeroes only the wall-clock fields. Serial×parallel comparisons at a
+/// *fixed* engine use this instead of [`normalize`]: the sharded engine
+/// replays the exact per-channel skip/tick schedule, so even the
+/// scheduler work counters must match bit-for-bit.
+fn normalize_wall(r: &mut crow_sim::SimReport) {
+    r.wall_seconds = 0.0;
+    r.sim_cycles_per_sec = 0.0;
+}
+
+/// Runs one configuration on a 4-channel platform under the full
+/// engine × scheduler matrix, comparing each cell's 2/4/8-thread
+/// sharded run against its own serial run — including the scheduler
+/// diagnostics.
+fn assert_parallel_equivalent(mechanism: Mechanism, apps: &[&str], vrt: Option<u64>) {
+    let profiles: Vec<&AppProfile> = apps
+        .iter()
+        .map(|n| AppProfile::by_name(n).unwrap())
+        .collect();
+    for (engine, sched_impl) in MATRIX {
+        let mut run = |threads: u32| {
+            let mut cfg = SystemConfig::quick_test(mechanism);
+            cfg.channels = 4;
+            cfg.engine = engine;
+            cfg.mc.sched_impl = sched_impl;
+            cfg.vrt_interval_cycles = vrt;
+            cfg.threads = threads;
+            let mut sys = System::new(cfg, &profiles);
+            let mut r = sys.run(2_000_000);
+            normalize_wall(&mut r);
+            format!("{r:?}")
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                serial,
+                run(threads),
+                "{engine:?}/{sched_impl:?} with {threads} threads diverged from serial for {mechanism:?} on {apps:?}",
+            );
+        }
+    }
+}
+
 #[test]
 fn baseline_mcf_matches() {
     assert_equivalent(Mechanism::Baseline, "mcf", None);
@@ -147,6 +189,63 @@ fn crow8_validated_run_is_violation_free_on_both_engines() {
             observed > 0,
             "{engine:?}/{sched_impl:?}: validator saw no commands"
         );
+    }
+}
+
+#[test]
+fn parallel_baseline_mcf_matches() {
+    assert_parallel_equivalent(Mechanism::Baseline, &["mcf"], None);
+}
+
+#[test]
+fn parallel_crow_cache_multicore_mix_matches() {
+    assert_parallel_equivalent(
+        Mechanism::crow_cache(8),
+        &["mcf", "povray", "libq", "gcc"],
+        None,
+    );
+}
+
+#[test]
+fn parallel_with_vrt_matches() {
+    // VRT injections land on CPU-cycle boundaries, so the window
+    // builder must close every shard window exactly at each boundary.
+    assert_parallel_equivalent(Mechanism::crow_combined(), &["libq"], Some(100_000));
+}
+
+#[test]
+fn parallel_random_driver_lockstep_fuzz() {
+    // The `random` microbenchmark is the adversarial input for the
+    // sharding protocol: uniformly random lines keep every channel's
+    // queues churning, so the conservative occupancy model and the
+    // completion pre-extraction are both exercised hard. Run it with
+    // the shadow validator attached at 1/2/4/8 threads across several
+    // seeds and demand bit-identical checked reports and a clean
+    // oracle everywhere.
+    let profile = AppProfile::by_name("random").unwrap();
+    for seed in [0xC401u64, 0xC402, 0xC403] {
+        let mut run = |threads: u32| {
+            let mut cfg = SystemConfig::quick_test(Mechanism::crow_cache(8));
+            cfg.channels = 4;
+            cfg.seed = seed;
+            cfg.validate_protocol = true;
+            cfg.threads = threads;
+            let mut sys = System::new(cfg, &[profile, profile]);
+            let mut r = sys
+                .run_checked(2_000_000)
+                .unwrap_or_else(|e| panic!("seed {seed:#x} threads {threads}: {e}"));
+            assert_eq!(r.violations, 0, "seed {seed:#x} threads {threads}");
+            normalize_wall(&mut r);
+            format!("{r:?}")
+        };
+        let serial = run(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                serial,
+                run(threads),
+                "random-driver fuzz diverged at seed {seed:#x}, {threads} threads",
+            );
+        }
     }
 }
 

@@ -47,4 +47,19 @@ echo "== scheduler perf gate (counter-based, deterministic) =="
 cargo build --release -p crow-bench --bin sched_gate
 target/release/sched_gate
 
+echo "== parallel engine gate (serial vs 4-thread bit-exact) =="
+# The sharded per-channel engine is an exactness claim: every
+# engine × scheduler × mechanism cell of a bench-suite slice must
+# produce a byte-identical report at 4 worker threads and serially.
+cargo build --release -p crow-bench --bin parallel_gate
+target/release/parallel_gate
+
+echo "== warm checkpoint gate (second pass restores every warmup) =="
+# A repeated-configuration campaign run twice against a fresh cache:
+# the second pass must be all hits with zero warmup instructions
+# re-simulated, bit-identical reports, and the checkpoint delta
+# recorded in the campaign's .summary.json.
+cargo build --release -p crow-bench --bin checkpoint_gate
+target/release/checkpoint_gate
+
 echo "All checks passed."

@@ -73,6 +73,8 @@ fn combined_mechanism_beats_each_alone_on_dense_chips() {
         warmup: 10_000,
         mixes_per_group: 1,
         max_cycles: 200_000_000,
+        threads: 1,
+        checkpoints: false,
     };
     let apps = [app("mcf")];
     let run = |mech| {
@@ -102,6 +104,8 @@ fn crow_ref_halves_refresh_rate_and_saves_energy_at_64gbit() {
         warmup: 5_000,
         mixes_per_group: 1,
         max_cycles: 200_000_000,
+        threads: 1,
+        checkpoints: false,
     };
     let run = |mech| {
         let cfg = SystemConfig::paper_default(mech).with_density(64);
