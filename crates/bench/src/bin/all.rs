@@ -103,7 +103,7 @@ fn main() {
             Box::new(move || crow_bench::ablations::mapping(scale)),
         ),
     ];
-    std::fs::create_dir_all("results").ok();
+    crow_sim::campaign::ensure_dir(std::path::Path::new("results")).ok();
     let mut combined = String::new();
     for (name, f) in sections {
         if only.as_deref().is_some_and(|o| o != name) {

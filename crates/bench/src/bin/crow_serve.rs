@@ -1,0 +1,343 @@
+//! `crow-serve`: the hardened batch-simulation service.
+//!
+//! Speaks the JSONL protocol of `crow_sim::server` over a Unix socket
+//! (`--socket PATH` or `CROW_SERVE_ADDR`) or, with no socket configured,
+//! over stdin/stdout. Every knob rides the environment
+//! (`CROW_SERVE_QUEUE`, `CROW_SERVE_WORKERS`, `CROW_SERVE_MAX_LINE`,
+//! `CROW_SERVE_READ_TIMEOUT_SECS`, `CROW_SERVE_JOB_TIMEOUT_SECS`,
+//! `CROW_SERVE_RETRIES`, `CROW_SERVE_HEARTBEAT_SECS`,
+//! `CROW_CAMPAIGN_DIR`); see EXPERIMENTS.md.
+//!
+//! ```sh
+//! CROW_SERVE_ADDR=/tmp/crow.sock cargo run -p crow-bench --release --bin crow-serve &
+//! printf '%s\n' '{"op":"sim","id":"j1","apps":["mcf"],"mechanism":"crow-8"}' | nc -U /tmp/crow.sock
+//! ```
+//!
+//! Robustness contract (exercised by `serve_gate` in scripts/check.sh):
+//! malformed requests are structured error events, overload sheds,
+//! duplicate requests are answered from the campaign journal with zero
+//! re-simulated cycles, SIGTERM/SIGINT (and the `shutdown` op) drain
+//! gracefully — accepted jobs finish and journal, workers are joined —
+//! and a SIGKILLed server resumes from its journal on restart.
+
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crow_sim::server::{DrainSummary, LineRead, LineReader, Reply, ServeConfig, Server};
+
+/// Set by the SIGTERM/SIGINT handler; every loop polls it.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+// Raw `signal(2)` binding — the workspace deliberately carries no libc
+// dependency. `extern "C" fn(i32)` handlers match the kernel contract.
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+fn install_signal_handlers() {
+    // SAFETY: `on_signal` only stores to an AtomicBool, which is
+    // async-signal-safe; the handler type matches the C prototype.
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+/// How often blocked loops wake to poll the shutdown flag.
+const TICK: Duration = Duration::from_millis(100);
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crow-serve [--socket PATH]\n\
+         \n\
+         With --socket (or CROW_SERVE_ADDR), serves JSONL requests on a\n\
+         Unix socket; otherwise reads requests from stdin and writes\n\
+         events to stdout. SIGTERM, SIGINT, the shutdown op, and (in\n\
+         stdio mode) EOF all drain gracefully.\n\
+         \n\
+         env: CROW_SERVE_QUEUE, CROW_SERVE_WORKERS, CROW_SERVE_MAX_LINE,\n\
+         \x20    CROW_SERVE_READ_TIMEOUT_SECS, CROW_SERVE_JOB_TIMEOUT_SECS,\n\
+         \x20    CROW_SERVE_RETRIES, CROW_SERVE_HEARTBEAT_SECS,\n\
+         \x20    CROW_CAMPAIGN_DIR (journal + result cache location)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut socket: Option<PathBuf> = std::env::var("CROW_SERVE_ADDR").ok().map(PathBuf::from);
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--socket" => {
+                socket = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--socket needs a value");
+                    usage()
+                })));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let cfg = ServeConfig::from_env().unwrap_or_else(|e| {
+        eprintln!("crow-serve: {e}");
+        std::process::exit(2);
+    });
+    install_signal_handlers();
+    let max_line = cfg.max_line_bytes;
+    let read_timeout = cfg.read_timeout;
+    let server = Arc::new(Server::new(cfg).unwrap_or_else(|e| {
+        eprintln!("crow-serve: {e}");
+        std::process::exit(1);
+    }));
+
+    let summary = match &socket {
+        Some(path) => serve_socket(server, path, max_line, read_timeout),
+        None => serve_stdio(server, max_line),
+    };
+    let summary = summary.unwrap_or_else(|e| {
+        eprintln!("crow-serve: {e}");
+        std::process::exit(1);
+    });
+    if let Some(path) = &socket {
+        let _ = std::fs::remove_file(path);
+    }
+    eprintln!(
+        "crow-serve: drained | workers_joined {} | jobs_run {} | cache_hits {} | shed {} | bad_requests {} | abandoned {}",
+        summary.workers_joined,
+        summary.jobs_run,
+        summary.cache_hits,
+        summary.shed,
+        summary.bad_requests,
+        summary.abandoned,
+    );
+    if summary.abandoned > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Consumes the only remaining `Arc` and drains. All connection reader
+/// threads must be joined first; a live clone is a bug, reported rather
+/// than leaked into a non-graceful exit.
+fn drain_arc(server: Arc<Server>) -> Result<DrainSummary, String> {
+    match Arc::try_unwrap(server) {
+        Ok(s) => Ok(s.drain()),
+        Err(_) => Err("connection thread still holds the server at drain".into()),
+    }
+}
+
+// --- socket mode ------------------------------------------------------
+
+/// Binds `path`, reclaiming a stale socket file (bind succeeds after a
+/// SIGKILLed predecessor) but refusing to evict a live server.
+fn bind_socket(path: &Path) -> Result<UnixListener, String> {
+    match UnixListener::bind(path) {
+        Ok(l) => Ok(l),
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+            if UnixStream::connect(path).is_ok() {
+                return Err(format!(
+                    "{}: another server is listening on this socket",
+                    path.display()
+                ));
+            }
+            std::fs::remove_file(path)
+                .map_err(|e| format!("{}: cannot remove stale socket: {e}", path.display()))?;
+            UnixListener::bind(path).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+fn serve_socket(
+    server: Arc<Server>,
+    path: &Path,
+    max_line: usize,
+    read_timeout: Duration,
+) -> Result<DrainSummary, String> {
+    let listener = bind_socket(path)?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("set_nonblocking: {e}"))?;
+    eprintln!(
+        "crow-serve: listening on {} (workers {}, queue {})",
+        path.display(),
+        server.config().workers,
+        server.config().queue_depth,
+    );
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    let mut writers: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) || server.draining() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let (reader, writer) =
+                    spawn_connection(Arc::clone(&server), stream, max_line, read_timeout);
+                readers.push(reader);
+                writers.push(writer);
+                // Joined connections would accumulate forever on a busy
+                // server; reap the finished ones opportunistically.
+                readers.retain(|h| !h.is_finished());
+                writers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(TICK),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    // Drain: stop admissions, let readers notice within one tick, then
+    // finish every accepted job and join the workers. Writers flush the
+    // last results before their reply channels disconnect.
+    server.request_drain();
+    for h in readers {
+        let _ = h.join();
+    }
+    let summary = drain_arc(server)?;
+    for h in writers {
+        let _ = h.join();
+    }
+    Ok(summary)
+}
+
+fn spawn_connection(
+    server: Arc<Server>,
+    stream: UnixStream,
+    max_line: usize,
+    read_timeout: Duration,
+) -> (JoinHandle<()>, JoinHandle<()>) {
+    let (reply, rx) = Reply::pair();
+    let write_half = stream.try_clone().ok();
+    let writer = std::thread::spawn(move || {
+        let Some(mut w) = write_half else { return };
+        // A stuck client must not hold the writer forever either.
+        let _ = w.set_write_timeout(Some(read_timeout.max(Duration::from_secs(1))));
+        while let Ok(line) = rx.recv() {
+            if writeln!(w, "{line}").is_err() {
+                // Connection gone: keep draining the channel so job
+                // results never block on a dead client.
+                for _ in rx.iter() {}
+                return;
+            }
+        }
+    });
+    let reader = std::thread::spawn(move || {
+        let mut stream = stream;
+        if stream.set_read_timeout(Some(TICK)).is_err() {
+            return;
+        }
+        let mut lr = LineReader::new(max_line, read_timeout);
+        loop {
+            if SHUTDOWN.load(Ordering::SeqCst) || server.draining() {
+                return;
+            }
+            match lr.poll(&mut stream) {
+                Ok(LineRead::Line(line)) => server.handle_line(&line, &reply),
+                Ok(LineRead::Idle) => {}
+                Ok(LineRead::Eof) => return,
+                Ok(LineRead::Stalled) => {
+                    reply.error(
+                        None,
+                        "timeout",
+                        &format!(
+                            "request line stalled past the {:?} read deadline",
+                            read_timeout
+                        ),
+                    );
+                    return;
+                }
+                Ok(LineRead::TooLong) => {
+                    reply.error(
+                        None,
+                        "too-large",
+                        &format!("request line exceeds {max_line} bytes"),
+                    );
+                }
+                Err(_) => return,
+            }
+        }
+    });
+    (reader, writer)
+}
+
+// --- stdio mode -------------------------------------------------------
+
+fn serve_stdio(server: Arc<Server>, max_line: usize) -> Result<DrainSummary, String> {
+    eprintln!(
+        "crow-serve: serving stdin/stdout (workers {}, queue {})",
+        server.config().workers,
+        server.config().queue_depth,
+    );
+    let (reply, rx) = Reply::pair();
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        while let Ok(line) = rx.recv() {
+            let mut out = stdout.lock();
+            if writeln!(out, "{line}").and_then(|()| out.flush()).is_err() {
+                for _ in rx.iter() {}
+                return;
+            }
+        }
+    });
+    // Stdin blocks without timeouts, so a dedicated thread reads lines
+    // (still through the capped LineReader — stdio is not exempt from
+    // the byte cap) and the main loop polls the shutdown flag. The
+    // thread is left behind at drain; the process exits right after.
+    let (line_tx, line_rx) = mpsc::channel::<LineRead>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        let mut lock = stdin.lock();
+        // The deadline never fires on a blocking pipe; the cap does.
+        let mut lr = LineReader::new(max_line, Duration::from_secs(3600));
+        loop {
+            match lr.poll(&mut lock) {
+                Ok(LineRead::Idle) => {}
+                Ok(ev) => {
+                    let eof = ev == LineRead::Eof;
+                    if line_tx.send(ev).is_err() || eof {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = line_tx.send(LineRead::Eof);
+                    return;
+                }
+            }
+        }
+    });
+    loop {
+        if SHUTDOWN.load(Ordering::SeqCst) || server.draining() {
+            break;
+        }
+        match line_rx.recv_timeout(TICK) {
+            Ok(LineRead::Line(line)) => server.handle_line(&line, &reply),
+            Ok(LineRead::TooLong) => {
+                reply.error(
+                    None,
+                    "too-large",
+                    &format!("request line exceeds {max_line} bytes"),
+                );
+            }
+            Ok(LineRead::Eof) | Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            Ok(_) | Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
+    drop(reply);
+    let summary = drain_arc(server)?;
+    let _ = writer.join();
+    Ok(summary)
+}

@@ -1,0 +1,380 @@
+//! Chaos-soak gate for the simulation service (`scripts/check.sh`).
+//!
+//! Boots the real `crow-serve` binary on a Unix socket and drives it
+//! the way a hostile network would, asserting the robustness contract
+//! end to end:
+//!
+//! 1. concurrent clients — distinct jobs, duplicate jobs, malformed
+//!    requests, and an oversized line — all get correct structured
+//!    responses, and duplicates collapse onto one simulation;
+//! 2. re-requesting a finished job simulates **zero** cycles (the
+//!    `cycles_simulated` counter is flat and the reply says `cached`);
+//! 3. SIGTERM drains gracefully: exit 0, every worker joined, nothing
+//!    abandoned — no orphaned worker threads;
+//! 4. SIGKILL mid-job loses nothing journaled: a restarted server
+//!    (reclaiming the stale socket) answers the finished jobs
+//!    byte-identically with zero re-runs, and only the killed job
+//!    re-simulates.
+//!
+//! Exits non-zero with a diagnostic on any violation.
+
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crow_bench::util::ServeClient;
+use crow_sim::Json;
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_gate: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Connects with a short retry loop: the socket file appears at the
+/// server's bind() but accepts only after listen(), so a fast client
+/// can land in between and see ECONNREFUSED.
+fn connect_retry(socket: &Path) -> ServeClient {
+    let t0 = Instant::now();
+    loop {
+        match ServeClient::connect(socket, DEADLINE) {
+            Ok(c) => return c,
+            Err(e) if t0.elapsed() > Duration::from_secs(10) => {
+                fail(&format!("cannot connect: {e}"))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn job_line(id: &str, insts: u64, llc_mib: u64) -> String {
+    format!(
+        "{{\"op\":\"sim\",\"id\":\"{id}\",\"apps\":[\"mcf\"],\"insts\":{insts},\
+         \"warmup\":1000,\"channels\":1,\"llc_mib\":{llc_mib}}}"
+    )
+}
+
+struct Harness {
+    serve_bin: PathBuf,
+    socket: PathBuf,
+    campaign_dir: PathBuf,
+}
+
+impl Harness {
+    fn spawn_server(&self) -> Child {
+        let mut cmd = Command::new(&self.serve_bin);
+        cmd.env("CROW_SERVE_ADDR", &self.socket)
+            .env("CROW_CAMPAIGN_DIR", &self.campaign_dir)
+            .env("CROW_SERVE_WORKERS", "2")
+            .env("CROW_SERVE_QUEUE", "16")
+            .env("CROW_SERVE_MAX_LINE", "4096")
+            .env("CROW_SERVE_READ_TIMEOUT_SECS", "5")
+            .env("CROW_SERVE_HEARTBEAT_SECS", "0.2")
+            .env("CROW_SERVE_JOB_TIMEOUT_SECS", "110")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("cannot spawn {}: {e}", self.serve_bin.display())));
+        // The socket appearing is the readiness signal.
+        let t0 = Instant::now();
+        while !self.socket.exists() {
+            if t0.elapsed() > Duration::from_secs(30) {
+                fail("server did not create its socket within 30s");
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        child
+    }
+
+    fn client(&self) -> ServeClient {
+        connect_retry(&self.socket)
+    }
+
+    fn stats(&self) -> Json {
+        let mut c = self.client();
+        c.send("{\"op\":\"stats\"}")
+            .unwrap_or_else(|e| fail(&format!("stats send: {e}")));
+        c.recv_until(|ev| ev.get("event").and_then(Json::as_str) == Some("stats"))
+            .unwrap_or_else(|e| fail(&format!("stats recv: {e}")))
+    }
+
+    fn stat(&self, key: &str) -> u64 {
+        self.stats()
+            .get(key)
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(&format!("stats missing {key}")))
+    }
+}
+
+/// Sends `signal` to `child` (SIGTERM via the external `kill`, since
+/// `Child` only exposes SIGKILL).
+fn signal_child(child: &Child, signal: &str) {
+    let status = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -{signal} {}", child.id()))
+        .status()
+        .unwrap_or_else(|e| fail(&format!("cannot signal server: {e}")));
+    if !status.success() {
+        fail(&format!("kill -{signal} failed"));
+    }
+}
+
+/// Waits for exit (bounded) and returns (status, stderr text).
+fn wait_with_stderr(mut child: Child) -> (std::process::ExitStatus, String) {
+    // Drain stderr concurrently so a chatty server can't block on the
+    // pipe while we block on wait().
+    let mut stderr = child.stderr.take().expect("stderr piped");
+    let collector = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stderr.read_to_string(&mut buf);
+        buf
+    });
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                let text = collector.join().unwrap_or_default();
+                return (status, text);
+            }
+            Ok(None) => {
+                if t0.elapsed() > DEADLINE {
+                    let _ = child.kill();
+                    fail("server did not exit within the deadline");
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => fail(&format!("wait: {e}")),
+        }
+    }
+}
+
+fn expect_result(ev: &Json, id: &str) -> String {
+    if ev.get("event").and_then(Json::as_str) != Some("result") {
+        fail(&format!(
+            "{id}: expected a result event, got {}",
+            ev.render()
+        ));
+    }
+    ev.get("report")
+        .unwrap_or_else(|| fail(&format!("{id}: result without report")))
+        .render()
+}
+
+fn cached_flag(ev: &Json) -> bool {
+    ev.get("cached").and_then(Json::as_bool).unwrap_or(false)
+}
+
+fn main() {
+    let serve_bin = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("current_exe: {e}")))
+        .with_file_name("crow-serve");
+    if !serve_bin.exists() {
+        fail(&format!(
+            "{} not built (build the crow-serve bin first)",
+            serve_bin.display()
+        ));
+    }
+    let scratch = std::env::temp_dir().join(format!("crow-serve-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap_or_else(|e| fail(&format!("scratch: {e}")));
+    let h = Harness {
+        serve_bin,
+        socket: scratch.join("crow.sock"),
+        campaign_dir: scratch.join("campaign"),
+    };
+
+    // --- Phase A: concurrent mixed load against one server ------------
+    let server = h.spawn_server();
+    let (dup_report, solo_report) = phase_mixed_load(&h);
+    println!("serve_gate: mixed load OK (dedup + structured errors + shed-free admission)");
+
+    // Cache check: a repeat of a finished job must simulate 0 cycles.
+    let cycles_before = h.stat("cycles_simulated");
+    let jobs_before = h.stat("jobs_run");
+    let mut c = h.client();
+    let ev = c
+        .run_job(&job_line("cache-check", 20_000, 1), "cache-check")
+        .unwrap_or_else(|e| fail(&format!("cache-check: {e}")));
+    if !cached_flag(&ev) {
+        fail("repeat request was not served from cache");
+    }
+    if expect_result(&ev, "cache-check") != dup_report {
+        fail("cached reply is not byte-identical to the original");
+    }
+    if h.stat("cycles_simulated") != cycles_before || h.stat("jobs_run") != jobs_before {
+        fail("a cached request re-simulated cycles");
+    }
+    println!("serve_gate: duplicate request simulated 0 cycles");
+
+    // --- Graceful drain on SIGTERM -------------------------------------
+    signal_child(&server, "TERM");
+    let (status, stderr) = wait_with_stderr(server);
+    if !status.success() {
+        fail(&format!("SIGTERM drain exited {status}; stderr:\n{stderr}"));
+    }
+    let summary = stderr
+        .lines()
+        .find(|l| l.contains("drained"))
+        .unwrap_or_else(|| fail(&format!("no drain summary in stderr:\n{stderr}")));
+    if !summary.contains("workers_joined 2") {
+        fail(&format!("not every worker joined: {summary}"));
+    }
+    if !summary.contains("abandoned 0") {
+        fail(&format!("drain abandoned queued jobs: {summary}"));
+    }
+    if h.socket.exists() {
+        fail("socket file survived a graceful drain");
+    }
+    println!("serve_gate: graceful drain OK ({})", summary.trim());
+
+    // --- Phase B: SIGKILL mid-job, restart, resume ---------------------
+    let server = h.spawn_server();
+    let mut c = h.client();
+    // A longer job so the kill lands mid-simulation deterministically:
+    // wait for its `started` event, then SIGKILL.
+    c.send(&job_line("victim", 400_000, 2))
+        .unwrap_or_else(|e| fail(&format!("victim send: {e}")));
+    c.recv_until(|ev| {
+        ev.get("event").and_then(Json::as_str) == Some("started")
+            && ev.get("id").and_then(Json::as_str) == Some("victim")
+    })
+    .unwrap_or_else(|e| fail(&format!("victim started: {e}")));
+    signal_child(&server, "KILL");
+    let (status, _) = wait_with_stderr(server);
+    if status.success() {
+        fail("SIGKILL reported a clean exit");
+    }
+    if !h.socket.exists() {
+        fail("expected a stale socket file after SIGKILL");
+    }
+    drop(c);
+
+    // Restart over the same journal: the stale socket is reclaimed,
+    // finished jobs answer byte-identically with zero re-runs, and only
+    // the killed job re-simulates.
+    let server = h.spawn_server();
+    let mut c = h.client();
+    let ev = c
+        .run_job(&job_line("resume-dup", 20_000, 1), "resume-dup")
+        .unwrap_or_else(|e| fail(&format!("resume-dup: {e}")));
+    if !cached_flag(&ev) || expect_result(&ev, "resume-dup") != dup_report {
+        fail("restart did not restore the journaled result byte-identically");
+    }
+    let ev = c
+        .run_job(&job_line("resume-solo", 20_000, 2), "resume-solo")
+        .unwrap_or_else(|e| fail(&format!("resume-solo: {e}")));
+    if !cached_flag(&ev) || expect_result(&ev, "resume-solo") != solo_report {
+        fail("restart did not restore the second journaled result");
+    }
+    if h.stat("jobs_run") != 0 {
+        fail("restart re-simulated a journaled job");
+    }
+    println!("serve_gate: SIGKILL resume OK (0 re-runs for journaled jobs)");
+    let ev = c
+        .run_job(&job_line("victim-retry", 400_000, 2), "victim-retry")
+        .unwrap_or_else(|e| fail(&format!("victim-retry: {e}")));
+    if cached_flag(&ev) {
+        fail("the killed job must not have a journaled result");
+    }
+    expect_result(&ev, "victim-retry");
+    println!("serve_gate: killed-mid-flight job re-ran cleanly");
+
+    signal_child(&server, "TERM");
+    let (status, stderr) = wait_with_stderr(server);
+    if !status.success() {
+        fail(&format!("final drain exited {status}; stderr:\n{stderr}"));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("serve_gate: PASS");
+}
+
+/// Phase A body: three concurrent clients (distinct jobs, duplicates,
+/// hostile input) against the live server. Returns the canonical report
+/// bytes of the duplicated job and of a distinct job, for the cache and
+/// resume phases.
+fn phase_mixed_load(h: &Harness) -> (String, String) {
+    let socket = h.socket.clone();
+    let hostile = std::thread::spawn(move || hostile_client(&socket));
+    let socket = h.socket.clone();
+    let dups = std::thread::spawn(move || {
+        // Two ids, one fingerprint: must collapse onto one simulation.
+        let mut c = connect_retry(&socket);
+        let mut d = connect_retry(&socket);
+        c.send(&job_line("dup-a", 20_000, 1)).expect("send");
+        d.send(&job_line("dup-b", 20_000, 1)).expect("send");
+        let terminal = |cl: &mut ServeClient, id: &str| {
+            cl.recv_until(|ev| {
+                let kind = ev.get("event").and_then(Json::as_str);
+                (kind == Some("result") || kind == Some("error"))
+                    && ev.get("id").and_then(Json::as_str) == Some(id)
+            })
+            .expect("terminal event")
+        };
+        let a = terminal(&mut c, "dup-a");
+        let b = terminal(&mut d, "dup-b");
+        (expect_result(&a, "dup-a"), expect_result(&b, "dup-b"))
+    });
+    let mut solo = h.client();
+    let ev = solo
+        .run_job(&job_line("resume-solo", 20_000, 2), "resume-solo")
+        .unwrap_or_else(|e| fail(&format!("resume-solo: {e}")));
+    let solo_report = expect_result(&ev, "resume-solo");
+    let (a, b) = dups.join().unwrap_or_else(|_| fail("dup client panicked"));
+    if a != b {
+        fail("duplicate ids saw different result bytes");
+    }
+    hostile
+        .join()
+        .unwrap_or_else(|_| fail("hostile client panicked"));
+    // 2 distinct fingerprints + 1 shared duplicate = at most 3 runs
+    // (the duplicate pair may race to 2 only if dedup failed).
+    let runs = h.stat("jobs_run");
+    if runs != 2 {
+        fail(&format!("expected 2 simulations (dedup), saw {runs}"));
+    }
+    if h.stat("cache_hits") == 0 {
+        fail("expected at least one cache hit from the duplicate pair");
+    }
+    if h.stat("bad_requests") == 0 {
+        fail("hostile client's requests were not counted");
+    }
+    (a, solo_report)
+}
+
+/// Malformed, oversized, and interleaved-garbage requests on one
+/// connection; every line must get a structured error and the
+/// connection must stay usable.
+fn hostile_client(socket: &Path) {
+    let mut c = connect_retry(socket);
+    let expect_code = |c: &mut ServeClient, code: &str| {
+        let ev = c
+            .recv_until(|ev| ev.get("event").and_then(Json::as_str) == Some("error"))
+            .expect("an error event");
+        let got = ev.get("code").and_then(Json::as_str).unwrap_or("");
+        assert_eq!(got, code, "wrong error code for {}", ev.render());
+    };
+    c.send("this is not json").expect("send");
+    expect_code(&mut c, "bad-request");
+    c.send("{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"op\":\"sim\"}")
+        .expect("send");
+    expect_code(&mut c, "bad-request");
+    c.send("{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"insts\":999999999999}")
+        .expect("send");
+    expect_code(&mut c, "bad-request");
+    // An oversized line (cap is 4096 in the gate environment): rejected
+    // with a structured error, connection not dropped.
+    let huge = format!(
+        "{{\"op\":\"sim\",\"id\":\"big\",\"pad\":\"{}\"}}",
+        "x".repeat(8000)
+    );
+    c.send(&huge).expect("send");
+    expect_code(&mut c, "too-large");
+    // Still serving on the same connection.
+    c.send("{\"op\":\"ping\"}").expect("send");
+    c.recv_until(|ev| ev.get("event").and_then(Json::as_str) == Some("pong"))
+        .expect("pong after hostility");
+}

@@ -182,40 +182,10 @@ fn parse_args() -> Args {
 }
 
 fn parse_mechanism(s: &str) -> Mechanism {
-    let s = s.to_ascii_lowercase();
-    match s.as_str() {
-        "baseline" => return Mechanism::Baseline,
-        "crow-ref" | "ref" => return Mechanism::crow_ref(),
-        "crow-combined" | "combined" => return Mechanism::crow_combined(),
-        "ideal" => return Mechanism::IdealCache,
-        "ideal-no-refresh" => return Mechanism::IdealCacheNoRefresh,
-        "no-refresh" => return Mechanism::NoRefresh,
-        _ => {}
-    }
-    if let Some(n) = s.strip_prefix("crow-") {
-        if let Ok(n) = n.parse::<u8>() {
-            return Mechanism::crow_cache(n);
-        }
-    }
-    if let Some(n) = s.strip_prefix("tldram-") {
-        if let Ok(n) = n.parse::<u8>() {
-            return Mechanism::TlDram { near_rows: n };
-        }
-    }
-    if let Some(rest) = s.strip_prefix("salp-") {
-        let (n, open_page) = match rest.strip_suffix("-o") {
-            Some(core) => (core, true),
-            None => (rest, false),
-        };
-        if let Ok(subarrays) = n.parse::<u32>() {
-            return Mechanism::Salp {
-                subarrays,
-                open_page,
-            };
-        }
-    }
-    eprintln!("unknown mechanism {s}");
-    usage();
+    Mechanism::parse(s).unwrap_or_else(|| {
+        eprintln!("unknown mechanism {s}");
+        usage();
+    })
 }
 
 /// Runs the configured simulation as a single supervised campaign job:

@@ -1,10 +1,16 @@
 //! Shared harness utilities: text tables, app selection, alone-run IPC
-//! caching for weighted speedup, and the supervised figure campaign
-//! wrapper every figure harness runs its jobs through.
+//! caching for weighted speedup, the supervised figure campaign wrapper
+//! every figure harness runs its jobs through, and the deadline-bounded
+//! [`ServeClient`] for talking to a `crow-serve` socket.
 
 use std::collections::HashMap;
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 use crow_mem::SchedStats;
+use crow_sim::server::{LineRead, LineReader};
 use crow_sim::{
     run_single, Campaign, CampaignPolicy, CrowError, Json, Mechanism, Scale, SimReport,
 };
@@ -212,6 +218,99 @@ impl FigCampaign {
             }
         }
         format!("\ncampaign {}: {}\n", self.camp.name(), d)
+    }
+}
+
+/// A deadline-bounded JSONL client for a `crow-serve` Unix socket.
+///
+/// Every socket read and write carries a deadline, so a stalled or dead
+/// server turns into a structured I/O error instead of a hung client —
+/// the mirror image of the server's own per-connection read deadlines.
+/// Inbound lines go through the same bounded [`LineReader`] the server
+/// uses; an event line the server should never produce (over 1 MiB)
+/// is treated as a protocol error, not buffered without bound.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: UnixStream,
+    lr: LineReader,
+    deadline: Duration,
+}
+
+impl ServeClient {
+    /// Connects to the server socket; `deadline` bounds every
+    /// subsequent send and receive.
+    pub fn connect(path: &Path, deadline: Duration) -> std::io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        // Short OS timeout = the poll tick; the real deadline is
+        // enforced wall-clock in `recv`.
+        stream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        stream.set_write_timeout(Some(deadline))?;
+        Ok(Self {
+            stream,
+            lr: LineReader::new(1 << 20, deadline),
+            deadline,
+        })
+    }
+
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        writeln!(self.stream, "{line}")
+    }
+
+    /// Receives the next event within the deadline (`None`: the server
+    /// closed the connection).
+    pub fn recv(&mut self) -> std::io::Result<Option<Json>> {
+        let start = Instant::now();
+        loop {
+            match self.lr.poll(&mut self.stream)? {
+                LineRead::Line(line) => {
+                    return Json::parse(&line)
+                        .map(Some)
+                        .map_err(|e| std::io::Error::other(format!("bad event line: {e}")));
+                }
+                LineRead::Eof => return Ok(None),
+                LineRead::Idle => {
+                    if start.elapsed() > self.deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!("no event within {:?}", self.deadline),
+                        ));
+                    }
+                }
+                LineRead::Stalled | LineRead::TooLong => {
+                    return Err(std::io::Error::other("oversized or stalled event line"));
+                }
+            }
+        }
+    }
+
+    /// Receives events until `pred` matches, returning the matching
+    /// event (heartbeats and other interleaved events are skipped).
+    /// Each individual receive gets the full deadline.
+    pub fn recv_until(&mut self, pred: impl Fn(&Json) -> bool) -> std::io::Result<Json> {
+        loop {
+            match self.recv()? {
+                Some(ev) if pred(&ev) => return Ok(ev),
+                Some(_) => {}
+                None => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "connection closed before the expected event",
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Sends a request and waits for its terminal event: a `result` or
+    /// `error` carrying the given id.
+    pub fn run_job(&mut self, line: &str, id: &str) -> std::io::Result<Json> {
+        self.send(line)?;
+        self.recv_until(|ev| {
+            let kind = ev.get("event").and_then(Json::as_str);
+            (kind == Some("result") || kind == Some("error"))
+                && ev.get("id").and_then(Json::as_str) == Some(id)
+        })
     }
 }
 

@@ -318,6 +318,32 @@ impl Journaled for String {
     }
 }
 
+/// Race-safe directory creation for result trees (`results/campaign/`,
+/// `results/checkpoints/`): concurrent server jobs, campaign workers,
+/// and whole processes may all try to create the same directory on
+/// their first write. `std::fs::create_dir_all` walks components with a
+/// check-then-create step, so a loser of that race can surface
+/// `AlreadyExists` (or a transient `NotFound` on some filesystems when
+/// a sibling renames intermediates). This helper treats "somebody else
+/// created it first" as success and retries the transient case once.
+pub fn ensure_dir(path: &Path) -> std::io::Result<()> {
+    for attempt in 0..2 {
+        match std::fs::create_dir_all(path) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => return Ok(()),
+            Err(e) => {
+                if path.is_dir() {
+                    return Ok(()); // Lost the race to a concurrent creator.
+                }
+                if attempt == 1 {
+                    return Err(e);
+                }
+            }
+        }
+    }
+    unreachable!("loop returns on the second attempt")
+}
+
 /// 64-bit FNV-1a (journal content hashing).
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -432,7 +458,7 @@ impl Journal {
         };
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent).map_err(io)?;
+                ensure_dir(parent).map_err(io)?;
             }
         }
         let mut records = HashMap::new();
@@ -515,7 +541,9 @@ impl Journal {
         self.records.get(fingerprint)
     }
 
-    /// Durably appends one record (fsynced before returning).
+    /// Durably appends one record (fsynced before returning) and makes
+    /// it visible to subsequent [`Journal::lookup`] calls, so a journal
+    /// shared by long-running server workers doubles as a result cache.
     pub fn append(&mut self, rec: &JournalRecord) -> Result<(), CrowError> {
         let io = |e: std::io::Error| CrowError::Journal {
             path: self.path.display().to_string(),
@@ -523,6 +551,7 @@ impl Journal {
         };
         writeln!(self.file, "{}", rec.to_line()).map_err(io)?;
         self.file.sync_data().map_err(io)?;
+        self.records.insert(rec.fingerprint.clone(), rec.clone());
         Ok(())
     }
 }
@@ -937,6 +966,49 @@ mod tests {
         ));
         std::fs::create_dir_all(&d).unwrap();
         d
+    }
+
+    #[test]
+    fn ensure_dir_survives_a_creation_race() {
+        let base = temp_dir("race");
+        let target = base.join("results").join("campaign").join("nested");
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let target = target.clone();
+                    let barrier = Arc::clone(&barrier);
+                    s.spawn(move || {
+                        barrier.wait();
+                        ensure_dir(&target)
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("no panic").expect("every racer succeeds");
+            }
+        });
+        assert!(target.is_dir());
+        // Idempotent on an existing directory.
+        ensure_dir(&target).unwrap();
+        std::fs::remove_dir_all(&base).ok();
+    }
+
+    #[test]
+    fn journal_append_is_visible_to_lookup() {
+        let dir = temp_dir("appendvis");
+        let mut j = Journal::open(&dir.join("j.jsonl"), false).unwrap();
+        assert!(j.lookup("job-x").is_none());
+        j.append(&JournalRecord {
+            fingerprint: "job-x".into(),
+            kind: OutcomeKind::Ok,
+            attempts: 1,
+            error: None,
+            payload: Some(Json::u64(9).render()),
+        })
+        .unwrap();
+        assert_eq!(j.lookup("job-x").unwrap().kind, OutcomeKind::Ok);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

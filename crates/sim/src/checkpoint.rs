@@ -233,7 +233,7 @@ fn save(
     words: &[u64],
 ) -> Result<(), CrowError> {
     let dir = path.parent().unwrap_or_else(|| std::path::Path::new("."));
-    fs::create_dir_all(dir).map_err(|e| ck_err(path, e.to_string()))?;
+    crate::campaign::ensure_dir(dir).map_err(|e| ck_err(path, e.to_string()))?;
     let doc = Json::Obj(vec![
         ("version".into(), Json::u64(VERSION)),
         ("fingerprint".into(), Json::str(format!("{fp:016x}"))),
@@ -245,10 +245,16 @@ fn save(
             Json::Arr(words.iter().map(|&w| Json::u64(w)).collect()),
         ),
     ]);
+    // The temp name is unique per process AND per writer within the
+    // process: concurrent server jobs may publish the same checkpoint
+    // simultaneously, and a shared temp file would let one writer
+    // corrupt the other's bytes before the rename.
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
     let tmp = dir.join(format!(
-        ".{}.tmp{}",
+        ".{}.tmp{}-{}",
         path.file_name().and_then(|n| n.to_str()).unwrap_or("ckpt"),
-        std::process::id()
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed),
     ));
     let write = |p: &std::path::Path| -> std::io::Result<()> {
         let mut f = fs::File::create(p)?;

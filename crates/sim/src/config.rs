@@ -85,6 +85,49 @@ impl Mechanism {
         }
     }
 
+    /// Parses the mechanism spellings the CLI and the batch server
+    /// accept: `baseline`, `crow-N`, `crow-ref`, `crow-combined`,
+    /// `ideal`, `ideal-no-refresh`, `no-refresh`, `tldram-N`, `salp-N`,
+    /// and `salp-N-o` (case-insensitive). `None` for anything else —
+    /// callers turn that into a structured error, never a default.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.to_ascii_lowercase();
+        match s.as_str() {
+            "baseline" => return Some(Mechanism::Baseline),
+            "crow-ref" | "ref" => return Some(Mechanism::crow_ref()),
+            "crow-combined" | "combined" => return Some(Mechanism::crow_combined()),
+            "ideal" => return Some(Mechanism::IdealCache),
+            "ideal-no-refresh" => return Some(Mechanism::IdealCacheNoRefresh),
+            "no-refresh" => return Some(Mechanism::NoRefresh),
+            _ => {}
+        }
+        if let Some(n) = s.strip_prefix("crow-") {
+            if let Ok(n) = n.parse::<u8>() {
+                return Some(Mechanism::crow_cache(n));
+            }
+        }
+        if let Some(n) = s.strip_prefix("tldram-") {
+            if let Ok(n) = n.parse::<u8>() {
+                return Some(Mechanism::TlDram { near_rows: n });
+            }
+        }
+        if let Some(rest) = s.strip_prefix("salp-") {
+            let (n, open_page) = match rest.strip_suffix("-o") {
+                Some(core) => (core, true),
+                None => (rest, false),
+            };
+            if let Ok(subarrays) = n.parse::<u32>() {
+                if subarrays > 0 {
+                    return Some(Mechanism::Salp {
+                        subarrays,
+                        open_page,
+                    });
+                }
+            }
+        }
+        None
+    }
+
     /// Short label for tables.
     pub fn label(&self) -> String {
         match self {
@@ -319,6 +362,38 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_accepts_cli_spellings_and_rejects_garbage() {
+        assert_eq!(Mechanism::parse("baseline"), Some(Mechanism::Baseline));
+        assert_eq!(Mechanism::parse("CROW-8"), Some(Mechanism::crow_cache(8)));
+        assert_eq!(
+            Mechanism::parse("crow-combined").map(|m| m.label()),
+            Some("CROW-8+ref".into())
+        );
+        assert_eq!(
+            Mechanism::parse("salp-64-o"),
+            Some(Mechanism::Salp {
+                subarrays: 64,
+                open_page: true
+            })
+        );
+        assert_eq!(
+            Mechanism::parse("tldram-4"),
+            Some(Mechanism::TlDram { near_rows: 4 })
+        );
+        for bad in [
+            "",
+            "crow",
+            "crow-",
+            "crow-999",
+            "salp-0",
+            "salp-x",
+            "warp-drive",
+        ] {
+            assert!(Mechanism::parse(bad).is_none(), "{bad:?} must be rejected");
+        }
+    }
 
     #[test]
     fn labels() {

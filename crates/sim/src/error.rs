@@ -42,6 +42,14 @@ pub enum CrowError {
         /// What went wrong (I/O error text or format diagnosis).
         reason: String,
     },
+    /// A simulation-service request failed strict validation (malformed
+    /// JSON, unknown or duplicate keys, out-of-range values). The server
+    /// answers with a structured error response; it never panics and
+    /// never substitutes a silent default.
+    Request {
+        /// What the validator rejected.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for CrowError {
@@ -63,6 +71,9 @@ impl std::fmt::Display for CrowError {
             CrowError::Checkpoint { path, reason } => {
                 write!(f, "checkpoint {path}: {reason}")
             }
+            CrowError::Request { reason } => {
+                write!(f, "bad request: {reason}")
+            }
         }
     }
 }
@@ -75,7 +86,8 @@ impl std::error::Error for CrowError {
             CrowError::Trace(e) => Some(e),
             CrowError::Protocol { .. }
             | CrowError::Journal { .. }
-            | CrowError::Checkpoint { .. } => None,
+            | CrowError::Checkpoint { .. }
+            | CrowError::Request { .. } => None,
         }
     }
 }

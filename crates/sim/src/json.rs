@@ -95,6 +95,16 @@ impl Json {
         }
     }
 
+    /// The node's key/value pairs, if it is an object. Duplicate keys
+    /// are preserved in parse order (the server's strict request
+    /// validator rejects them; [`Json::get`] returns the first).
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Compact single-line rendering.
     pub fn render(&self) -> String {
         let mut out = String::new();

@@ -39,6 +39,7 @@ pub mod json;
 pub mod metrics;
 mod parallel;
 pub mod report;
+pub mod server;
 pub mod system;
 
 pub use campaign::{
@@ -52,4 +53,5 @@ pub use fault::{FaultPlan, FaultPolicy, FaultStats};
 pub use json::Json;
 pub use metrics::weighted_speedup;
 pub use report::SimReport;
+pub use server::{LineRead, LineReader, Reply, Request, ServeConfig, Server, SimJob};
 pub use system::System;

@@ -1,0 +1,250 @@
+//! Hostile-input coverage for the simulation-service wire protocol:
+//! every malformed request line must produce a structured error event —
+//! never a panic, never a silent default, never a wedged server — and
+//! the server must keep serving afterwards.
+
+use std::collections::VecDeque;
+use std::io::Read;
+use std::time::Duration;
+
+use crow_sim::server::{parse_request, LineRead, LineReader, Reply, ServeConfig, Server};
+use crow_sim::Json;
+
+/// A request template that passes every syntactic check but names an
+/// application that does not exist, so a mutation that survives parsing
+/// is still rejected by validation instead of launching a simulation.
+const TEMPLATE: &str = "{\"op\":\"sim\",\"id\":\"fuzz\",\"apps\":[\"no-such-app\"],\
+     \"mechanism\":\"crow-8\",\"insts\":50000,\"warmup\":1000,\"seed\":7,\
+     \"density\":16,\"llc_mib\":4,\"channels\":2,\"prefetch\":true}";
+
+/// A tiny deterministic PRNG (xorshift64*), so the fuzz corpus is
+/// reproducible without pulling in a dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn admission_only_server() -> Server {
+    let mut cfg = ServeConfig::new(None);
+    cfg.workers = 0; // validation-path test: nothing must reach a worker
+    cfg.heartbeat = None;
+    Server::new(cfg).expect("server boots")
+}
+
+/// Every corpus line gets exactly one immediate event back (an error,
+/// or an accept if the mutation happened to stay valid), and the server
+/// still answers a ping afterwards.
+fn assert_served(corpus: &[String]) {
+    let server = admission_only_server();
+    let (reply, rx) = Reply::pair();
+    for line in corpus {
+        server.handle_line(line, &reply);
+        let ev = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap_or_else(|_| panic!("no response to {line:?}"));
+        let doc = Json::parse(&ev).expect("every event is valid JSON");
+        let kind = doc.get("event").and_then(Json::as_str).expect("event kind");
+        assert!(
+            kind == "error" || kind == "accepted",
+            "{line:?} produced unexpected event {kind:?}"
+        );
+        if kind == "error" {
+            assert!(
+                doc.get("code").and_then(Json::as_str).is_some(),
+                "error events carry a code: {ev}"
+            );
+            assert!(
+                doc.get("error").and_then(Json::as_str).is_some(),
+                "error events carry a message: {ev}"
+            );
+        }
+    }
+    server.handle_line("{\"op\":\"ping\"}", &reply);
+    let pong = rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("still alive");
+    assert_eq!(
+        Json::parse(&pong).unwrap().get("event").unwrap().as_str(),
+        Some("pong"),
+        "server keeps serving after hostile input"
+    );
+    server.drain();
+}
+
+#[test]
+fn truncations_every_prefix_is_answered() {
+    let corpus: Vec<String> = (0..TEMPLATE.len())
+        .map(|n| TEMPLATE[..n].to_string())
+        .collect();
+    assert_served(&corpus);
+    // Pure parse check as well: no prefix but the (invalid-app) full
+    // line parses into a request.
+    for line in &corpus {
+        if !line.is_empty() {
+            assert!(parse_request(line).is_err(), "{line:?} must not parse");
+        }
+    }
+}
+
+#[test]
+fn byte_mutations_are_answered() {
+    let mut rng = Rng(0x5eed_cafe_f00d_0001);
+    let bytes = TEMPLATE.as_bytes();
+    let replacements: &[u8] = b"\x00\x01{}[]\",:x9\\\x7f\xff";
+    let mut corpus = Vec::new();
+    for _ in 0..600 {
+        let mut m = bytes.to_vec();
+        for _ in 0..=rng.below(3) {
+            let pos = rng.below(m.len());
+            match rng.below(3) {
+                0 => m[pos] = replacements[rng.below(replacements.len())],
+                1 => {
+                    m.remove(pos);
+                }
+                _ => m.insert(pos, replacements[rng.below(replacements.len())]),
+            }
+        }
+        corpus.push(String::from_utf8_lossy(&m).into_owned());
+    }
+    assert_served(&corpus);
+}
+
+#[test]
+fn structured_hostility_is_answered() {
+    let huge_number = format!(
+        "{{\"op\":\"sim\",\"id\":\"h\",\"apps\":[\"no-such-app\"],\"insts\":{}}}",
+        "9".repeat(400)
+    );
+    let deep_nest = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+    let many_keys = {
+        let mut s = String::from("{\"op\":\"sim\",\"id\":\"k\"");
+        for i in 0..200 {
+            s.push_str(&format!(",\"k{i}\":{i}"));
+        }
+        s.push('}');
+        s
+    };
+    let corpus = vec![
+        // Duplicate keys, in every position.
+        "{\"op\":\"ping\",\"op\":\"ping\"}".into(),
+        "{\"op\":\"sim\",\"id\":\"a\",\"id\":\"b\",\"apps\":[\"no-such-app\"]}".into(),
+        "{\"op\":\"sim\",\"id\":\"a\",\"apps\":[],\"apps\":[\"mcf\"]}".into(),
+        // Unknown keys.
+        "{\"op\":\"sim\",\"id\":\"a\",\"apps\":[\"no-such-app\"],\"frequency\":9}".into(),
+        "{\"op\":\"shutdown-now\"}".into(),
+        // Huge and degenerate numbers.
+        huge_number,
+        "{\"op\":\"sim\",\"id\":\"h\",\"apps\":[\"no-such-app\"],\"insts\":1e308}".into(),
+        "{\"op\":\"sim\",\"id\":\"h\",\"apps\":[\"no-such-app\"],\"seed\":-1}".into(),
+        "{\"op\":\"sim\",\"id\":\"h\",\"apps\":[\"no-such-app\"],\"channels\":4294967296}".into(),
+        // Wrong shapes.
+        "null".into(),
+        "true".into(),
+        "42".into(),
+        "\"a string\"".into(),
+        "[{\"op\":\"ping\"}]".into(),
+        deep_nest,
+        many_keys,
+        // Interleaved garbage.
+        "\x00\x01\x02\x03".into(),
+        "}{".into(),
+        "{\"op\":\"ping\"}{\"op\":\"ping\"}".into(),
+        "\u{FEFF}{\"op\":\"ping\"}".into(),
+    ];
+    assert_served(&corpus);
+}
+
+/// Chunked scripted reader for exercising `LineReader` against torn and
+/// interleaved delivery.
+struct Script(VecDeque<Vec<u8>>);
+
+impl Read for Script {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.0.pop_front() {
+            None => Ok(0),
+            Some(bytes) => {
+                buf[..bytes.len()].copy_from_slice(&bytes);
+                Ok(bytes.len())
+            }
+        }
+    }
+}
+
+#[test]
+fn torn_delivery_reassembles_into_the_same_corpus() {
+    // A pipeline of requests torn at random byte boundaries must come
+    // out of the LineReader exactly as it went in.
+    let lines = [
+        "{\"op\":\"ping\"}",
+        "garbage",
+        TEMPLATE,
+        "{\"op\":\"stats\"}",
+    ];
+    let wire: Vec<u8> = lines
+        .iter()
+        .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+        .collect();
+    let mut rng = Rng(0xfeed_beef_0000_0002);
+    for _ in 0..50 {
+        let mut chunks = VecDeque::new();
+        let mut at = 0;
+        while at < wire.len() {
+            let take = 1 + rng.below(7.min(wire.len() - at));
+            chunks.push_back(wire[at..at + take].to_vec());
+            at += take;
+        }
+        let mut r = Script(chunks);
+        let mut lr = LineReader::new(4096, Duration::from_secs(5));
+        let mut got = Vec::new();
+        loop {
+            match lr.poll(&mut r).expect("scripted reads never fail") {
+                LineRead::Line(l) => got.push(l),
+                LineRead::Eof => break,
+                LineRead::Idle => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(got, lines, "reassembly must be exact");
+    }
+}
+
+#[test]
+fn oversized_lines_reject_without_buffering() {
+    // A 10 MiB line against a 4 KiB cap: the reader must report
+    // TooLong without ever holding more than ~cap+chunk bytes, and the
+    // next request on the same connection must still work.
+    let mut wire = vec![b'x'; 10 << 20];
+    wire.push(b'\n');
+    wire.extend_from_slice(b"{\"op\":\"ping\"}\n");
+    let chunks: VecDeque<Vec<u8>> = wire.chunks(4096).map(<[u8]>::to_vec).collect();
+    let mut r = Script(chunks);
+    let mut lr = LineReader::new(4096, Duration::from_secs(5));
+    let mut events = Vec::new();
+    loop {
+        match lr.poll(&mut r).expect("scripted reads never fail") {
+            LineRead::Eof => break,
+            LineRead::Idle => {}
+            ev => events.push(ev),
+        }
+    }
+    assert_eq!(
+        events,
+        vec![
+            LineRead::TooLong,
+            LineRead::Line("{\"op\":\"ping\"}".into())
+        ],
+        "one rejection, then the connection keeps working"
+    );
+}

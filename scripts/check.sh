@@ -62,4 +62,15 @@ echo "== warm checkpoint gate (second pass restores every warmup) =="
 cargo build --release -p crow-bench --bin checkpoint_gate
 target/release/checkpoint_gate
 
+echo "== serve gate (chaos-soak the simulation service) =="
+# Boots the real crow-serve binary on a Unix socket and drives it with
+# concurrent clients: distinct jobs, duplicate jobs (must collapse onto
+# one simulation), malformed and oversized requests (structured errors,
+# connection survives), repeat requests (zero re-simulated cycles),
+# SIGTERM (graceful drain, every worker joined, nothing abandoned) and
+# SIGKILL mid-job (restart over the same journal answers finished jobs
+# byte-identically with zero re-runs; only the killed job re-simulates).
+cargo build --release -p crow-bench --bin crow-serve --bin serve_gate
+target/release/serve_gate
+
 echo "All checks passed."
