@@ -75,6 +75,10 @@ fn main() {
             Box::new(move || crow_bench::refresh_figs::fig14(scale)),
         ),
         (
+            "hammer",
+            Box::new(move || crow_bench::hammer_figs::hammer(scale)),
+        ),
+        (
             "ablation_partial_restore",
             Box::new(move || crow_bench::ablations::partial_restore(scale)),
         ),

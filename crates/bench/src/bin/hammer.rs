@@ -1,0 +1,9 @@
+//! Regenerates the RowHammer attack-scenario figure (flips and
+//! slowdown vs intensity per mitigation and aggressor pattern).
+use crow_bench::util::scale_from_env_or_exit;
+fn main() {
+    print!(
+        "{}",
+        crow_bench::hammer_figs::hammer(scale_from_env_or_exit())
+    );
+}

@@ -16,8 +16,8 @@ use crow_cpu::trace::{load_trace, LoopedTrace, TraceEntry};
 use crow_cpu::TraceSource;
 use crow_dram::Command;
 use crow_sim::{
-    Campaign, CampaignPolicy, FaultPlan, FaultPolicy, Mechanism, OutcomeKind, Scale, SimReport,
-    System, SystemConfig,
+    AttackPattern, Campaign, CampaignPolicy, FaultPlan, FaultPolicy, HammerScenario, Mechanism,
+    OutcomeKind, Scale, SimReport, System, SystemConfig,
 };
 use crow_workloads::AppProfile;
 
@@ -38,6 +38,8 @@ struct Args {
     validate: bool,
     faults: Option<String>,
     fault_policy: FaultPolicy,
+    hammer: Option<String>,
+    hammer_intensity: u64,
     timeout: Option<f64>,
     retries: Option<u32>,
     resume: bool,
@@ -50,6 +52,7 @@ fn usage() -> ! {
          \x20        [--llc-mib N] [--channels N] [--seed N]\n\
          \x20        [--prefetch] [--per-bank-refresh] [--oracle] [--ddr4]\n\
          \x20        [--validate] [--faults SPEC] [--fault-policy P]\n\
+         \x20        [--hammer PATTERN] [--hammer-intensity N]\n\
          \x20        [--timeout SECS] [--retries N] [--resume]\n\
          \n\
          mechanisms: baseline, crow-N (copy rows), crow-ref, crow-combined,\n\
@@ -61,6 +64,11 @@ fn usage() -> ! {
          --faults SPEC enables fault injection: `stress` or a comma list of\n\
          \x20    vrt=N, hammer=N, burst=N, drop=N (intervals in CPU cycles)\n\
          --fault-policy P is abort, record (default) or degrade\n\
+         --hammer PATTERN attaches a RowHammer attack scenario (single,\n\
+         \x20    double, many-N, half-double); --hammer-intensity sets the\n\
+         \x20    aggressor ACTs per refresh window (default 500000), and\n\
+         \x20    CROW_HAMMER_* env overrides refine the scenario (strict\n\
+         \x20    parse; see EXPERIMENTS.md)\n\
          \n\
          --timeout/--retries/--resume run the simulation as a supervised\n\
          \x20    campaign job (journaled under results/campaign/simulate.jsonl):\n\
@@ -136,6 +144,8 @@ fn parse_args() -> Args {
         validate: false,
         faults: None,
         fault_policy: FaultPolicy::Record,
+        hammer: None,
+        hammer_intensity: 500_000,
         timeout: None,
         retries: None,
         resume: false,
@@ -165,6 +175,12 @@ fn parse_args() -> Args {
             "--validate" => a.validate = true,
             "--faults" => a.faults = Some(val("--faults")),
             "--fault-policy" => a.fault_policy = parse_fault_policy(&val("--fault-policy")),
+            "--hammer" => a.hammer = Some(val("--hammer")),
+            "--hammer-intensity" => {
+                a.hammer_intensity = val("--hammer-intensity")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+            }
             "--timeout" => a.timeout = Some(val("--timeout").parse().unwrap_or_else(|_| usage())),
             "--retries" => a.retries = Some(val("--retries").parse().unwrap_or_else(|_| usage())),
             "--resume" => a.resume = true,
@@ -222,8 +238,21 @@ where
     }
     // Everything that changes the simulated outcome must be in the job
     // fingerprint (the instruction budget rides the scale fingerprint).
+    // The hammer segment records the *resolved* scenario, so
+    // CROW_HAMMER_* env overrides key distinct journal entries.
+    let hammer_fp = match &cfg.hammer {
+        Some(sc) => format!(
+            "/hammer:{}x{}s{}t{}p{}",
+            sc.pattern.label(),
+            sc.intensity,
+            sc.seed,
+            sc.flip.base_threshold,
+            sc.flip.flip_p_inv
+        ),
+        None => String::new(),
+    };
     let job_fp = format!(
-        "sim/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}{}/{}/{:?}",
+        "sim/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}{}{}/{}/{:?}",
         args.mechanism,
         if args.traces.is_empty() {
             args.apps.join("+")
@@ -239,6 +268,7 @@ where
         if args.oracle { "/oracle" } else { "" },
         if args.ddr4 { "/ddr4" } else { "" },
         if args.validate { "/validate" } else { "" },
+        hammer_fp,
         args.faults.as_deref().unwrap_or("-"),
         args.fault_policy,
     );
@@ -338,6 +368,27 @@ fn main() {
     if let Some(spec) = &args.faults {
         cfg.fault_plan = Some(parse_fault_plan(spec, args.seed, args.fault_policy));
     }
+    if args.hammer.is_none() && args.hammer_intensity != 500_000 {
+        eprintln!("--hammer-intensity needs --hammer");
+        usage();
+    }
+    if let Some(spec) = &args.hammer {
+        let pattern = AttackPattern::parse(spec).unwrap_or_else(|| {
+            eprintln!("unknown attack pattern {spec}");
+            usage();
+        });
+        if args.hammer_intensity == 0 {
+            eprintln!("--hammer-intensity must be positive");
+            usage();
+        }
+        let mut sc = HammerScenario::new(pattern, args.hammer_intensity);
+        if let Err(e) = sc.apply_env() {
+            eprintln!("simulate: {e}");
+            std::process::exit(2);
+        }
+        cfg = cfg.with_hammer(sc);
+    }
+    let hammering = cfg.hammer;
     let validating = cfg.validate_protocol;
     let injecting = cfg.fault_plan.is_some();
 
@@ -438,6 +489,21 @@ fn main() {
         println!(
             "trace faults: {} core(s) parked on a dry trace",
             r.trace_faults
+        );
+    }
+    if let Some(sc) = &hammering {
+        let h = &r.hammer;
+        println!(
+            "hammer ({} @ {} ACTs/tREFW): injected {} | live flips {} ({} rows) | \
+             absorbed {} | detections {} | mitigation refreshes {}",
+            sc.pattern.label(),
+            sc.intensity,
+            h.injected,
+            h.flips,
+            h.flipped_rows,
+            h.absorbed,
+            h.detections,
+            h.mitigation_refreshes,
         );
     }
 

@@ -24,6 +24,7 @@
 pub mod ablations;
 pub mod circuit_figs;
 pub mod compare_figs;
+pub mod hammer_figs;
 pub mod perf_figs;
 pub mod refresh_figs;
 pub mod util;

@@ -159,6 +159,7 @@ mod tests {
             trace_faults: 0,
             faults: Default::default(),
             sched: Default::default(),
+            hammer: Default::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

@@ -105,6 +105,7 @@ pub fn failed_report() -> SimReport {
         trace_faults: 0,
         faults: Default::default(),
         sched: Default::default(),
+        hammer: Default::default(),
         wall_seconds: 0.0,
         sim_cycles_per_sec: 0.0,
     }

@@ -6,8 +6,6 @@
 //! `ACT-c`. This module implements the detector; the remapping itself is
 //! arbitrated by [`crate::CrowSubstrate`].
 
-use std::collections::HashMap;
-
 /// Detector parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HammerConfig {
@@ -31,28 +29,87 @@ impl HammerConfig {
     }
 }
 
+/// One tracked row: its activation count and the cycle the current
+/// counting window opened.
+#[derive(Debug, Clone, Copy)]
+struct CounterEntry {
+    bank: u32,
+    row: u32,
+    count: u32,
+    window_start: u64,
+}
+
+/// Default number of counter entries tracked per detector instance.
+///
+/// A hardware counter table is necessarily bounded; 1024 entries per
+/// channel comfortably covers every realistic aggressor working set (an
+/// attacker hammering more rows than this spreads activations too thin
+/// to reach the threshold inside one window).
+pub const DEFAULT_GUARD_CAPACITY: usize = 1024;
+
 /// Per-row activation counters with windowed reset.
+///
+/// # Determinism and storage
+///
+/// Counters live in a *bounded, sorted* table keyed by `(bank, row)`
+/// (binary-searched `Vec`, no hashing), so the set of tracked rows, the
+/// eviction decisions, and therefore every detection — and every report
+/// derived from one — are identical across runs, platforms, and `std`
+/// `HashMap` seed changes.
+///
+/// # Eviction policy
+///
+/// When a new row arrives and the table is full, the entry with the
+/// *smallest activation count* is evicted (it is the furthest from
+/// triggering, so dropping it loses the least detection fidelity); ties
+/// are broken by the smallest `(bank, row)` key so the choice is total.
+/// The new row then starts counting from zero. An eviction can delay a
+/// detection (the victim row restarts its count if it returns) but never
+/// produces a spurious one.
 #[derive(Debug, Clone)]
 pub struct RowHammerGuard {
     cfg: HammerConfig,
-    counters: HashMap<(u32, u32), (u32, u64)>,
+    /// Sorted by `(bank, row)`; at most `capacity` entries.
+    entries: Vec<CounterEntry>,
+    capacity: usize,
     detections: u64,
+    evictions: u64,
 }
 
 impl RowHammerGuard {
-    /// Creates a detector.
+    /// Creates a detector with the default table capacity
+    /// ([`DEFAULT_GUARD_CAPACITY`]).
     pub fn new(cfg: HammerConfig) -> Self {
+        Self::with_capacity(cfg, DEFAULT_GUARD_CAPACITY)
+    }
+
+    /// Creates a detector tracking at most `capacity` rows (see the
+    /// type-level eviction-policy notes).
+    pub fn with_capacity(cfg: HammerConfig, capacity: usize) -> Self {
         assert!(cfg.threshold > 0, "threshold must be nonzero");
+        assert!(capacity > 0, "capacity must be nonzero");
         Self {
             cfg,
-            counters: HashMap::new(),
+            entries: Vec::new(),
+            capacity,
             detections: 0,
+            evictions: 0,
         }
     }
 
     /// Number of times a row crossed the threshold.
     pub fn detections(&self) -> u64 {
         self.detections
+    }
+
+    /// Number of counter entries evicted because the table was full.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Number of rows currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.entries.len()
     }
 
     /// Records an activation of `row` in `bank` at cycle `now`.
@@ -70,12 +127,38 @@ impl RowHammerGuard {
         rows_per_subarray: u32,
         now: u64,
     ) -> Vec<u32> {
-        let entry = self.counters.entry((bank, row)).or_insert((0, now));
-        if now.saturating_sub(entry.1) > self.cfg.window_cycles {
-            *entry = (0, now);
+        let idx = match self
+            .entries
+            .binary_search_by_key(&(bank, row), |e| (e.bank, e.row))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                if self.entries.len() == self.capacity {
+                    self.evict_coldest();
+                    // The sorted position may have shifted by one if the
+                    // evicted entry preceded the insertion point.
+                    let i = match self
+                        .entries
+                        .binary_search_by_key(&(bank, row), |e| (e.bank, e.row))
+                    {
+                        Ok(_) => unreachable!("evicted key cannot equal new key"),
+                        Err(i) => i,
+                    };
+                    self.insert_at(i, bank, row, now);
+                    i
+                } else {
+                    self.insert_at(i, bank, row, now);
+                    i
+                }
+            }
+        };
+        let entry = &mut self.entries[idx];
+        if now.saturating_sub(entry.window_start) > self.cfg.window_cycles {
+            entry.count = 0;
+            entry.window_start = now;
         }
-        entry.0 += 1;
-        if entry.0 == self.cfg.threshold {
+        entry.count += 1;
+        if entry.count == self.cfg.threshold {
             self.detections += 1;
             let sa = row / rows_per_subarray;
             let lo = sa * rows_per_subarray;
@@ -93,9 +176,35 @@ impl RowHammerGuard {
         }
     }
 
+    fn insert_at(&mut self, idx: usize, bank: u32, row: u32, now: u64) {
+        self.entries.insert(
+            idx,
+            CounterEntry {
+                bank,
+                row,
+                count: 0,
+                window_start: now,
+            },
+        );
+    }
+
+    /// Removes the entry with the smallest count; ties broken by the
+    /// smallest `(bank, row)` key. The scan is in key order, so the
+    /// strict `<` keeps the first (smallest-key) minimum.
+    fn evict_coldest(&mut self) {
+        let mut coldest = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.count < self.entries[coldest].count {
+                coldest = i;
+            }
+        }
+        self.entries.remove(coldest);
+        self.evictions += 1;
+    }
+
     /// Clears all counters (called on refresh, which resets disturbance).
     pub fn reset(&mut self) {
-        self.counters.clear();
+        self.entries.clear();
     }
 }
 
@@ -123,6 +232,18 @@ mod tests {
     }
 
     #[test]
+    fn threshold_minus_one_never_triggers() {
+        let mut g = guard(4);
+        for t in 0..3 {
+            assert!(g.on_activate(0, 50, 512, t).is_empty());
+        }
+        assert_eq!(g.detections(), 0);
+        // The fourth activation is exactly the threshold.
+        assert_eq!(g.on_activate(0, 50, 512, 3), vec![49, 51]);
+        assert_eq!(g.detections(), 1);
+    }
+
+    #[test]
     fn subarray_edges_clamp_victims() {
         let mut g = guard(1);
         // Row 0 is at the bottom edge of subarray 0.
@@ -143,11 +264,29 @@ mod tests {
     }
 
     #[test]
+    fn window_boundary_is_inclusive() {
+        // Reset requires `now - start` STRICTLY greater than the window:
+        // an activation exactly `window_cycles` after the window opened
+        // still counts toward the same window.
+        let mut g = guard(2);
+        assert!(g.on_activate(0, 9, 512, 0).is_empty());
+        // Exactly at the boundary: same window, count reaches 2 -> fires.
+        assert_eq!(g.on_activate(0, 9, 512, 1000), vec![8, 10]);
+
+        let mut g = guard(2);
+        assert!(g.on_activate(0, 9, 512, 0).is_empty());
+        // One past the boundary: window reset, count restarts at 1.
+        assert!(g.on_activate(0, 9, 512, 1001).is_empty());
+        assert_eq!(g.detections(), 0);
+    }
+
+    #[test]
     fn reset_clears_counters() {
         let mut g = guard(2);
         assert!(g.on_activate(0, 7, 512, 0).is_empty());
         g.reset();
         assert!(g.on_activate(0, 7, 512, 1).is_empty());
+        assert_eq!(g.tracked(), 1);
     }
 
     #[test]
@@ -156,5 +295,80 @@ mod tests {
         assert!(g.on_activate(0, 7, 512, 0).is_empty());
         assert!(g.on_activate(1, 7, 512, 0).is_empty());
         assert!(!g.on_activate(0, 7, 512, 1).is_empty());
+    }
+
+    #[test]
+    fn same_row_in_different_banks_does_not_alias() {
+        // A bounded or hashed table could alias (bank 0, row 7) with
+        // (bank 1, row 7); the sorted keys must keep them distinct even
+        // under eviction pressure.
+        let mut g = RowHammerGuard::with_capacity(
+            HammerConfig {
+                threshold: 3,
+                window_cycles: 1000,
+            },
+            4,
+        );
+        for t in 0..2 {
+            assert!(g.on_activate(0, 7, 512, t).is_empty());
+            assert!(g.on_activate(1, 7, 512, t).is_empty());
+        }
+        // Fill the remaining slots and force evictions of cold rows.
+        assert!(g.on_activate(0, 100, 512, 2).is_empty());
+        assert!(g.on_activate(0, 101, 512, 2).is_empty());
+        assert!(g.on_activate(0, 102, 512, 2).is_empty());
+        assert!(g.evictions() > 0);
+        // The two hot entries survive independently and fire separately.
+        assert_eq!(g.on_activate(0, 7, 512, 3), vec![6, 8]);
+        assert_eq!(g.on_activate(1, 7, 512, 3), vec![6, 8]);
+        assert_eq!(g.detections(), 2);
+    }
+
+    #[test]
+    fn eviction_removes_coldest_entry_deterministically() {
+        let mut g = RowHammerGuard::with_capacity(
+            HammerConfig {
+                threshold: 100,
+                window_cycles: 1000,
+            },
+            2,
+        );
+        // Row 10 is hot (3 activations), row 20 cold (1).
+        for t in 0..3 {
+            g.on_activate(0, 10, 512, t);
+        }
+        g.on_activate(0, 20, 512, 0);
+        // Inserting row 30 must evict row 20 (smallest count).
+        g.on_activate(0, 30, 512, 4);
+        assert_eq!(g.evictions(), 1);
+        assert_eq!(g.tracked(), 2);
+        // Row 10 kept its count: 97 more activations reach the threshold.
+        let mut fired = Vec::new();
+        for t in 0..97 {
+            fired = g.on_activate(0, 10, 512, 5 + t);
+        }
+        assert_eq!(fired, vec![9, 11]);
+    }
+
+    #[test]
+    fn eviction_tie_breaks_on_smallest_key() {
+        let mut g = RowHammerGuard::with_capacity(
+            HammerConfig {
+                threshold: 100,
+                window_cycles: 1000,
+            },
+            2,
+        );
+        // Two entries with equal counts; (0, 5) < (0, 9).
+        g.on_activate(0, 9, 512, 0);
+        g.on_activate(0, 5, 512, 0);
+        g.on_activate(0, 40, 512, 1);
+        assert_eq!(g.evictions(), 1);
+        // (0, 5) was evicted; (0, 9) kept its count of 1 and needs only
+        // 99 more activations to fire.
+        for t in 0..99 {
+            g.on_activate(0, 9, 512, 2 + t);
+        }
+        assert_eq!(g.detections(), 1);
     }
 }

@@ -54,9 +54,9 @@ pub mod substrate;
 pub mod table;
 pub mod weakrows;
 
-pub use hammer::{HammerConfig, RowHammerGuard};
+pub use hammer::{HammerConfig, RowHammerGuard, DEFAULT_GUARD_CAPACITY};
 pub use overhead::{crow_table_storage, CrowTableStorage};
 pub use retention::{RetentionProfile, WeakRows};
 pub use stats::CrowStats;
-pub use substrate::{ActDecision, CrowConfig, CrowSubstrate};
+pub use substrate::{ActDecision, CrowConfig, CrowSubstrate, REFS_PER_WINDOW};
 pub use table::{CrowTable, Entry, Owner};

@@ -117,7 +117,16 @@ pub struct CrowSubstrate {
     /// refresh interval in force; `Some(false)` = profile exceeded copy
     /// rows somewhere, chip fell back to the default interval (§4.2.1).
     ref_extended: Option<bool>,
+    /// Refresh commands observed since the detector was last reset; the
+    /// guard fully resets once per refresh *window* (every
+    /// [`REFS_PER_WINDOW`] REFs), since one REF re-establishes the
+    /// charge of only `1/REFS_PER_WINDOW` of the rows.
+    refs_seen: u32,
 }
+
+/// JEDEC refresh commands per refresh window (`tREFW / tREFI` = 8192):
+/// a given row's cells are re-established once per window, not per REF.
+pub const REFS_PER_WINDOW: u32 = 8192;
 
 impl CrowSubstrate {
     /// Creates the substrate with an empty CROW-table.
@@ -134,6 +143,7 @@ impl CrowSubstrate {
             stats: CrowStats::new(),
             hammer: cfg.hammer.map(RowHammerGuard::new),
             ref_extended: None,
+            refs_seen: 0,
         }
     }
 
@@ -346,6 +356,11 @@ impl CrowSubstrate {
             .collect()
     }
 
+    /// Detector alarms so far (0 without a RowHammer detector).
+    pub fn hammer_detections(&self) -> u64 {
+        self.hammer.as_ref().map_or(0, RowHammerGuard::detections)
+    }
+
     /// Reverses a [`CrowSubstrate::commit_hammer_remap`] whose `ACT-c`
     /// could not issue (the controller retries later).
     pub fn undo_hammer_remap(&mut self, bank: u32, subarray: u32, way: u8) {
@@ -366,11 +381,21 @@ impl CrowSubstrate {
         self.ref_extended = Some(false);
     }
 
-    /// Notifies the substrate of a refresh (resets RowHammer disturbance
-    /// counters, since refreshing re-establishes victim cell charge).
+    /// Notifies the substrate of an all-bank refresh command.
+    ///
+    /// One `REF` re-establishes the charge of only `1/8192` of the rows,
+    /// so the detector's counters are fully reset only once per refresh
+    /// window ([`REFS_PER_WINDOW`] REFs); in between, the guard's own
+    /// `window_cycles` expiry models per-row staleness. Resetting on
+    /// every REF would blind the detector to any demand-driven attack
+    /// (no realistic threshold is reachable inside one `tREFI`).
     pub fn on_refresh(&mut self) {
-        if let Some(g) = self.hammer.as_mut() {
-            g.reset();
+        self.refs_seen += 1;
+        if self.refs_seen >= REFS_PER_WINDOW {
+            self.refs_seen = 0;
+            if let Some(g) = self.hammer.as_mut() {
+                g.reset();
+            }
         }
     }
 

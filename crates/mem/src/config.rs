@@ -30,6 +30,37 @@ pub enum SchedImpl {
     Linear,
 }
 
+/// In-controller RowHammer mitigation baselines (evaluated against the
+/// CROW §4.3 remapping mechanism by the `hammer` figure family).
+///
+/// Both baselines issue *neighbor refreshes*: fully-restoring activations
+/// of the rows physically adjacent to a suspected aggressor, scheduled as
+/// maintenance work between demand requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mitigation {
+    /// No in-controller mitigation.
+    None,
+    /// PARA (Kim et al., ISCA 2014): on every demand activation, with
+    /// probability `1/hazard`, refresh one of the two adjacent rows
+    /// (chosen uniformly). Stateless; protection is probabilistic.
+    Para {
+        /// Inverse per-activation refresh probability (e.g. 500 ⇒ p=0.002).
+        hazard: u32,
+    },
+    /// A TRR-like sampler: a small per-bank counter table tracks the most
+    /// frequently activated rows (evict-min when full, mirroring
+    /// `crow_core::RowHammerGuard`); at each refresh command, rows whose
+    /// count reached `threshold` get both neighbors refreshed and the
+    /// bank's table is cleared.
+    Trr {
+        /// Counter-table entries per bank.
+        entries: u32,
+        /// Activation count at which a tracked row is treated as an
+        /// aggressor on the next refresh.
+        threshold: u32,
+    },
+}
+
 /// Row-buffer management policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowPolicy {
@@ -75,6 +106,8 @@ pub struct McConfig {
     /// drain (0 = refresh strictly on schedule). The standards allow up
     /// to 8.
     pub max_postponed_refreshes: u32,
+    /// In-controller RowHammer mitigation baseline (PARA / TRR-like).
+    pub mitigation: Mitigation,
 }
 
 impl McConfig {
@@ -92,7 +125,14 @@ impl McConfig {
             refresh: true,
             per_bank_refresh: false,
             max_postponed_refreshes: 0,
+            mitigation: Mitigation::None,
         }
+    }
+
+    /// Returns a copy with a RowHammer mitigation baseline enabled.
+    pub fn with_mitigation(mut self, mitigation: Mitigation) -> Self {
+        self.mitigation = mitigation;
+        self
     }
 
     /// Returns a copy using the open-page policy (SALP-`N`-O in §8.1.4).
@@ -137,6 +177,19 @@ impl McConfig {
         if self.max_postponed_refreshes > 8 {
             return Err("JEDEC allows postponing at most 8 refreshes".into());
         }
+        match self.mitigation {
+            Mitigation::None => {}
+            Mitigation::Para { hazard } => {
+                if hazard == 0 {
+                    return Err("PARA hazard (inverse probability) must be nonzero".into());
+                }
+            }
+            Mitigation::Trr { entries, threshold } => {
+                if entries == 0 || threshold == 0 {
+                    return Err("TRR entries and threshold must be nonzero".into());
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -167,6 +220,19 @@ mod tests {
         let mut c = McConfig::paper_default();
         c.wr_high = c.write_q + 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mitigation_parameters_validated() {
+        let c = McConfig::paper_default().with_mitigation(Mitigation::Para { hazard: 0 });
+        assert!(c.validate().is_err());
+        let c = McConfig::paper_default().with_mitigation(Mitigation::Trr {
+            entries: 0,
+            threshold: 4,
+        });
+        assert!(c.validate().is_err());
+        let c = McConfig::paper_default().with_mitigation(Mitigation::Para { hazard: 500 });
+        c.validate().unwrap();
     }
 
     #[test]

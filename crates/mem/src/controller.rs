@@ -11,7 +11,7 @@ use crow_dram::{
 };
 use crow_energy::{EnergyCounter, EnergyModel, EnergySpec};
 
-use crate::config::{McConfig, RowPolicy, SchedImpl, SchedKind};
+use crate::config::{McConfig, Mitigation, RowPolicy, SchedImpl, SchedKind};
 use crate::error::McError;
 use crate::request::{Completion, MemRequest, ReqKind};
 use crate::sched::{Cursor, QueueIndex, SchedStats, Wake, MISS_STREAM};
@@ -30,6 +30,39 @@ pub enum CacheMode {
         near: ActTimingMod,
         /// Far-segment activation timings.
         far: ActTimingMod,
+    },
+}
+
+/// A physical DRAM event observed at the controller's single command
+/// chokepoint, for consumers that model cell-level disturbance (the
+/// simulator's RowHammer flip model). Only recorded when the event log
+/// is enabled ([`MemController::enable_event_log`]); zero cost otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DramEvent {
+    /// A regular row was opened (plain `ACT`, the regular half of an
+    /// `ACT-t` pair, or the source row of an `ACT-c` copy). The
+    /// activation disturbs physical neighbours and re-establishes the
+    /// row's own charge.
+    Act {
+        /// Target rank.
+        rank: u32,
+        /// Target bank.
+        bank: u32,
+        /// The regular row opened.
+        row: u32,
+    },
+    /// All-bank refresh command (`REF`) on a rank: one more slice of
+    /// every bank's rows had its charge re-established.
+    RefAll {
+        /// Refreshed rank.
+        rank: u32,
+    },
+    /// Per-bank refresh command (`REFpb`).
+    RefBank {
+        /// Refreshed rank.
+        rank: u32,
+        /// Refreshed bank.
+        bank: u32,
     },
 }
 
@@ -126,6 +159,16 @@ pub struct MemController {
     scratch_bounds: Vec<(u32, Cycle)>,
     /// Recycled hit-sublist storage for bucket rebuilds.
     stream_pool: Vec<Vec<(Cycle, u32)>>,
+    /// Pending PARA/TRR neighbor refreshes: (rank, bank, row), served as
+    /// fully-restoring maintenance activations between demand requests.
+    neighbor_ops: VecDeque<(u32, u32, u32)>,
+    /// Per-(rank,bank) TRR sampler tables: (row, count), evict-min.
+    trr_tables: Vec<Vec<(u32, u32)>>,
+    /// SplitMix64 state for the PARA coin; seedable for determinism
+    /// across channels ([`MemController::set_mitigation_seed`]).
+    mitigation_rng: u64,
+    /// Physical event log for the disturbance model (None = disabled).
+    event_log: Option<Vec<DramEvent>>,
 }
 
 impl MemController {
@@ -199,7 +242,42 @@ impl MemController {
             scratch_cursors: Vec::new(),
             scratch_bounds: Vec::new(),
             stream_pool: Vec::new(),
+            neighbor_ops: VecDeque::new(),
+            trr_tables: vec![Vec::new(); slots],
+            mitigation_rng: 0x2545_F491_4F6C_DD1D,
+            event_log: None,
         })
+    }
+
+    /// Reseeds the PARA mitigation coin (call before simulation starts;
+    /// give each channel a distinct seed for independent streams).
+    pub fn set_mitigation_seed(&mut self, seed: u64) {
+        // SplitMix64 state must be nonzero-ish only for xorshift; the
+        // golden-ratio increment makes any seed (incl. 0) fine.
+        self.mitigation_rng = seed;
+    }
+
+    /// Enables recording of physical [`DramEvent`]s at the command
+    /// chokepoint (used by the simulator's RowHammer flip model).
+    pub fn enable_event_log(&mut self) {
+        self.event_log = Some(Vec::new());
+    }
+
+    /// Drains recorded physical events into `out` (order preserved).
+    /// No-op when the log is disabled.
+    pub fn drain_events(&mut self, out: &mut Vec<DramEvent>) {
+        if let Some(log) = self.event_log.as_mut() {
+            out.append(log);
+        }
+    }
+
+    /// Next PARA coin: SplitMix64 step.
+    fn next_mitigation_rand(&mut self) -> u64 {
+        self.mitigation_rng = self.mitigation_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.mitigation_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Switches hit/miss translation (TL-DRAM baseline support).
@@ -257,6 +335,7 @@ impl MemController {
             || !self.write_q.is_empty()
             || !self.copy_ops.is_empty()
             || !self.forced_restore.is_empty()
+            || !self.neighbor_ops.is_empty()
             || self.drop_pending
             || self.refresh_pending_count > 0
     }
@@ -326,7 +405,11 @@ impl MemController {
 
     /// Number of requests queued or in flight.
     pub fn pending(&self) -> usize {
-        self.read_q.len() + self.write_q.len() + self.inflight.len() + self.copy_ops.len()
+        self.read_q.len()
+            + self.write_q.len()
+            + self.inflight.len()
+            + self.copy_ops.len()
+            + self.neighbor_ops.len()
     }
 
     /// In-flight read completions and the cycles they come due.
@@ -588,6 +671,7 @@ impl MemController {
         let issued = self.try_refresh(now, &mut wake)
             || self.try_forced_restore_pre(now, &mut wake)
             || self.try_maintenance_copy(now, &mut wake)
+            || self.try_neighbor_refresh(now, &mut wake)
             || self.try_serve_queues(now, &mut wake)
             || self.try_policy_pre(now, &mut wake);
         if !issued && self.use_index() {
@@ -623,6 +707,7 @@ impl MemController {
                                     crow.on_refresh();
                                 }
                             }
+                            self.trr_flush(rank, Some(bank));
                             return true;
                         }
                         Err(e) => {
@@ -664,6 +749,7 @@ impl MemController {
                             // Refresh resets RowHammer disturbance.
                             crow.on_refresh();
                         }
+                        self.trr_flush(rank, None);
                         return true;
                     }
                     Err(e) => {
@@ -874,6 +960,129 @@ impl MemController {
                     CopyPurpose::Hammer => crow.undo_hammer_remap(cb, op.subarray, way),
                     CopyPurpose::WeakRow => crow.undo_runtime_remap(cb, op.subarray, way),
                 }
+                wake.note_err(&e);
+                false
+            }
+        }
+    }
+
+    /// The in-subarray neighbours of `row` (clamped: rows at subarray
+    /// edges border sense-amplifier stripes, not other rows).
+    fn neighbor_rows(&self, row: u32) -> [Option<u32>; 2] {
+        let rps = self.dram_cfg.rows_per_subarray;
+        let sa = row / rps;
+        let lo = sa * rps;
+        let hi = lo + rps - 1;
+        [(row > lo).then(|| row - 1), (row < hi).then(|| row + 1)]
+    }
+
+    /// Queues a PARA/TRR neighbor refresh (bounded; overflow is dropped —
+    /// the mitigation is best-effort and the next sample re-arms it).
+    fn queue_neighbor_refresh(&mut self, rank: u32, bank: u32, row: u32) {
+        const NEIGHBOR_Q_CAP: usize = 64;
+        if self.neighbor_ops.len() >= NEIGHBOR_Q_CAP {
+            return;
+        }
+        self.neighbor_ops.push_back((rank, bank, row));
+        self.bump_epoch();
+    }
+
+    /// PARA/TRR observation of a demand activation of a regular row.
+    fn observe_demand_act(&mut self, rank: u32, bank: u32, row: u32) {
+        match self.cfg.mitigation {
+            Mitigation::None => {}
+            Mitigation::Para { hazard } => {
+                let r = self.next_mitigation_rand();
+                if r.is_multiple_of(u64::from(hazard)) {
+                    let [below, above] = self.neighbor_rows(row);
+                    // An independent bit picks the side; fall back to the
+                    // other side at subarray edges.
+                    let pick = if (r >> 32) & 1 == 0 {
+                        below.or(above)
+                    } else {
+                        above.or(below)
+                    };
+                    if let Some(n) = pick {
+                        self.queue_neighbor_refresh(rank, bank, n);
+                    }
+                }
+            }
+            Mitigation::Trr { entries, .. } => {
+                let slot = self.slot_of(rank, bank);
+                let table = &mut self.trr_tables[slot];
+                if let Some(e) = table.iter_mut().find(|e| e.0 == row) {
+                    e.1 += 1;
+                } else if table.len() < entries as usize {
+                    table.push((row, 1));
+                } else {
+                    // Evict the min-count entry; ties break on the
+                    // smallest row so the choice is deterministic.
+                    let mut m = 0;
+                    for i in 1..table.len() {
+                        if table[i].1 < table[m].1
+                            || (table[i].1 == table[m].1 && table[i].0 < table[m].0)
+                        {
+                            m = i;
+                        }
+                    }
+                    table[m] = (row, 1);
+                }
+            }
+        }
+    }
+
+    /// TRR refresh hook: queue neighbor refreshes for every sampled row
+    /// that reached the threshold, then clear the sampled tables (`bank`
+    /// = `None` for an all-bank `REF`, the bank for `REFpb`).
+    fn trr_flush(&mut self, rank: u32, bank: Option<u32>) {
+        let Mitigation::Trr { threshold, .. } = self.cfg.mitigation else {
+            return;
+        };
+        let banks: Vec<u32> = match bank {
+            Some(b) => vec![b],
+            None => (0..self.dram_cfg.banks).collect(),
+        };
+        for b in banks {
+            let slot = self.slot_of(rank, b);
+            let mut table = std::mem::take(&mut self.trr_tables[slot]);
+            for &(row, count) in &table {
+                if count >= threshold {
+                    for n in self.neighbor_rows(row).into_iter().flatten() {
+                        self.queue_neighbor_refresh(rank, b, n);
+                    }
+                }
+            }
+            table.clear();
+            self.trr_tables[slot] = table;
+        }
+    }
+
+    /// Serves one pending PARA/TRR neighbor refresh: a fully-restoring
+    /// activation of the victim row, issued when its bank is closed and
+    /// precharged by the forced-restore flow once restoration completes.
+    fn try_neighbor_refresh(&mut self, now: Cycle, wake: &mut Wake) -> bool {
+        let Some(&(rank, bank, row)) = self.neighbor_ops.front() else {
+            return false;
+        };
+        if self.refresh_pending[rank as usize] {
+            return false;
+        }
+        if self.channel.open_count(rank, bank) != 0 {
+            // Bank busy: the open set cannot change without an issue
+            // (which bumps the epoch), so no wake bound is needed.
+            return false;
+        }
+        let d = CmdDesc::act(rank, bank, ActKind::single(row));
+        match self.channel.check(&d, now) {
+            Ok(()) => {
+                self.issue(&d, now, None);
+                self.stats.neighbor_refreshes += 1;
+                let sa = self.subarray_of(row);
+                self.forced_restore.push((rank, bank, sa));
+                self.neighbor_ops.pop_front();
+                true
+            }
+            Err(e) => {
                 wake.note_err(&e);
                 false
             }
@@ -1263,6 +1472,8 @@ impl MemController {
                 });
             }
         }
+        // PARA/TRR mitigation baselines sample demand activations.
+        self.observe_demand_act(req.rank, req.bank, req.row);
         if is_restore {
             self.forced_restore
                 .push((req.rank, req.bank, restore_sa.unwrap_or(sa)));
@@ -1407,6 +1618,34 @@ impl MemController {
     fn issue(&mut self, d: &CmdDesc, now: Cycle, _touch_row: Option<u32>) -> IssueFx {
         let fx = self.channel.issue(d, now);
         self.bump_epoch();
+        if let Some(log) = self.event_log.as_mut() {
+            match d.cmd {
+                Command::Act | Command::ActC | Command::ActT => {
+                    // The regular row whose cells this activation opens
+                    // (copy-row-only activations disturb no regular row).
+                    let row = match d.act {
+                        Some(ActKind::Single(RowAddr::Regular(r))) => Some(r),
+                        Some(ActKind::Single(RowAddr::Copy { .. })) => None,
+                        Some(ActKind::Copy { src, .. }) => Some(src),
+                        Some(ActKind::Twin { row, .. }) => Some(row),
+                        None => None,
+                    };
+                    if let Some(row) = row {
+                        log.push(DramEvent::Act {
+                            rank: d.rank,
+                            bank: d.bank,
+                            row,
+                        });
+                    }
+                }
+                Command::Ref => log.push(DramEvent::RefAll { rank: d.rank }),
+                Command::RefPb => log.push(DramEvent::RefBank {
+                    rank: d.rank,
+                    bank: d.bank,
+                }),
+                Command::Pre | Command::Rd | Command::Wr => {}
+            }
+        }
         if self.use_index() {
             // The bank's row state (and with it hit/miss classification)
             // may have changed; refresh commands touch the whole rank.

@@ -41,8 +41,8 @@ pub mod request;
 pub mod sched;
 pub mod stats;
 
-pub use config::{McConfig, RowPolicy, SchedImpl, SchedKind};
-pub use controller::MemController;
+pub use config::{McConfig, Mitigation, RowPolicy, SchedImpl, SchedKind};
+pub use controller::{DramEvent, MemController};
 pub use error::McError;
 pub use request::{Completion, MemRequest, ReqKind};
 pub use sched::SchedStats;

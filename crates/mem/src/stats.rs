@@ -34,6 +34,8 @@ pub struct McStats {
     /// Scheduling opportunities lost to injected command-bus drops
     /// (fault harness).
     pub bus_drops: u64,
+    /// Neighbor-row refreshes issued by a PARA/TRR mitigation baseline.
+    pub neighbor_refreshes: u64,
     /// Log2-bucketed read-latency histogram (memory cycles).
     pub latency_hist: [u64; LATENCY_BUCKETS],
 }
@@ -102,6 +104,7 @@ impl McStats {
         self.restore_activations += o.restore_activations;
         self.hammer_copies += o.hammer_copies;
         self.bus_drops += o.bus_drops;
+        self.neighbor_refreshes += o.neighbor_refreshes;
         for (a, b) in self.latency_hist.iter_mut().zip(&o.latency_hist) {
             *a += b;
         }

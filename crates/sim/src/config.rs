@@ -59,6 +59,24 @@ pub enum Mechanism {
         /// Detector configuration.
         hammer: HammerConfig,
     },
+    /// PARA \[51\]: every demand activation refreshes one random
+    /// neighbour with probability `1/hazard` (commodity-DRAM RowHammer
+    /// baseline, no copy rows).
+    Para {
+        /// Inverse sampling probability.
+        hazard: u32,
+    },
+    /// TRR-like sampler: bounded per-bank counter tables, flushed at
+    /// every refresh, that queue neighbor refreshes for rows activated
+    /// at least `threshold` times since the last flush.
+    Trr {
+        /// Counter-table entries per bank.
+        entries: u32,
+        /// Activations per refresh interval that trigger the
+        /// neighbor refresh (the tables clear every tREFI, so useful
+        /// values are tens, not thousands).
+        threshold: u32,
+    },
 }
 
 impl Mechanism {
@@ -85,21 +103,67 @@ impl Mechanism {
         }
     }
 
+    /// The paper's §4.3 CROW-based RowHammer mitigation with a detector
+    /// threshold well under the flip regime.
+    pub fn crow_hammer() -> Self {
+        Mechanism::RowHammer {
+            copy_rows: 8,
+            hammer: HammerConfig::paper_default(),
+        }
+    }
+
+    /// PARA at the literature's conventional operating point
+    /// (p ≈ 0.002).
+    pub fn para() -> Self {
+        Mechanism::Para { hazard: 512 }
+    }
+
+    /// A TRR-like sampler with a 16-entry table per bank and a
+    /// 32-activations-per-tREFI trigger.
+    pub fn trr() -> Self {
+        Mechanism::Trr {
+            entries: 16,
+            threshold: 32,
+        }
+    }
+
     /// Parses the mechanism spellings the CLI and the batch server
     /// accept: `baseline`, `crow-N`, `crow-ref`, `crow-combined`,
-    /// `ideal`, `ideal-no-refresh`, `no-refresh`, `tldram-N`, `salp-N`,
-    /// and `salp-N-o` (case-insensitive). `None` for anything else —
-    /// callers turn that into a structured error, never a default.
+    /// `crow-hammer`, `ideal`, `ideal-no-refresh`, `no-refresh`,
+    /// `tldram-N`, `salp-N`, `salp-N-o`, `para`, `para-N` (hazard),
+    /// `trr`, and `trr-N` (threshold), all case-insensitive. `None` for
+    /// anything else — callers turn that into a structured error, never
+    /// a default.
     pub fn parse(s: &str) -> Option<Self> {
         let s = s.to_ascii_lowercase();
         match s.as_str() {
             "baseline" => return Some(Mechanism::Baseline),
             "crow-ref" | "ref" => return Some(Mechanism::crow_ref()),
             "crow-combined" | "combined" => return Some(Mechanism::crow_combined()),
+            "crow-hammer" => return Some(Mechanism::crow_hammer()),
             "ideal" => return Some(Mechanism::IdealCache),
             "ideal-no-refresh" => return Some(Mechanism::IdealCacheNoRefresh),
             "no-refresh" => return Some(Mechanism::NoRefresh),
+            "para" => return Some(Mechanism::para()),
+            "trr" => return Some(Mechanism::trr()),
             _ => {}
+        }
+        if let Some(n) = s.strip_prefix("para-") {
+            if let Ok(hazard) = n.parse::<u32>() {
+                if hazard > 0 {
+                    return Some(Mechanism::Para { hazard });
+                }
+            }
+        }
+        if let Some(n) = s.strip_prefix("trr-") {
+            if let Ok(threshold) = n.parse::<u32>() {
+                if threshold > 0 {
+                    return Some(Mechanism::Trr {
+                        entries: 16,
+                        threshold,
+                    });
+                }
+            }
         }
         if let Some(n) = s.strip_prefix("crow-") {
             if let Ok(n) = n.parse::<u8>() {
@@ -153,6 +217,8 @@ impl Mechanism {
                 open_page,
             } => format!("SALP-{subarrays}{}", if *open_page { "-O" } else { "" }),
             Mechanism::RowHammer { copy_rows, .. } => format!("CROW-{copy_rows}+hammer"),
+            Mechanism::Para { hazard } => format!("PARA-1/{hazard}"),
+            Mechanism::Trr { threshold, .. } => format!("TRR-{threshold}"),
         }
     }
 }
@@ -200,6 +266,12 @@ pub struct SystemConfig {
     /// Seeded fault-injection schedule (VRT failures, RowHammer bursts,
     /// command-bus drops); `None` injects nothing.
     pub fault_plan: Option<FaultPlan>,
+    /// An active RowHammer attack scenario: a seeded aggressor generator
+    /// injects attack reads through the real controller and a flip model
+    /// judges the outcome ([`crate::hammer`]). `None` runs no attack.
+    /// Scenario runs always use the serial engines (the sharded parallel
+    /// driver is bypassed even when `threads > 1`).
+    pub hammer: Option<crate::hammer::HammerScenario>,
     /// Attach the shadow protocol validator to every channel (observes
     /// each issued command against an independent JEDEC state machine;
     /// violations are reported, not asserted). Presets default this from
@@ -237,6 +309,7 @@ impl SystemConfig {
             mra_override: None,
             engine: Engine::EventDriven,
             fault_plan: None,
+            hammer: None,
             validate_protocol: validate_from_env(),
             threads: 1,
         }
@@ -259,6 +332,7 @@ impl SystemConfig {
             mra_override: None,
             engine: Engine::EventDriven,
             fault_plan: None,
+            hammer: None,
             validate_protocol: validate_from_env(),
             threads: 1,
         }
@@ -286,6 +360,7 @@ impl SystemConfig {
             mra_override: None,
             engine: Engine::EventDriven,
             fault_plan: None,
+            hammer: None,
             validate_protocol: validate_from_env(),
             threads: 1,
         }
@@ -309,6 +384,12 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy running the given RowHammer attack scenario.
+    pub fn with_hammer(mut self, sc: crate::hammer::HammerScenario) -> Self {
+        self.hammer = Some(sc);
+        self
+    }
+
     /// CPU cycles per memory-bus cycle numerator/denominator
     /// (4 GHz / 1.6 GHz = 5:2).
     pub const CLOCK_RATIO: (u64, u64) = (5, 2);
@@ -320,6 +401,8 @@ impl SystemConfig {
         match self.mechanism {
             Mechanism::Baseline
             | Mechanism::NoRefresh
+            | Mechanism::Para { .. }
+            | Mechanism::Trr { .. }
             | Mechanism::IdealCache
             | Mechanism::IdealCacheNoRefresh => {
                 d.copy_rows_per_subarray = if matches!(

@@ -1,0 +1,509 @@
+//! Probabilistic disturbance and bit-flip model.
+//!
+//! The model watches the *issued* DRAM command stream
+//! ([`crow_mem::DramEvent`]) — not the injected request stream — so
+//! everything the controller does on its own behalf counts too: demand
+//! activations disturb neighbours, PARA/TRR neighbor refreshes and
+//! CROW's `ACT-c` victim copies restore rows, refresh re-establishes
+//! charge one slice per `REF` (a real `REF` covers only `1/8192` of the
+//! rows; see [`crow_core::REFS_PER_WINDOW`]).
+//!
+//! Physics, per activation of row `r`:
+//!
+//! * row `r` itself is fully restored (its disturbance clears);
+//! * rows `r ± 1` gain `w1` disturbance units, rows `r ± 2` gain `w2`
+//!   (both clamped to `r`'s subarray — sense-amplifier stripes isolate
+//!   subarrays);
+//! * once a row's accumulated units reach its threshold, every further
+//!   disturbing activation flips a bit with probability `1/flip_p_inv`.
+//!
+//! Thresholds vary per row: a seeded ±25 % process-variation jitter
+//! around `base_threshold`, divided by `weak_divisor` for rows the
+//! retention profile marks weak (weak cells are also the first to flip
+//! under disturbance). All draws come from one splitmix64 stream in
+//! event order, so the flip count is bit-reproducible and identical
+//! across stepping engines.
+
+use std::collections::{HashMap, HashSet};
+
+use crow_core::{RetentionProfile, REFS_PER_WINDOW};
+use crow_dram::DramConfig;
+use crow_mem::DramEvent;
+
+use super::{hash64, splitmix64};
+
+/// Flip-physics parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipParams {
+    /// Disturbance units a typical row tolerates before flips become
+    /// possible (units, not activations: a double-sided ACT pair adds
+    /// `2·w1` to the victim).
+    pub base_threshold: u64,
+    /// Weak-row thresholds are `base/weak_divisor`.
+    pub weak_divisor: u64,
+    /// Units added to distance-1 neighbours per activation.
+    pub w1: u64,
+    /// Units added to distance-2 neighbours per activation.
+    pub w2: u64,
+    /// Over-threshold activations flip with probability `1/flip_p_inv`.
+    pub flip_p_inv: u64,
+    /// Which rows are retention-weak (lowered threshold). Seeded with
+    /// the same per-channel stream as CROW-ref's profile, so the rows
+    /// CROW-ref remaps are exactly the fragile ones.
+    pub profile: RetentionProfile,
+}
+
+impl FlipParams {
+    /// Modern-chip defaults: with `w1 = 4`, a double-sided attack needs
+    /// ~32 K aggressor ACTs to open the flip regime (HCfirst in the
+    /// 10⁴–10⁵ range), an order of magnitude above CROW's detector
+    /// threshold — mitigations that act on detection act in time.
+    pub fn paper_default() -> Self {
+        Self {
+            base_threshold: 262_144,
+            weak_divisor: 4,
+            w1: 4,
+            w2: 1,
+            flip_p_inv: 1024,
+            profile: RetentionProfile::paper_conservative(),
+        }
+    }
+
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.base_threshold == 0 {
+            return Err("base_threshold must be nonzero".into());
+        }
+        if self.weak_divisor == 0 {
+            return Err("weak_divisor must be nonzero".into());
+        }
+        if self.flip_p_inv == 0 {
+            return Err("flip_p_inv must be nonzero".into());
+        }
+        if self.w1 == 0 {
+            return Err("w1 must be nonzero (distance-1 coupling is the attack)".into());
+        }
+        Ok(())
+    }
+}
+
+/// A flip draw that succeeded: the row (bank-relative) whose cell
+/// flipped. The caller classifies it as live or absorbed (remapped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlipCandidate {
+    /// Rank of the flipped row.
+    pub rank: u32,
+    /// Bank within the rank.
+    pub bank: u32,
+    /// Bank-relative row number.
+    pub row: u32,
+}
+
+/// Global row key: (channel, rank, bank, row).
+type Key = (u32, u32, u32, u32);
+
+/// The disturbance bookkeeping for a whole system (all channels).
+#[derive(Debug)]
+pub struct FlipModel {
+    params: FlipParams,
+    seed: u64,
+    rng: u64,
+    rows_per_subarray: u32,
+    banks: u32,
+    /// Accumulated disturbance units per row (absent = fully charged).
+    disturb: HashMap<Key, u64>,
+    /// Retention-weak rows (lowered flip threshold).
+    weak: HashSet<Key>,
+    /// Rows that suffered at least one live flip.
+    flipped: HashSet<Key>,
+    /// Per-(channel, rank) all-bank REF slice cursor.
+    ref_slice: HashMap<(u32, u32), u32>,
+    /// Per-(channel, rank, bank) per-bank REF slice cursor.
+    refpb_slice: HashMap<(u32, u32, u32), u32>,
+    flips: u64,
+    absorbed: u64,
+}
+
+impl FlipModel {
+    /// Builds the model for `channels` channels of `dram` geometry,
+    /// seeding the weak-row sets with the same per-channel streams the
+    /// CROW substrate uses (`seed ^ (0x9e37 + channel)`).
+    pub fn new(params: &FlipParams, dram: &DramConfig, channels: u32, seed: u64) -> Self {
+        let mut weak = HashSet::new();
+        for ch in 0..channels {
+            let rows = params.profile.generate(
+                dram.banks * dram.ranks,
+                dram.subarrays_per_bank(),
+                dram.rows_per_subarray,
+                dram.copy_rows_per_subarray,
+                seed ^ (0x9e37 + u64::from(ch)),
+            );
+            for (cb, _sa, row) in rows.iter_regular() {
+                weak.insert((ch, cb / dram.banks, cb % dram.banks, row));
+            }
+        }
+        Self {
+            params: *params,
+            seed,
+            rng: seed ^ 0x464C_4950, // "FLIP"
+            rows_per_subarray: dram.rows_per_subarray,
+            banks: dram.banks,
+            disturb: HashMap::new(),
+            weak,
+            flipped: HashSet::new(),
+            ref_slice: HashMap::new(),
+            refpb_slice: HashMap::new(),
+            flips: 0,
+            absorbed: 0,
+        }
+    }
+
+    /// Live bit flips so far.
+    pub fn flips(&self) -> u64 {
+        self.flips
+    }
+
+    /// Distinct rows with at least one live flip.
+    pub fn flipped_rows(&self) -> u64 {
+        self.flipped.len() as u64
+    }
+
+    /// Flip draws absorbed by a CROW remap.
+    pub fn absorbed(&self) -> u64 {
+        self.absorbed
+    }
+
+    /// Number of retention-weak rows the model tracks (diagnostics).
+    pub fn weak_rows(&self) -> usize {
+        self.weak.len()
+    }
+
+    /// The flip threshold of a row, in disturbance units.
+    pub fn threshold(&self, ch: u32, rank: u32, bank: u32, row: u32) -> u64 {
+        let k: Key = (ch, rank, bank, row);
+        let h = hash64(
+            self.seed
+                ^ (u64::from(ch) << 48)
+                ^ (u64::from(rank) << 40)
+                ^ (u64::from(bank) << 32)
+                ^ u64::from(row),
+        );
+        let base = self.params.base_threshold;
+        // ±25 % process variation, deterministic per row.
+        let t = base - base / 4 + h % (base / 2 + 1);
+        let t = if self.weak.contains(&k) {
+            t / self.params.weak_divisor
+        } else {
+            t
+        };
+        t.max(1)
+    }
+
+    /// Feeds one issued DRAM command event from channel `ch`. Successful
+    /// flip draws are appended to `out` for the caller to commit.
+    pub fn on_event(&mut self, ch: u32, e: DramEvent, out: &mut Vec<FlipCandidate>) {
+        match e {
+            DramEvent::Act { rank, bank, row } => {
+                // The activated row itself is fully restored.
+                self.disturb.remove(&(ch, rank, bank, row));
+                let rps = self.rows_per_subarray;
+                let sa = row / rps;
+                let (lo, hi) = (sa * rps, sa * rps + rps - 1);
+                for (off, w) in [(1u32, self.params.w1), (2u32, self.params.w2)] {
+                    if w == 0 {
+                        continue;
+                    }
+                    if row >= lo + off {
+                        self.bump(ch, rank, bank, row - off, w, out);
+                    }
+                    if row + off <= hi {
+                        self.bump(ch, rank, bank, row + off, w, out);
+                    }
+                }
+            }
+            DramEvent::RefAll { rank } => {
+                let s = *self.ref_slice.get(&(ch, rank)).unwrap_or(&0);
+                self.disturb
+                    .retain(|k, _| !(k.0 == ch && k.1 == rank && k.3 % REFS_PER_WINDOW == s));
+                self.ref_slice.insert((ch, rank), (s + 1) % REFS_PER_WINDOW);
+            }
+            DramEvent::RefBank { rank, bank } => {
+                let s = *self.refpb_slice.get(&(ch, rank, bank)).unwrap_or(&0);
+                self.disturb.retain(|k, _| {
+                    !(k.0 == ch && k.1 == rank && k.2 == bank && k.3 % REFS_PER_WINDOW == s)
+                });
+                self.refpb_slice
+                    .insert((ch, rank, bank), (s + 1) % REFS_PER_WINDOW);
+            }
+        }
+    }
+
+    /// Commits a flip draw: `absorbed` when the physical row is remapped
+    /// (the flip lands in dead cells), live data corruption otherwise.
+    /// Either way the cell's disturbance history restarts.
+    pub fn commit(&mut self, ch: u32, cand: FlipCandidate, absorbed: bool) {
+        let k: Key = (ch, cand.rank, cand.bank, cand.row);
+        self.disturb.remove(&k);
+        if absorbed {
+            self.absorbed += 1;
+        } else {
+            self.flips += 1;
+            self.flipped.insert(k);
+        }
+    }
+
+    fn bump(
+        &mut self,
+        ch: u32,
+        rank: u32,
+        bank: u32,
+        row: u32,
+        w: u64,
+        out: &mut Vec<FlipCandidate>,
+    ) {
+        let k: Key = (ch, rank, bank, row);
+        let d = self.disturb.entry(k).or_insert(0);
+        *d += w;
+        let total = *d;
+        if total >= self.threshold(ch, rank, bank, row)
+            && splitmix64(&mut self.rng).is_multiple_of(self.params.flip_p_inv)
+        {
+            out.push(FlipCandidate { rank, bank, row });
+        }
+    }
+
+    /// Test/diagnostic accessor: current disturbance units of a row.
+    pub fn disturbance(&self, ch: u32, rank: u32, bank: u32, row: u32) -> u64 {
+        *self.disturb.get(&(ch, rank, bank, row)).unwrap_or(&0)
+    }
+
+    /// Test/diagnostic accessor: bank count per rank (key decoding).
+    pub fn banks(&self) -> u32 {
+        self.banks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(params: FlipParams) -> FlipModel {
+        FlipModel::new(&params, &DramConfig::tiny_test(), 1, 7)
+    }
+
+    fn quick_params() -> FlipParams {
+        FlipParams {
+            base_threshold: 100,
+            weak_divisor: 4,
+            w1: 4,
+            w2: 1,
+            flip_p_inv: 1,
+            profile: RetentionProfile::FixedPerSubarray { n: 0 },
+        }
+    }
+
+    #[test]
+    fn blast_radius_and_self_restore() {
+        let mut m = model(quick_params());
+        let mut out = Vec::new();
+        m.on_event(
+            0,
+            DramEvent::Act {
+                rank: 0,
+                bank: 0,
+                row: 100,
+            },
+            &mut out,
+        );
+        assert_eq!(m.disturbance(0, 0, 0, 99), 4);
+        assert_eq!(m.disturbance(0, 0, 0, 101), 4);
+        assert_eq!(m.disturbance(0, 0, 0, 98), 1);
+        assert_eq!(m.disturbance(0, 0, 0, 102), 1);
+        assert_eq!(m.disturbance(0, 0, 0, 100), 0, "own row restored");
+        // Activating the neighbour restores it and disturbs row 100.
+        m.on_event(
+            0,
+            DramEvent::Act {
+                rank: 0,
+                bank: 0,
+                row: 99,
+            },
+            &mut out,
+        );
+        assert_eq!(m.disturbance(0, 0, 0, 99), 0);
+        assert_eq!(m.disturbance(0, 0, 0, 100), 4);
+        assert!(out.is_empty(), "far below threshold");
+    }
+
+    #[test]
+    fn subarray_edges_clamp_disturbance() {
+        // tiny_test: 64 rows per subarray; row 64 opens subarray 1.
+        let mut m = model(quick_params());
+        let mut out = Vec::new();
+        m.on_event(
+            0,
+            DramEvent::Act {
+                rank: 0,
+                bank: 0,
+                row: 64,
+            },
+            &mut out,
+        );
+        assert_eq!(m.disturbance(0, 0, 0, 63), 0, "previous subarray isolated");
+        assert_eq!(m.disturbance(0, 0, 0, 62), 0);
+        assert_eq!(m.disturbance(0, 0, 0, 65), 4);
+        assert_eq!(m.disturbance(0, 0, 0, 66), 1);
+    }
+
+    #[test]
+    fn flips_fire_over_threshold_and_reset() {
+        let mut p = quick_params();
+        p.base_threshold = 40; // jittered to [30, 50]
+        let mut m = model(p);
+        let mut out = Vec::new();
+        // Double-sided: rows 99 and 101 hammer row 100 with 8 units/pair.
+        let mut first_flip_at = None;
+        for i in 0..40 {
+            m.on_event(
+                0,
+                DramEvent::Act {
+                    rank: 0,
+                    bank: 0,
+                    row: 99,
+                },
+                &mut out,
+            );
+            m.on_event(
+                0,
+                DramEvent::Act {
+                    rank: 0,
+                    bank: 0,
+                    row: 101,
+                },
+                &mut out,
+            );
+            if !out.is_empty() && first_flip_at.is_none() {
+                first_flip_at = Some(i);
+            }
+            for c in out.drain(..) {
+                m.commit(0, c, false);
+            }
+        }
+        let first = first_flip_at.expect("p=1 must flip as soon as threshold is crossed");
+        assert!(
+            first >= 3,
+            "threshold >= 30 units needs >= 4 pairs, saw {first}"
+        );
+        assert!(m.flips() > 1, "disturbance restarts and flips again");
+        // The sandwiched victim flips; the aggressors themselves never do
+        // (each activation restores them). Collateral flips on the outer
+        // neighbours (98/102 at 4 units/pair) are legitimate physics.
+        assert!(m.flipped.contains(&(0, 0, 0, 100)), "victim row flipped");
+        assert!(!m.flipped.contains(&(0, 0, 0, 99)));
+        assert!(!m.flipped.contains(&(0, 0, 0, 101)));
+    }
+
+    #[test]
+    fn weak_rows_flip_earlier() {
+        let mut p = quick_params();
+        p.base_threshold = 10_000;
+        p.profile = RetentionProfile::FixedPerSubarray { n: 3 };
+        let m = model(p);
+        assert!(m.weak_rows() > 0);
+        // Every weak row's threshold is at most 1/weak_divisor of the
+        // strongest possible jitter.
+        let weak_key = *m.weak.iter().next().unwrap();
+        let t_weak = m.threshold(weak_key.0, weak_key.1, weak_key.2, weak_key.3);
+        assert!(t_weak <= (10_000 + 5_000) / 4, "weak threshold {t_weak}");
+    }
+
+    #[test]
+    fn refresh_clears_one_slice_per_ref() {
+        let mut m = model(quick_params());
+        let mut out = Vec::new();
+        m.on_event(
+            0,
+            DramEvent::Act {
+                rank: 0,
+                bank: 0,
+                row: 100,
+            },
+            &mut out,
+        );
+        // Slice 0 does not cover row 99 (99 % 8192 = 99): charge stays.
+        m.on_event(0, DramEvent::RefAll { rank: 0 }, &mut out);
+        assert_eq!(m.disturbance(0, 0, 0, 99), 4);
+        // Drive the cursor to slice 99: that REF clears the row.
+        for _ in 1..99 {
+            m.on_event(0, DramEvent::RefAll { rank: 0 }, &mut out);
+        }
+        assert_eq!(m.disturbance(0, 0, 0, 99), 4);
+        m.on_event(0, DramEvent::RefAll { rank: 0 }, &mut out);
+        assert_eq!(m.disturbance(0, 0, 0, 99), 0);
+        // Other ranks/banks are untouched by rank-0 refreshes.
+        m.on_event(
+            0,
+            DramEvent::Act {
+                rank: 0,
+                bank: 1,
+                row: 100,
+            },
+            &mut out,
+        );
+        m.on_event(0, DramEvent::RefBank { rank: 0, bank: 0 }, &mut out);
+        assert_eq!(m.disturbance(0, 0, 1, 99), 4);
+    }
+
+    #[test]
+    fn absorbed_flips_do_not_count_as_corruption() {
+        let mut m = model(quick_params());
+        let c = FlipCandidate {
+            rank: 0,
+            bank: 0,
+            row: 50,
+        };
+        m.commit(0, c, true);
+        m.commit(0, c, false);
+        assert_eq!(m.absorbed(), 1);
+        assert_eq!(m.flips(), 1);
+        assert_eq!(m.flipped_rows(), 1);
+    }
+
+    #[test]
+    fn draw_stream_is_deterministic() {
+        let mk = || {
+            let mut p = quick_params();
+            p.base_threshold = 40;
+            p.flip_p_inv = 8;
+            let mut m = model(p);
+            let mut out = Vec::new();
+            for _ in 0..500 {
+                m.on_event(
+                    0,
+                    DramEvent::Act {
+                        rank: 0,
+                        bank: 0,
+                        row: 99,
+                    },
+                    &mut out,
+                );
+                m.on_event(
+                    0,
+                    DramEvent::Act {
+                        rank: 0,
+                        bank: 0,
+                        row: 101,
+                    },
+                    &mut out,
+                );
+            }
+            for c in out.drain(..) {
+                m.commit(0, c, false);
+            }
+            m.flips()
+        };
+        let a = mk();
+        assert!(a > 0);
+        assert_eq!(a, mk());
+    }
+}

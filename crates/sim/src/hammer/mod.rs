@@ -1,0 +1,336 @@
+//! RowHammer attack scenarios: seeded aggressor-trace generators, a
+//! probabilistic disturbance/bit-flip model, and the statistics that tie
+//! them to the mitigation under test.
+//!
+//! The CROW paper (§4.3) proposes a counter-based detector plus victim
+//! remapping to copy rows as a low-cost RowHammer mitigation, but only
+//! argues its overhead. This module supplies the missing evaluation
+//! harness: a [`gen::AggressorGen`] drives deterministic attack request
+//! streams (single-sided, double-sided, many-sided, half-double) through
+//! the *real* controller and scheduler as ordinary reads, and a
+//! [`flip::FlipModel`] observes the resulting DRAM command stream
+//! ([`crow_mem::DramEvent`]) to accumulate per-row disturbance and draw
+//! seeded bit flips against per-row thresholds. Mitigations — the
+//! PARA/TRR baselines in `crow-mem` and the paper's CROW-based remapper —
+//! interpose on the same command stream, so their effect on both the flip
+//! count and on workload slowdown falls out of one simulation.
+//!
+//! Everything is seeded and serial: the same [`HammerScenario`] produces
+//! a byte-identical request stream and flip count across runs and across
+//! the naive and event-driven engines.
+
+pub mod flip;
+pub mod gen;
+
+pub use flip::{FlipCandidate, FlipModel, FlipParams};
+pub use gen::AggressorGen;
+
+use crow_core::Owner;
+use crow_dram::DramConfig;
+use crow_mem::MemController;
+
+/// Splitmix64: the one PRNG used by every seeded component of the
+/// scenario (victim placement, per-row thresholds, flip draws). Small,
+/// fast, and fully deterministic from a `u64` seed.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One stateless hash draw (seeded splitmix64 step).
+pub(crate) fn hash64(seed: u64) -> u64 {
+    let mut s = seed;
+    splitmix64(&mut s)
+}
+
+/// Which aggressor access pattern the generator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackPattern {
+    /// One aggressor adjacent to the victim, interleaved with a far row
+    /// in another subarray to defeat the open-row buffer (every access
+    /// becomes an activation).
+    SingleSided,
+    /// The classic pair sandwiching the victim (`v-1`, `v+1`).
+    DoubleSided,
+    /// `n` aggressors fanned out around the victim at odd offsets
+    /// (`v±1, v±3, …`), as in TRRespass-style many-sided patterns that
+    /// overflow small sampler tables.
+    ManySided(u8),
+    /// Half-Double: a heavily hammered far pair (`v±2`) assisted by a
+    /// lightly hammered near pair (`v±1`), stressing distance-2
+    /// disturbance.
+    HalfDouble,
+}
+
+impl AttackPattern {
+    /// Parses the CLI spellings: `single`, `double`, `many-N`,
+    /// `half-double` (case-insensitive). `None` for anything else —
+    /// callers report a structured error, never a silent default.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.to_ascii_lowercase();
+        match s.as_str() {
+            "single" | "single-sided" => return Some(AttackPattern::SingleSided),
+            "double" | "double-sided" => return Some(AttackPattern::DoubleSided),
+            "half-double" | "halfdouble" => return Some(AttackPattern::HalfDouble),
+            _ => {}
+        }
+        if let Some(n) = s.strip_prefix("many-") {
+            if let Ok(n) = n.parse::<u8>() {
+                if (2..=10).contains(&n) {
+                    return Some(AttackPattern::ManySided(n));
+                }
+            }
+        }
+        None
+    }
+
+    /// Short label for tables and figure rows.
+    pub fn label(&self) -> String {
+        match self {
+            AttackPattern::SingleSided => "single-sided".into(),
+            AttackPattern::DoubleSided => "double-sided".into(),
+            AttackPattern::ManySided(n) => format!("{n}-sided"),
+            AttackPattern::HalfDouble => "half-double".into(),
+        }
+    }
+}
+
+/// A complete attack scenario: what to hammer, how hard, and the physics
+/// of the flip model judging the outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HammerScenario {
+    /// Aggressor geometry.
+    pub pattern: AttackPattern,
+    /// Aggressor activations injected per refresh window (tREFW =
+    /// 8192 × tREFI). The generator converts this to a fixed CPU-cycle
+    /// injection interval; actual issue timing is up to the scheduler.
+    pub intensity: u64,
+    /// Explicit victim placement `(channel, rank, bank, row)`; `None`
+    /// derives a seeded interior row of a middle subarray on channel 0.
+    pub target: Option<(u32, u32, u32, u32)>,
+    /// Scenario seed (victim jitter, request ids are deterministic from
+    /// it; the flip model mixes it with the system seed).
+    pub seed: u64,
+    /// Disturbance / flip physics.
+    pub flip: FlipParams,
+}
+
+impl HammerScenario {
+    /// A scenario with default placement and flip physics.
+    pub fn new(pattern: AttackPattern, intensity: u64) -> Self {
+        Self {
+            pattern,
+            intensity,
+            target: None,
+            seed: 0x4841_4D52, // "HAMR"
+            flip: FlipParams::paper_default(),
+        }
+    }
+
+    /// Checks the scenario against a channel geometry. Returns the
+    /// violated constraint on failure.
+    pub fn validate(&self, dram: &DramConfig, channels: u32) -> Result<(), String> {
+        if self.intensity == 0 {
+            return Err("intensity must be at least one activation per window".into());
+        }
+        if dram.rows_per_subarray < 64 {
+            return Err("aggressor placement needs at least 64 rows per subarray".into());
+        }
+        if matches!(self.pattern, AttackPattern::SingleSided) && dram.subarrays_per_bank() < 2 {
+            return Err("single-sided decoy row needs at least two subarrays".into());
+        }
+        if let AttackPattern::ManySided(n) = self.pattern {
+            if !(2..=10).contains(&n) {
+                return Err("many-sided patterns support 2..=10 aggressors".into());
+            }
+        }
+        if let Some((ch, rank, bank, row)) = self.target {
+            if ch >= channels || rank >= dram.ranks || bank >= dram.banks {
+                return Err("target channel/rank/bank out of range".into());
+            }
+            let rps = dram.rows_per_subarray;
+            if row >= dram.rows_per_bank || row % rps < 12 || row % rps >= rps - 12 {
+                return Err("target row must sit at least 12 rows inside its subarray".into());
+            }
+        }
+        self.flip.validate()
+    }
+
+    /// Applies `CROW_HAMMER_*` environment overrides (pattern,
+    /// intensity, seed, flip thresholds). Unset variables leave the
+    /// scenario untouched; a set-but-malformed variable is an error, not
+    /// a silent default.
+    pub fn apply_env(&mut self) -> Result<(), String> {
+        fn var(name: &str) -> Option<String> {
+            std::env::var(name).ok().filter(|v| !v.is_empty())
+        }
+        fn num(name: &str, v: &str) -> Result<u64, String> {
+            v.parse::<u64>()
+                .map_err(|_| format!("{name}={v:?} is not a number"))
+        }
+        if let Some(v) = var("CROW_HAMMER_PATTERN") {
+            self.pattern = AttackPattern::parse(&v)
+                .ok_or_else(|| format!("CROW_HAMMER_PATTERN={v:?} is not a pattern"))?;
+        }
+        if let Some(v) = var("CROW_HAMMER_INTENSITY") {
+            self.intensity = num("CROW_HAMMER_INTENSITY", &v)?;
+        }
+        if let Some(v) = var("CROW_HAMMER_SEED") {
+            self.seed = num("CROW_HAMMER_SEED", &v)?;
+        }
+        if let Some(v) = var("CROW_HAMMER_THRESHOLD") {
+            self.flip.base_threshold = num("CROW_HAMMER_THRESHOLD", &v)?;
+        }
+        if let Some(v) = var("CROW_HAMMER_FLIP_P_INV") {
+            self.flip.flip_p_inv = num("CROW_HAMMER_FLIP_P_INV", &v)?;
+        }
+        Ok(())
+    }
+}
+
+/// Attack-outcome counters reported in
+/// [`crate::SimReport`](crate::report::SimReport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HammerStats {
+    /// Aggressor requests accepted into a controller queue.
+    pub injected: u64,
+    /// Bit flips on live (non-remapped) rows — actual data corruption.
+    pub flips: u64,
+    /// Distinct rows that suffered at least one live flip.
+    pub flipped_rows: u64,
+    /// Flip draws absorbed harmlessly because the physical victim row
+    /// had been remapped to a copy row (CROW mitigation, §4.3).
+    pub absorbed: u64,
+    /// RowHammer detector alarms (CROW's counter table).
+    pub detections: u64,
+    /// Neighbor-row refreshes issued by the PARA/TRR baselines.
+    pub mitigation_refreshes: u64,
+}
+
+/// Runtime state of an active scenario inside a
+/// [`crate::System`](crate::system::System): the generator, the flip
+/// model, and scratch buffers for draining controller events.
+#[derive(Debug)]
+pub struct HammerState {
+    /// The aggressor request source.
+    pub gen: AggressorGen,
+    /// The disturbance/flip bookkeeping.
+    pub flip: FlipModel,
+    events: Vec<crow_mem::DramEvent>,
+    cands: Vec<FlipCandidate>,
+}
+
+impl HammerState {
+    /// Builds the runtime state, validating the scenario against the
+    /// effective geometry.
+    pub fn try_new(
+        sc: &HammerScenario,
+        dram: &DramConfig,
+        channels: u32,
+        system_seed: u64,
+    ) -> Result<Self, String> {
+        sc.validate(dram, channels)?;
+        Ok(Self {
+            gen: AggressorGen::new(sc, dram),
+            flip: FlipModel::new(&sc.flip, dram, channels, system_seed ^ sc.seed),
+            events: Vec::new(),
+            cands: Vec::new(),
+        })
+    }
+
+    /// Drains the controller's command events into the flip model and
+    /// commits any resulting flip draws, classifying each as live or
+    /// absorbed depending on whether CROW currently remaps the row.
+    pub fn drain(&mut self, ch: u32, mc: &mut MemController) {
+        mc.drain_events(&mut self.events);
+        if self.events.is_empty() {
+            return;
+        }
+        for e in self.events.drain(..) {
+            self.flip.on_event(ch, e, &mut self.cands);
+        }
+        let dram = mc.channel().config();
+        let (banks, rps) = (dram.banks, dram.rows_per_subarray);
+        for cand in self.cands.drain(..) {
+            // A flip on a physical row whose data lives in a copy row
+            // (pinned Ref/Hammer remap) corrupts nothing.
+            let absorbed = mc.crow().is_some_and(|c| {
+                let cb = cand.rank * banks + cand.bank;
+                matches!(
+                    c.table().lookup(cb, cand.row / rps, cand.row),
+                    Some((_, e)) if e.owner != Owner::Cache
+                )
+            });
+            self.flip.commit(ch, cand, absorbed);
+        }
+    }
+
+    /// Scenario-side counters (the report adds the controller- and
+    /// substrate-side ones).
+    pub fn stats(&self) -> HammerStats {
+        HammerStats {
+            injected: self.gen.injected(),
+            flips: self.flip.flips(),
+            flipped_rows: self.flip.flipped_rows(),
+            absorbed: self.flip.absorbed(),
+            detections: 0,
+            mitigation_refreshes: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_parse_and_labels() {
+        assert_eq!(
+            AttackPattern::parse("single"),
+            Some(AttackPattern::SingleSided)
+        );
+        assert_eq!(
+            AttackPattern::parse("Double"),
+            Some(AttackPattern::DoubleSided)
+        );
+        assert_eq!(
+            AttackPattern::parse("many-6"),
+            Some(AttackPattern::ManySided(6))
+        );
+        assert_eq!(
+            AttackPattern::parse("half-double"),
+            Some(AttackPattern::HalfDouble)
+        );
+        for bad in ["", "many-1", "many-11", "many-x", "triple"] {
+            assert!(AttackPattern::parse(bad).is_none(), "{bad:?}");
+        }
+        assert_eq!(AttackPattern::ManySided(4).label(), "4-sided");
+        assert_eq!(AttackPattern::HalfDouble.label(), "half-double");
+    }
+
+    #[test]
+    fn scenario_validation_rejects_bad_targets() {
+        let dram = DramConfig::tiny_test();
+        let ok = HammerScenario::new(AttackPattern::DoubleSided, 10_000);
+        ok.validate(&dram, 1).unwrap();
+
+        let mut zero = ok;
+        zero.intensity = 0;
+        assert!(zero.validate(&dram, 1).is_err());
+
+        let mut edge = ok;
+        edge.target = Some((0, 0, 0, 1)); // subarray edge
+        assert!(edge.validate(&dram, 1).is_err());
+
+        let mut far_ch = ok;
+        far_ch.target = Some((3, 0, 0, 32));
+        assert!(far_ch.validate(&dram, 1).is_err());
+
+        let mut interior = ok;
+        interior.target = Some((0, 0, 1, 32));
+        interior.validate(&dram, 1).unwrap();
+    }
+}

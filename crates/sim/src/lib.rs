@@ -35,6 +35,7 @@ pub mod config;
 pub mod error;
 pub mod experiments;
 pub mod fault;
+pub mod hammer;
 pub mod json;
 pub mod metrics;
 mod parallel;
@@ -50,6 +51,9 @@ pub use config::{Engine, Mechanism, SystemConfig};
 pub use error::CrowError;
 pub use experiments::{run_many, run_mix, run_single, run_with_config, Scale};
 pub use fault::{FaultPlan, FaultPolicy, FaultStats};
+pub use hammer::{
+    AggressorGen, AttackPattern, FlipModel, FlipParams, HammerScenario, HammerState, HammerStats,
+};
 pub use json::Json;
 pub use metrics::weighted_speedup;
 pub use report::SimReport;

@@ -8,6 +8,7 @@ use crow_mem::{McStats, SchedStats};
 
 use crate::campaign::Journaled;
 use crate::fault::FaultStats;
+use crate::hammer::HammerStats;
 use crate::json::Json;
 
 /// Everything a finished run reports.
@@ -42,6 +43,10 @@ pub struct SimReport {
     /// part of the cross-engine equivalence contract — engines and
     /// scheduler implementations legitimately differ here).
     pub sched: SchedStats,
+    /// RowHammer attack-scenario outcome (all zero without an active
+    /// [`crate::hammer::HammerScenario`]; `detections` and
+    /// `mitigation_refreshes` also count ambient mitigation work).
+    pub hammer: HammerStats,
     /// Wall-clock seconds the `run` call took (diagnostic; not part of
     /// the cross-engine equivalence contract).
     pub wall_seconds: f64,
@@ -125,6 +130,7 @@ impl Journaled for SimReport {
             mc.restore_activations,
             mc.hammer_copies,
             mc.bus_drops,
+            mc.neighbor_refreshes,
         ];
         let crow = [
             self.crow.cache_lookups,
@@ -157,6 +163,14 @@ impl Journaled for SimReport {
             self.sched.rebuilds,
             self.sched.wakeup_skips,
         ];
+        let hammer = [
+            self.hammer.injected,
+            self.hammer.flips,
+            self.hammer.flipped_rows,
+            self.hammer.absorbed,
+            self.hammer.detections,
+            self.hammer.mitigation_refreshes,
+        ];
         Json::Obj(vec![
             ("ipc".into(), f64s(&self.ipc)),
             ("mpki".into(), f64s(&self.mpki)),
@@ -172,6 +186,7 @@ impl Journaled for SimReport {
             ("trace_faults".into(), Json::u64(self.trace_faults)),
             ("faults".into(), u64s(&faults)),
             ("sched".into(), u64s(&sched)),
+            ("hammer".into(), u64s(&hammer)),
             ("wall_seconds".into(), Json::f64(self.wall_seconds)),
             (
                 "sim_cycles_per_sec".into(),
@@ -206,7 +221,29 @@ impl Journaled for SimReport {
                 }
             }
         };
-        if mc_counters.len() != 12
+        // Journals written before the RowHammer subsystem existed lack
+        // the key entirely (restore as zeros), same back-compat rule as
+        // `sched`.
+        let hammer = match v.get("hammer") {
+            None => HammerStats::default(),
+            Some(_) => {
+                let h = get_u64s(v, "hammer")?;
+                if h.len() != 6 {
+                    return None;
+                }
+                HammerStats {
+                    injected: h[0],
+                    flips: h[1],
+                    flipped_rows: h[2],
+                    absorbed: h[3],
+                    detections: h[4],
+                    mitigation_refreshes: h[5],
+                }
+            }
+        };
+        // 12-counter `mc` arrays predate the `neighbor_refreshes`
+        // mitigation counter; both lengths decode.
+        if !(mc_counters.len() == 12 || mc_counters.len() == 13)
             || hist.len() != LATENCY_BUCKETS
             || commands.len() != 8
             || crow.len() != 8
@@ -237,6 +274,7 @@ impl Journaled for SimReport {
                 restore_activations: mc_counters[9],
                 hammer_copies: mc_counters[10],
                 bus_drops: mc_counters[11],
+                neighbor_refreshes: mc_counters.get(12).copied().unwrap_or(0),
                 latency_hist,
             },
             commands: ChannelStats::from_snapshot(cmd),
@@ -268,6 +306,7 @@ impl Journaled for SimReport {
                 suppressed: faults[4],
             },
             sched,
+            hammer,
             wall_seconds: get_f64(v, "wall_seconds").unwrap_or(0.0),
             sim_cycles_per_sec: get_f64(v, "sim_cycles_per_sec").unwrap_or(0.0),
         })
@@ -294,6 +333,7 @@ mod tests {
             trace_faults: 0,
             faults: FaultStats::default(),
             sched: SchedStats::default(),
+            hammer: HammerStats::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };
@@ -341,6 +381,7 @@ mod tests {
                 rebuilds: 2,
                 wakeup_skips: u64::MAX,
             },
+            hammer: HammerStats::default(),
             wall_seconds: 1.5,
             sim_cycles_per_sec: 2e9,
         };
@@ -379,6 +420,7 @@ mod tests {
                 picks: 9,
                 ..SchedStats::default()
             },
+            hammer: HammerStats::default(),
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

@@ -215,6 +215,10 @@ pub struct SimJob {
     pub ddr4: bool,
     /// Attach the shadow protocol validator.
     pub validate: bool,
+    /// Active RowHammer attack scenario: (pattern spelling, intensity
+    /// in aggressor ACTs per refresh window). The scenario uses the
+    /// job's master seed and the paper-default flip physics.
+    pub hammer: Option<(String, u64)>,
 }
 
 /// Hard ceilings the validator enforces on numeric request fields, so a
@@ -225,6 +229,7 @@ const MAX_JOB_WARMUP: u64 = 1_000_000_000;
 const MAX_JOB_APPS: usize = 8;
 const MAX_JOB_CHANNELS: u32 = 16;
 const MAX_JOB_LLC_MIB: u64 = 1024;
+const MAX_JOB_HAMMER_INTENSITY: u64 = 16_000_000;
 const MAX_ID_LEN: usize = 120;
 
 impl SimJob {
@@ -235,7 +240,7 @@ impl SimJob {
     /// job.
     pub fn fingerprint(&self) -> String {
         format!(
-            "serve/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}",
+            "serve/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}",
             self.mechanism.to_ascii_lowercase(),
             self.apps.join("+"),
             self.density,
@@ -245,6 +250,10 @@ impl SimJob {
             if self.prefetch { "/pref" } else { "" },
             if self.ddr4 { "/ddr4" } else { "" },
             if self.validate { "/validate" } else { "" },
+            match &self.hammer {
+                Some((p, i)) => format!("/hammer:{p}x{i}"),
+                None => String::new(),
+            },
         )
     }
 
@@ -281,6 +290,12 @@ impl SimJob {
         }
         if self.validate {
             cfg.validate_protocol = true;
+        }
+        if let Some((pattern, intensity)) = &self.hammer {
+            // The spelling was validated at parse time; geometry checks
+            // happen in `System::try_new`.
+            let p = crate::hammer::AttackPattern::parse(pattern).expect("validated by parse_sim");
+            cfg = cfg.with_hammer(crate::hammer::HammerScenario::new(p, *intensity));
         }
         cfg
     }
@@ -371,7 +386,7 @@ fn parse_request_doc(doc: &Json) -> Result<Request, CrowError> {
 }
 
 fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> {
-    const KEYS: [&str; 13] = [
+    const KEYS: [&str; 15] = [
         "op",
         "id",
         "apps",
@@ -385,6 +400,8 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
         "prefetch",
         "ddr4",
         "validate",
+        "hammer_pattern",
+        "hammer_intensity",
     ];
     for (k, _) in pairs {
         if !KEYS.contains(&k.as_str()) {
@@ -476,6 +493,27 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
     if ddr4 && doc.get("density").is_some() {
         return Err(bad_req("\"density\" applies to the LPDDR4 platform only"));
     }
+    let hammer = match doc.get("hammer_pattern") {
+        None => {
+            if doc.get("hammer_intensity").is_some() {
+                return Err(bad_req("\"hammer_intensity\" requires \"hammer_pattern\""));
+            }
+            None
+        }
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| bad_req("\"hammer_pattern\" must be a string"))?;
+            if crate::hammer::AttackPattern::parse(s).is_none() {
+                return Err(bad_req(format!("unknown hammer pattern {s:?}")));
+            }
+            let intensity = uint("hammer_intensity", 500_000, MAX_JOB_HAMMER_INTENSITY)?;
+            if intensity == 0 {
+                return Err(bad_req("\"hammer_intensity\" must be positive"));
+            }
+            Some((s.to_string(), intensity))
+        }
+    };
     Ok(SimJob {
         id: id.to_string(),
         apps,
@@ -489,6 +527,7 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
         prefetch: flag("prefetch")?,
         ddr4,
         validate: flag("validate")?,
+        hammer,
     })
 }
 
@@ -1226,6 +1265,18 @@ mod tests {
         };
         assert_eq!(job.mechanism, "baseline");
         assert_eq!((job.insts, job.density, job.channels), (100_000, 8, 4));
+        assert_eq!(job.hammer, None);
+        // An attack scenario: pattern validated, intensity defaulted.
+        let r = parse_request(
+            "{\"op\":\"sim\",\"id\":\"j3\",\"apps\":[\"mcf\"],\"mechanism\":\"para\",\
+             \"hammer_pattern\":\"double\"}",
+        )
+        .unwrap();
+        let Request::Sim(job) = r else {
+            panic!("expected a sim job")
+        };
+        assert_eq!(job.hammer, Some(("double".to_string(), 500_000)));
+        assert!(job.fingerprint().contains("/hammer:doublex500000"));
     }
 
     #[test]
@@ -1283,6 +1334,19 @@ mod tests {
             (
                 "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"gpu\":true}",
                 "unknown key",
+            ),
+            (
+                "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"hammer_pattern\":\"septuple\"}",
+                "unknown hammer pattern",
+            ),
+            (
+                "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"hammer_intensity\":1000}",
+                "requires \"hammer_pattern\"",
+            ),
+            (
+                "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"hammer_pattern\":\"double\",\
+                 \"hammer_intensity\":0}",
+                "positive",
             ),
         ];
         for (line, needle) in cases {

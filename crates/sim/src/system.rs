@@ -14,6 +14,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::{Engine, Mechanism, SystemConfig};
 use crate::error::CrowError;
 use crate::fault::{FaultPolicy, FaultStats};
+use crate::hammer::HammerState;
 use crate::report::SimReport;
 use crow_dram::ConfigError;
 
@@ -67,6 +68,9 @@ pub struct System {
     /// perturbing each other's draws).
     fault_rng: StdRng,
     fault_stats: FaultStats,
+    /// Active RowHammer attack scenario (generator + flip model); `None`
+    /// when `cfg.hammer` is unset.
+    hammer: Option<HammerState>,
 }
 
 impl System {
@@ -150,12 +154,31 @@ impl System {
             Mechanism::Salp {
                 open_page: true, ..
             } => mc_cfg = mc_cfg.with_open_page(),
+            Mechanism::Para { hazard } => {
+                mc_cfg = mc_cfg.with_mitigation(crow_mem::Mitigation::Para { hazard });
+            }
+            Mechanism::Trr { entries, threshold } => {
+                mc_cfg = mc_cfg.with_mitigation(crow_mem::Mitigation::Trr { entries, threshold });
+            }
             _ => {}
         }
+        let hammer = match &cfg.hammer {
+            None => None,
+            Some(sc) => Some(
+                HammerState::try_new(sc, &dram, cfg.channels, cfg.seed)
+                    .map_err(|reason| ConfigError::new("HammerScenario", reason))?,
+            ),
+        };
         let mcs: Vec<MemController> = (0..cfg.channels)
             .map(|ch| -> Result<MemController, CrowError> {
                 let crow = Self::build_crow(&cfg, &dram, ch);
                 let mut mc = MemController::try_new(mc_cfg, dram.clone(), crow)?;
+                // PARA's coin stream is per channel so multi-channel
+                // samplings do not correlate.
+                mc.set_mitigation_seed(cfg.seed ^ 0x5041_5241 ^ (u64::from(ch) << 32));
+                if cfg.hammer.is_some() {
+                    mc.enable_event_log();
+                }
                 if let Mechanism::TlDram { near_rows } = cfg.mechanism {
                     let model = TlDramModel::calibrated();
                     let near_trcd = model.near_trcd_ratio(u32::from(near_rows));
@@ -205,6 +228,7 @@ impl System {
             mc_next_event,
             fault_rng,
             fault_stats: FaultStats::default(),
+            hammer,
         })
     }
 
@@ -313,7 +337,11 @@ impl System {
             ideal: false,
         };
         match cfg.mechanism {
-            Mechanism::Baseline | Mechanism::NoRefresh | Mechanism::Salp { .. } => None,
+            Mechanism::Baseline
+            | Mechanism::NoRefresh
+            | Mechanism::Salp { .. }
+            | Mechanism::Para { .. }
+            | Mechanism::Trr { .. } => None,
             Mechanism::CrowCache { share_factor, .. } => {
                 let mut c = base;
                 c.share_factor = share_factor;
@@ -393,6 +421,12 @@ impl System {
         &self.mcs
     }
 
+    /// Direct access to the active attack scenario's state
+    /// (tests/diagnostics); `None` when no scenario is configured.
+    pub fn hammer_state(&self) -> Option<&HammerState> {
+        self.hammer.as_ref()
+    }
+
     /// Advances the system by one CPU cycle.
     ///
     /// With `event_driven` set, memory ticks provably before a
@@ -406,15 +440,20 @@ impl System {
             }
         }
         self.poll_fault_plan();
+        self.poll_hammer();
         let (num, den) = SystemConfig::CLOCK_RATIO;
         self.clock_accum += den;
         if self.clock_accum >= num {
             self.clock_accum -= num;
+            let hammer = &mut self.hammer;
             for (i, mc) in self.mcs.iter_mut().enumerate() {
                 if event_driven && self.mem_cycle < self.mc_next_event[i] {
                     mc.skip_idle(1);
                 } else {
                     mc.tick(self.mem_cycle, &mut self.completions);
+                    if let Some(hs) = hammer.as_mut() {
+                        hs.drain(i as u32, mc);
+                    }
                     if event_driven {
                         self.mc_next_event[i] = mc.min_wakeup(self.mem_cycle);
                     }
@@ -432,6 +471,26 @@ impl System {
         };
         self.cluster.cycle(self.cpu_cycle, &mut router);
         self.cpu_cycle += 1;
+    }
+
+    /// Delivers one due aggressor request to its channel's controller
+    /// (no-op without an active scenario). Rejections re-arm for retry;
+    /// a successful enqueue mutates the controller, so its event-driven
+    /// bound is reset just like the [`Router`]'s.
+    fn poll_hammer(&mut self) {
+        let Some(hs) = self.hammer.as_mut() else {
+            return;
+        };
+        if let Some(req) = hs.gen.poll(self.cpu_cycle) {
+            let ch = hs.gen.channel() as usize;
+            match self.mcs[ch].try_enqueue(req) {
+                Ok(()) => {
+                    hs.gen.note_injected();
+                    self.mc_next_event[ch] = 0;
+                }
+                Err(r) => hs.gen.requeue(r),
+            }
+        }
     }
 
     /// How many CPU cycles (starting at the current one) the whole
@@ -456,6 +515,12 @@ impl System {
                 return 0; // a fault injection is due this very cycle
             }
             k = k.min(plan.next_boundary_in(now));
+        }
+        if let Some(hs) = &self.hammer {
+            if hs.gen.due(now) {
+                return 0; // an aggressor injection is due this very cycle
+            }
+            k = k.min(hs.gen.next_boundary_in(now));
         }
         // Memory-side cap: the skipped span may contain only memory
         // ticks strictly before the earliest controller event. Over `k`
@@ -497,7 +562,9 @@ impl System {
     pub fn run(&mut self, max_cpu_cycles: u64) -> SimReport {
         let started = std::time::Instant::now();
         let start_cycle = self.cpu_cycle;
-        if self.cfg.threads > 1 && self.cfg.channels > 1 {
+        // Attack scenarios are serial-only: the sharded driver cannot
+        // poll the generator or drain flip events mid-shard.
+        if self.cfg.threads > 1 && self.cfg.channels > 1 && self.hammer.is_none() {
             crate::parallel::drive(self, max_cpu_cycles);
         } else {
             match self.cfg.engine {
@@ -578,6 +645,11 @@ impl System {
         let mut energy = EnergyCounter::new();
         let mut sched = SchedStats::new();
         let mut violations = 0u64;
+        let mut hammer = self
+            .hammer
+            .as_ref()
+            .map(HammerState::stats)
+            .unwrap_or_default();
         for c in &self.mcs {
             mc.merge(c.stats());
             commands.merge(c.channel().stats());
@@ -585,11 +657,13 @@ impl System {
             sched.merge(c.sched_stats());
             if let Some(s) = c.crow() {
                 crow.merge(s.stats());
+                hammer.detections += s.hammer_detections();
             }
             if let Some(v) = c.channel().validator() {
                 violations += v.total_violations();
             }
         }
+        hammer.mitigation_refreshes = mc.neighbor_refreshes;
         SimReport {
             ipc: (0..n).map(|i| self.cluster.ipc(i)).collect(),
             mpki: (0..n).map(|i| self.cluster.mpki(i)).collect(),
@@ -604,6 +678,7 @@ impl System {
             trace_faults: self.cluster.trace_faults().len() as u64,
             faults: self.fault_stats,
             sched,
+            hammer,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         }

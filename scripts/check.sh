@@ -62,6 +62,15 @@ echo "== warm checkpoint gate (second pass restores every warmup) =="
 cargo build --release -p crow-bench --bin checkpoint_gate
 target/release/checkpoint_gate
 
+echo "== hammer gate (attack corrupts unmitigated, CROW suppresses) =="
+# RowHammer attack-scenario contracts: an unmitigated saturating
+# double-sided attack produces live flips, CROW detects and fully
+# suppresses a moderate-intensity attack (flips land only in abandoned
+# physical rows), both runs are validator-clean, and the flipping run
+# is bit-identical across naive and event-driven engines.
+cargo build --release -p crow-bench --bin hammer_gate
+target/release/hammer_gate
+
 echo "== serve gate (chaos-soak the simulation service) =="
 # Boots the real crow-serve binary on a Unix socket and drives it with
 # concurrent clients: distinct jobs, duplicate jobs (must collapse onto
