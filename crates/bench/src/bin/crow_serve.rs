@@ -6,7 +6,15 @@
 //! (`CROW_SERVE_QUEUE`, `CROW_SERVE_WORKERS`, `CROW_SERVE_MAX_LINE`,
 //! `CROW_SERVE_READ_TIMEOUT_SECS`, `CROW_SERVE_JOB_TIMEOUT_SECS`,
 //! `CROW_SERVE_RETRIES`, `CROW_SERVE_HEARTBEAT_SECS`,
+//! `CROW_SERVE_ISOLATION`, `CROW_SERVE_RSS_MB`, `CROW_SERVE_BREAKER_K`,
+//! `CROW_SERVE_BREAKER_COOLDOWN_SECS`, `CROW_SERVE_CHAOS`,
 //! `CROW_CAMPAIGN_DIR`); see EXPERIMENTS.md.
+//!
+//! With `CROW_SERVE_ISOLATION=process` each job attempt re-execs this
+//! binary as `crow-serve --job-runner <parent-pid>`: the child reads one
+//! job spec on stdin, simulates, and writes the report on stdout, while
+//! the parent enforces deadline and RSS caps with SIGKILL and feeds
+//! per-fingerprint circuit breakers (see `crow_sim::supervise`).
 //!
 //! ```sh
 //! CROW_SERVE_ADDR=/tmp/crow.sock cargo run -p crow-bench --release --bin crow-serve &
@@ -67,15 +75,28 @@ fn usage() -> ! {
          events to stdout. SIGTERM, SIGINT, the shutdown op, and (in\n\
          stdio mode) EOF all drain gracefully.\n\
          \n\
+         crow-serve --job-runner TAG is internal: the sandboxed child\n\
+         half of CROW_SERVE_ISOLATION=process.\n\
+         \n\
          env: CROW_SERVE_QUEUE, CROW_SERVE_WORKERS, CROW_SERVE_MAX_LINE,\n\
          \x20    CROW_SERVE_READ_TIMEOUT_SECS, CROW_SERVE_JOB_TIMEOUT_SECS,\n\
          \x20    CROW_SERVE_RETRIES, CROW_SERVE_HEARTBEAT_SECS,\n\
+         \x20    CROW_SERVE_ISOLATION (thread|process), CROW_SERVE_RSS_MB,\n\
+         \x20    CROW_SERVE_BREAKER_K, CROW_SERVE_BREAKER_COOLDOWN_SECS,\n\
+         \x20    CROW_SERVE_CHAOS (accept fault-injection jobs),\n\
          \x20    CROW_CAMPAIGN_DIR (journal + result cache location)"
     );
     std::process::exit(2);
 }
 
 fn main() {
+    // The sandboxed child half of process isolation: handled before
+    // anything else (no signal handlers, no server, no socket). The TAG
+    // operand is the parent pid — it makes leaked children findable by
+    // a /proc cmdline scan and plays no other role.
+    if std::env::args().nth(1).as_deref() == Some("--job-runner") {
+        crow_sim::supervise::job_runner_main();
+    }
     let mut socket: Option<PathBuf> = std::env::var("CROW_SERVE_ADDR").ok().map(PathBuf::from);
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -117,13 +138,16 @@ fn main() {
         let _ = std::fs::remove_file(path);
     }
     eprintln!(
-        "crow-serve: drained | workers_joined {} | jobs_run {} | cache_hits {} | shed {} | bad_requests {} | abandoned {}",
+        "crow-serve: drained | workers_joined {} | jobs_run {} | cache_hits {} | shed {} | bad_requests {} | abandoned {} | abandoned_attempts {} | killed_children {} | quarantined {}",
         summary.workers_joined,
         summary.jobs_run,
         summary.cache_hits,
         summary.shed,
         summary.bad_requests,
         summary.abandoned,
+        summary.abandoned_attempts,
+        summary.killed_children,
+        summary.quarantined,
     );
     if summary.abandoned > 0 {
         std::process::exit(1);

@@ -232,8 +232,14 @@ where
     });
     if camp.quarantined() > 0 {
         eprintln!(
-            "simulate: quarantined {} corrupt journal record(s)",
+            "simulate: quarantined {} malformed journal record(s)",
             camp.quarantined()
+        );
+    }
+    if camp.corrupt() > 0 {
+        eprintln!(
+            "simulate: set aside {} CRC-failing journal record(s) to the .corrupt sidecar",
+            camp.corrupt()
         );
     }
     // Everything that changes the simulated outcome must be in the job

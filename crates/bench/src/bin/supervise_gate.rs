@@ -1,0 +1,336 @@
+//! Poison-job gate for process-isolated execution (`scripts/check.sh`).
+//!
+//! Boots the real `crow-serve` binary with `CROW_SERVE_ISOLATION=process`
+//! and throws a poison-job storm at it, asserting the supervision
+//! contract end to end:
+//!
+//! 1. a crash-looping fingerprint burns through its retry ladder, trips
+//!    the circuit breaker, and every subsequent duplicate is refused
+//!    with a structured `quarantined` error — **zero** re-executions;
+//! 2. healthy jobs interleaved with the storm all complete normally;
+//! 3. a wedged (infinite-loop) child is deadline-SIGKILLed and surfaces
+//!    as a structured `timeout`; a memory bomb breaches the RSS cap and
+//!    surfaces as `resource-limit`;
+//! 4. after all of it the `health` endpoint reports zero live children,
+//!    SIGTERM drains cleanly, and a `/proc` sweep finds no leaked
+//!    `--job-runner` child tagged with the server's pid.
+//!
+//! Exits non-zero with a diagnostic on any violation.
+
+use std::io::Read as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use crow_bench::util::ServeClient;
+use crow_sim::Json;
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+fn fail(msg: &str) -> ! {
+    eprintln!("supervise_gate: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Connects with a short retry loop: the socket file appears at the
+/// server's bind() but accepts only after listen(), so a fast client
+/// can land in between and see ECONNREFUSED.
+fn connect_retry(socket: &Path) -> ServeClient {
+    let t0 = Instant::now();
+    loop {
+        match ServeClient::connect(socket, DEADLINE) {
+            Ok(c) => return c,
+            Err(e) if t0.elapsed() > Duration::from_secs(10) => {
+                fail(&format!("cannot connect: {e}"))
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn job_line(id: &str, insts: u64, chaos: Option<&str>) -> String {
+    let base = format!(
+        "{{\"op\":\"sim\",\"id\":\"{id}\",\"apps\":[\"mcf\"],\"insts\":{insts},\
+         \"warmup\":1000,\"channels\":1,\"llc_mib\":1"
+    );
+    match chaos {
+        Some(c) => format!("{base},\"chaos\":\"{c}\"}}"),
+        None => format!("{base}}}"),
+    }
+}
+
+struct Harness {
+    serve_bin: PathBuf,
+    socket: PathBuf,
+    campaign_dir: PathBuf,
+}
+
+impl Harness {
+    fn spawn_server(&self) -> Child {
+        let mut cmd = Command::new(&self.serve_bin);
+        cmd.env("CROW_SERVE_ADDR", &self.socket)
+            .env("CROW_CAMPAIGN_DIR", &self.campaign_dir)
+            .env("CROW_SERVE_WORKERS", "2")
+            .env("CROW_SERVE_QUEUE", "16")
+            .env("CROW_SERVE_HEARTBEAT_SECS", "0.2")
+            .env("CROW_SERVE_JOB_TIMEOUT_SECS", "2")
+            .env("CROW_SERVE_RETRIES", "1")
+            .env("CROW_SERVE_ISOLATION", "process")
+            .env("CROW_SERVE_CHAOS", "1")
+            .env("CROW_SERVE_RSS_MB", "96")
+            .env("CROW_SERVE_BREAKER_K", "3")
+            .env("CROW_SERVE_BREAKER_COOLDOWN_SECS", "60")
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::piped());
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| fail(&format!("cannot spawn {}: {e}", self.serve_bin.display())));
+        let t0 = Instant::now();
+        while !self.socket.exists() {
+            if t0.elapsed() > Duration::from_secs(30) {
+                fail("server did not create its socket within 30s");
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        child
+    }
+
+    fn client(&self) -> ServeClient {
+        connect_retry(&self.socket)
+    }
+
+    fn health(&self) -> Json {
+        self.client()
+            .health()
+            .unwrap_or_else(|e| fail(&format!("health: {e}")))
+    }
+
+    fn sup_counter(&self, key: &str) -> u64 {
+        self.health()
+            .get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| fail(&format!("health missing counter {key}")))
+    }
+
+    /// Runs one job to its terminal event and returns (code, error text)
+    /// for errors or ("result", outcome) for successes.
+    fn terminal(&self, line: &str, id: &str) -> (String, String) {
+        let mut c = self.client();
+        c.send(line)
+            .unwrap_or_else(|e| fail(&format!("{id} send: {e}")));
+        let ev = c
+            .recv_until(|ev| {
+                let kind = ev.get("event").and_then(Json::as_str);
+                (kind == Some("result") || kind == Some("error"))
+                    && ev.get("id").and_then(Json::as_str) == Some(id)
+            })
+            .unwrap_or_else(|e| fail(&format!("{id} terminal: {e}")));
+        match ev.get("event").and_then(Json::as_str) {
+            Some("result") => (
+                "result".into(),
+                ev.get("outcome")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .into(),
+            ),
+            _ => (
+                ev.get("code").and_then(Json::as_str).unwrap_or("").into(),
+                ev.get("error").and_then(Json::as_str).unwrap_or("").into(),
+            ),
+        }
+    }
+
+    fn expect_ok(&self, id: &str, insts: u64) {
+        let (kind, outcome) = self.terminal(&job_line(id, insts, None), id);
+        if kind != "result" {
+            fail(&format!(
+                "healthy job {id} did not complete: {kind}: {outcome}"
+            ));
+        }
+    }
+}
+
+fn signal_child(child: &Child, signal: &str) {
+    let status = Command::new("sh")
+        .arg("-c")
+        .arg(format!("kill -{signal} {}", child.id()))
+        .status()
+        .unwrap_or_else(|e| fail(&format!("cannot signal server: {e}")));
+    if !status.success() {
+        fail(&format!("kill -{signal} failed"));
+    }
+}
+
+fn wait_with_stderr(mut child: Child) -> (std::process::ExitStatus, String) {
+    let mut stderr = child.stderr.take().expect("stderr piped");
+    let collector = std::thread::spawn(move || {
+        let mut buf = String::new();
+        let _ = stderr.read_to_string(&mut buf);
+        buf
+    });
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                let text = collector.join().unwrap_or_default();
+                return (status, text);
+            }
+            Ok(None) => {
+                if t0.elapsed() > DEADLINE {
+                    let _ = child.kill();
+                    fail("server did not exit within the deadline");
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => fail(&format!("wait: {e}")),
+        }
+    }
+}
+
+/// Sweeps `/proc` for a leaked `--job-runner` child carrying `tag`
+/// (the server's pid) in its argv. After a drain there must be none.
+fn leaked_runners(tag: u32) -> Vec<u32> {
+    let needle = format!("--job-runner\0{tag}\0");
+    let mut leaked = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc") else {
+        return leaked;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = name.to_str().and_then(|s| s.parse::<u32>().ok()) else {
+            continue;
+        };
+        let Ok(cmdline) = std::fs::read(entry.path().join("cmdline")) else {
+            continue;
+        };
+        if String::from_utf8_lossy(&cmdline).contains(&needle) {
+            leaked.push(pid);
+        }
+    }
+    leaked
+}
+
+fn main() {
+    let serve_bin = std::env::current_exe()
+        .unwrap_or_else(|e| fail(&format!("current_exe: {e}")))
+        .with_file_name("crow-serve");
+    if !serve_bin.exists() {
+        fail(&format!(
+            "{} not built (build the crow-serve bin first)",
+            serve_bin.display()
+        ));
+    }
+    let scratch = std::env::temp_dir().join(format!("crow-supervise-gate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap_or_else(|e| fail(&format!("scratch: {e}")));
+    let h = Harness {
+        serve_bin,
+        socket: scratch.join("crow.sock"),
+        campaign_dir: scratch.join("campaign"),
+    };
+    let server = h.spawn_server();
+    let server_pid = server.id();
+
+    // --- Phase A: poison storm vs interleaved healthy jobs -------------
+    // One crash-looping fingerprint, submitted repeatedly under fresh
+    // ids. CROW_SERVE_RETRIES=1 and BREAKER_K=3: the first submission
+    // burns 2 attempts (both crash), the second trips the breaker on its
+    // first child, and everything after that is quarantined without a
+    // single spawn. Healthy jobs (distinct insts => distinct
+    // fingerprints) run between every poison submission.
+    h.expect_ok("healthy-0", 20_000);
+    let (code, err) = h.terminal(&job_line("poison-0", 20_000, Some("crash")), "poison-0");
+    if code != "failed" || !err.contains("crash") {
+        fail(&format!(
+            "poison-0: expected a crash failure, got {code}: {err}"
+        ));
+    }
+    h.expect_ok("healthy-1", 21_000);
+    let (code, err) = h.terminal(&job_line("poison-1", 20_000, Some("crash")), "poison-1");
+    if code != "failed" || !err.contains("circuit breaker opened") {
+        fail(&format!(
+            "poison-1: expected the breaker to open, got {code}: {err}"
+        ));
+    }
+    for i in 2u64..5 {
+        let id = format!("poison-{i}");
+        let spawned_before = h.sup_counter("children_spawned");
+        let (code, err) = h.terminal(&job_line(&id, 20_000, Some("crash")), &id);
+        if code != "quarantined" || !err.contains("circuit breaker open") {
+            fail(&format!("{id}: expected quarantined, got {code}: {err}"));
+        }
+        if h.sup_counter("children_spawned") != spawned_before {
+            fail(&format!("quarantined duplicate {id} was re-executed"));
+        }
+        h.expect_ok(&format!("healthy-{i}"), 20_000 + i * 1000);
+    }
+    if h.sup_counter("child_crashes") != 3 {
+        fail(&format!(
+            "expected exactly 3 child crashes (retry ladder + the one that tripped the breaker), saw {}",
+            h.sup_counter("child_crashes")
+        ));
+    }
+    println!(
+        "supervise_gate: poison storm OK (breaker open after 3 crashes, \
+         3 duplicates quarantined, 5 healthy jobs completed)"
+    );
+
+    // --- Phase B: wedge and bomb ---------------------------------------
+    let (code, err) = h.terminal(&job_line("stuck", 20_000, Some("wedge")), "stuck");
+    if code != "timeout" || !err.contains("deadline") {
+        fail(&format!(
+            "wedge: expected a deadline kill, got {code}: {err}"
+        ));
+    }
+    if h.sup_counter("children_killed_deadline") == 0 {
+        fail("no deadline kill was counted");
+    }
+    let (code, err) = h.terminal(&job_line("hog", 20_000, Some("bomb")), "hog");
+    if code != "resource-limit" || !err.contains("SIGKILL") {
+        fail(&format!("bomb: expected an RSS kill, got {code}: {err}"));
+    }
+    if h.sup_counter("children_killed_rss") == 0 {
+        fail("no RSS kill was counted");
+    }
+    // The slots those kills freed still serve healthy work.
+    h.expect_ok("healthy-after-kills", 25_000);
+    println!("supervise_gate: wedge deadline-killed, bomb RSS-killed, slots refilled");
+
+    // --- Phase C: no leaks, clean drain --------------------------------
+    let health = h.health();
+    let live = health
+        .get("live_children")
+        .and_then(Json::as_u64)
+        .unwrap_or_else(|| fail("health missing live_children"));
+    if live != 0 {
+        fail(&format!(
+            "{live} children still live after all jobs finished"
+        ));
+    }
+    signal_child(&server, "TERM");
+    let (status, stderr) = wait_with_stderr(server);
+    if !status.success() {
+        fail(&format!("SIGTERM drain exited {status}; stderr:\n{stderr}"));
+    }
+    let summary = stderr
+        .lines()
+        .find(|l| l.contains("drained"))
+        .unwrap_or_else(|| fail(&format!("no drain summary in stderr:\n{stderr}")));
+    if !summary.contains("workers_joined 2") || !summary.contains("abandoned 0") {
+        fail(&format!("bad drain summary: {summary}"));
+    }
+    if !summary.contains("quarantined 3") {
+        fail(&format!(
+            "drain summary lost the quarantine count: {summary}"
+        ));
+    }
+    let leaked = leaked_runners(server_pid);
+    if !leaked.is_empty() {
+        fail(&format!("leaked --job-runner children: {leaked:?}"));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    println!("supervise_gate: drain clean, zero leaked children");
+    println!("supervise_gate: PASS");
+}

@@ -145,8 +145,14 @@ impl FigCampaign {
         });
         if camp.quarantined() > 0 {
             eprintln!(
-                "campaign {name}: quarantined {} corrupt journal record(s)",
+                "campaign {name}: quarantined {} malformed journal record(s)",
                 camp.quarantined()
+            );
+        }
+        if camp.corrupt() > 0 {
+            eprintln!(
+                "campaign {name}: set aside {} CRC-failing journal record(s) to the .corrupt sidecar",
+                camp.corrupt()
             );
         }
         Self {
@@ -191,9 +197,14 @@ impl FigCampaign {
         }
         if let Some(path) = self.camp.journal_path() {
             let s = &self.sched;
+            // Dispositions are resume-stable by construction, but
+            // abandonment is a this-run thread leak (never journaled):
+            // surface the live number, not the always-zero disposition.
+            let mut outcomes = d;
+            outcomes.abandoned = c.abandoned;
             let summary = Json::Obj(vec![
                 ("campaign".into(), Json::str(self.camp.name())),
-                ("outcomes".into(), d.to_json()),
+                ("outcomes".into(), outcomes.to_json()),
                 (
                     "scheduler".into(),
                     Json::Obj(vec![
@@ -312,6 +323,13 @@ impl ServeClient {
             (kind == Some("result") || kind == Some("error"))
                 && ev.get("id").and_then(Json::as_str) == Some(id)
         })
+    }
+
+    /// Asks for the supervision health document (queue depth, live
+    /// children, breaker states, kill/retry counters).
+    pub fn health(&mut self) -> std::io::Result<Json> {
+        self.send("{\"op\":\"health\"}")?;
+        self.recv_until(|ev| ev.get("event").and_then(Json::as_str) == Some("health"))
     }
 }
 

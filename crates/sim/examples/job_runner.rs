@@ -1,0 +1,10 @@
+//! The sandboxed job-runner binary the supervision integration tests
+//! point [`crow_sim::supervise::SuperviseConfig::runner_exe`] at: its
+//! only behavior is the child half of `CROW_SERVE_ISOLATION=process`.
+//! The real `crow-serve` binary embeds the same entry point behind its
+//! `--job-runner` flag; this example exists because a test binary's
+//! `current_exe()` is the test harness, which must not be re-exec'd.
+
+fn main() {
+    crow_sim::supervise::job_runner_main();
+}

@@ -127,6 +127,12 @@ pub struct OutcomeCounts {
     pub skipped: u64,
     /// Extra attempts beyond the first, across all jobs.
     pub retries: u64,
+    /// Attempts abandoned at their deadline: the worker thread was left
+    /// behind, still running detached, and its result discarded. Like
+    /// `retries` this counts *attempts*, not jobs — a nonzero value
+    /// under thread isolation means that many leaked threads lived
+    /// until process exit.
+    pub abandoned: u64,
 }
 
 impl OutcomeCounts {
@@ -149,6 +155,7 @@ impl OutcomeCounts {
         self.timed_out += other.timed_out;
         self.skipped += other.skipped;
         self.retries += other.retries;
+        self.abandoned += other.abandoned;
     }
 
     /// Total jobs accounted.
@@ -170,6 +177,7 @@ impl OutcomeCounts {
             ("timed_out".into(), Json::u64(self.timed_out)),
             ("skipped".into(), Json::u64(self.skipped)),
             ("retries".into(), Json::u64(self.retries)),
+            ("abandoned".into(), Json::u64(self.abandoned)),
         ])
     }
 }
@@ -178,8 +186,14 @@ impl std::fmt::Display for OutcomeCounts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ok {} | degraded {} | panicked {} | timed-out {} | skipped {} | retries {}",
-            self.ok, self.degraded, self.panicked, self.timed_out, self.skipped, self.retries
+            "ok {} | degraded {} | panicked {} | timed-out {} | skipped {} | retries {} | abandoned {}",
+            self.ok,
+            self.degraded,
+            self.panicked,
+            self.timed_out,
+            self.skipped,
+            self.retries,
+            self.abandoned
         )
     }
 }
@@ -354,6 +368,23 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), bitwise.
+/// Journal records are small and verified once at open, so a lookup
+/// table buys nothing here. Where FNV-1a is a *content* hash (did this
+/// body produce this line?), the CRC detects *storage* damage — bit
+/// rot, torn sectors — with guaranteed burst-error coverage.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
 /// One durable journal record (a single JSONL line).
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalRecord {
@@ -389,11 +420,16 @@ impl JournalRecord {
             Some(text) => Json::parse(text).unwrap_or(Json::Null),
             None => Json::Null,
         };
+        let body = self.body();
         Json::Obj(vec![
             ("v".into(), Json::u64(1)),
             (
                 "hash".into(),
-                Json::str(format!("{:016x}", fnv1a64(self.body().as_bytes()))),
+                Json::str(format!("{:016x}", fnv1a64(body.as_bytes()))),
+            ),
+            (
+                "crc".into(),
+                Json::str(format!("{:08x}", crc32(body.as_bytes()))),
             ),
             ("fp".into(), Json::str(self.fingerprint.clone())),
             ("kind".into(), Json::str(self.kind.as_str())),
@@ -412,27 +448,84 @@ impl JournalRecord {
 
     /// Parses and verifies one JSONL line (`None`: corrupt/torn record).
     pub fn from_line(line: &str) -> Option<Self> {
-        let v = Json::parse(line).ok()?;
-        if v.get("v")?.as_u64()? != 1 {
+        match classify_line(line) {
+            LineVerdict::Ok(rec) => Some(rec),
+            LineVerdict::Corrupt | LineVerdict::Malformed => None,
+        }
+    }
+}
+
+/// How one journal line parsed (drives the two quarantine sidecars).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineVerdict {
+    /// Structurally valid and every checksum matched.
+    Ok(JournalRecord),
+    /// Structurally valid, but a checksum failed: the record was
+    /// written whole and damaged afterwards (bit rot, a torn sector).
+    /// Quarantined to the `.corrupt` sidecar.
+    Corrupt,
+    /// Not a record at all: a torn tail from a crash mid-append, or a
+    /// foreign line. Quarantined to the `.quarantine` sidecar.
+    Malformed,
+}
+
+/// Classifies one journal line (see [`LineVerdict`]). Lines without a
+/// `crc` field are legacy (pre-CRC) records and verify on the FNV
+/// content hash alone, so old journals keep resuming.
+pub fn classify_line(line: &str) -> LineVerdict {
+    let Ok(v) = Json::parse(line) else {
+        return LineVerdict::Malformed;
+    };
+    let field = |k: &str| v.get(k);
+    let rec = (|| -> Option<JournalRecord> {
+        if field("v")?.as_u64()? != 1 {
             return None;
         }
-        let rec = JournalRecord {
-            fingerprint: v.get("fp")?.as_str()?.to_string(),
-            kind: OutcomeKind::parse(v.get("kind")?.as_str()?)?,
-            attempts: u32::try_from(v.get("attempts")?.as_u64()?).ok()?,
-            error: match v.get("error")? {
+        Some(JournalRecord {
+            fingerprint: field("fp")?.as_str()?.to_string(),
+            kind: OutcomeKind::parse(field("kind")?.as_str()?)?,
+            attempts: u32::try_from(field("attempts")?.as_u64()?).ok()?,
+            error: match field("error")? {
                 Json::Null => None,
                 e => Some(e.as_str()?.to_string()),
             },
-            payload: match v.get("payload")? {
+            payload: match field("payload")? {
                 Json::Null => None,
                 p => Some(p.render()),
             },
-        };
-        let want = v.get("hash")?.as_str()?;
-        let got = format!("{:016x}", fnv1a64(rec.body().as_bytes()));
-        (want == got).then_some(rec)
+        })
+    })();
+    let Some(rec) = rec else {
+        return LineVerdict::Malformed;
+    };
+    let body = rec.body();
+    let crc = match v.get("crc") {
+        None => None, // Legacy record: FNV-only verification.
+        Some(c) => match c.as_str() {
+            Some(s) => Some(s),
+            None => return LineVerdict::Malformed,
+        },
+    };
+    if let Some(want) = crc {
+        if want != format!("{:08x}", crc32(body.as_bytes())) {
+            return LineVerdict::Corrupt;
+        }
     }
+    let Some(want_hash) = v.get("hash").and_then(Json::as_str) else {
+        return LineVerdict::Malformed;
+    };
+    if want_hash != format!("{:016x}", fnv1a64(body.as_bytes())) {
+        // With a matching CRC this is contradictory damage; either way
+        // the record was structurally complete, so a CRC-bearing line
+        // is storage corruption while a legacy line stays malformed
+        // (preserving the pre-CRC quarantine behavior).
+        return if crc.is_some() {
+            LineVerdict::Corrupt
+        } else {
+            LineVerdict::Malformed
+        };
+    }
+    LineVerdict::Ok(rec)
 }
 
 /// The durable per-campaign JSONL journal.
@@ -442,15 +535,18 @@ pub struct Journal {
     file: std::fs::File,
     records: HashMap<String, JournalRecord>,
     quarantined: usize,
+    corrupt: usize,
 }
 
 impl Journal {
     /// Opens (resume) or truncates (fresh) the journal at `path`.
     ///
-    /// On resume, unparseable or hash-mismatched lines — e.g. a torn
+    /// On resume, lines that are not records at all — e.g. a torn
     /// trailing record from a crash mid-append — are moved to
-    /// `<path>.quarantine` and the journal is rewritten with the
-    /// surviving records, so one bad line never invalidates the file.
+    /// `<path>.quarantine`, while structurally whole records whose CRC
+    /// (or content hash) fails are moved to `<path>.corrupt`, and the
+    /// journal is rewritten with the surviving records, so one bad line
+    /// never invalidates the file or aborts the resume.
     pub fn open(path: &Path, resume: bool) -> Result<Self, CrowError> {
         let io = |e: std::io::Error| CrowError::Journal {
             path: path.display().to_string(),
@@ -463,35 +559,30 @@ impl Journal {
         }
         let mut records = HashMap::new();
         let mut quarantined = 0;
+        let mut corrupt = 0;
         if resume && path.exists() {
             let text = std::fs::read_to_string(path).map_err(io)?;
             let mut good = Vec::new();
-            let mut bad = Vec::new();
+            let mut malformed = Vec::new();
+            let mut damaged = Vec::new();
             for line in text.lines() {
                 if line.trim().is_empty() {
                     continue;
                 }
-                match JournalRecord::from_line(line) {
-                    Some(rec) => {
+                match classify_line(line) {
+                    LineVerdict::Ok(rec) => {
                         records.insert(rec.fingerprint.clone(), rec);
                         good.push(line);
                     }
-                    None => bad.push(line),
+                    LineVerdict::Malformed => malformed.push(line),
+                    LineVerdict::Corrupt => damaged.push(line),
                 }
             }
-            if !bad.is_empty() {
-                quarantined = bad.len();
-                let mut qpath = path.as_os_str().to_owned();
-                qpath.push(".quarantine");
-                let mut q = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(PathBuf::from(qpath))
-                    .map_err(io)?;
-                for line in &bad {
-                    writeln!(q, "{line}").map_err(io)?;
-                }
-                q.sync_data().map_err(io)?;
+            if !malformed.is_empty() || !damaged.is_empty() {
+                quarantined = malformed.len();
+                corrupt = damaged.len();
+                append_sidecar(path, ".quarantine", &malformed).map_err(io)?;
+                append_sidecar(path, ".corrupt", &damaged).map_err(io)?;
                 // Rewrite the journal with only the surviving records.
                 let mut clean = String::new();
                 for line in &good {
@@ -513,6 +604,7 @@ impl Journal {
             file,
             records,
             quarantined,
+            corrupt,
         })
     }
 
@@ -521,9 +613,15 @@ impl Journal {
         &self.path
     }
 
-    /// Records quarantined while opening.
+    /// Malformed (torn/foreign) lines quarantined while opening.
     pub fn quarantined(&self) -> usize {
         self.quarantined
+    }
+
+    /// Checksum-failing records moved to the `.corrupt` sidecar while
+    /// opening.
+    pub fn corrupt(&self) -> usize {
+        self.corrupt
     }
 
     /// Journaled records restored at open.
@@ -554,6 +652,24 @@ impl Journal {
         self.records.insert(rec.fingerprint.clone(), rec.clone());
         Ok(())
     }
+}
+
+/// Appends `lines` to the `<path><ext>` sidecar (fsynced); a no-op for
+/// an empty batch so clean opens never create empty sidecars.
+fn append_sidecar(path: &Path, ext: &str, lines: &[&str]) -> std::io::Result<()> {
+    if lines.is_empty() {
+        return Ok(());
+    }
+    let mut sidecar = path.as_os_str().to_owned();
+    sidecar.push(ext);
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(PathBuf::from(sidecar))?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    f.sync_data()
 }
 
 /// What one attempt reported back to the supervisor.
@@ -626,9 +742,15 @@ impl Campaign {
         self.journal.as_ref().map(Journal::path)
     }
 
-    /// Journal records quarantined at open.
+    /// Journal records quarantined at open (malformed lines).
     pub fn quarantined(&self) -> usize {
         self.journal.as_ref().map_or(0, Journal::quarantined)
+    }
+
+    /// Journal records moved to the `.corrupt` sidecar at open
+    /// (checksum failures).
+    pub fn corrupt(&self) -> usize {
+        self.journal.as_ref().map_or(0, Journal::corrupt)
     }
 
     /// What happened *this invocation* (restored jobs count as skipped).
@@ -841,6 +963,11 @@ impl Campaign {
                 for id in overdue {
                     let fl = inflight.remove(&id).expect("listed above");
                     abandoned.insert(id);
+                    // A leaked thread is a this-run runtime artifact, not
+                    // a job disposition: a resumed run that restores this
+                    // job's timed_out record from the journal leaks
+                    // nothing, and dispositions must match either way.
+                    self.this_run.abandoned += 1;
                     let timeout = self.policy.timeout.unwrap_or_default();
                     remaining -= self.fail_or_retry(
                         &mut outcomes,
@@ -1061,10 +1188,102 @@ mod tests {
         };
         let line = rec.to_line();
         assert_eq!(JournalRecord::from_line(&line).unwrap(), rec);
-        // Any body corruption invalidates the hash.
+        // Any body corruption invalidates the checksums.
         let tampered = line.replace("degraded", "ok");
         assert!(JournalRecord::from_line(&tampered).is_none());
+        assert_eq!(classify_line(&tampered), LineVerdict::Corrupt);
         assert!(JournalRecord::from_line("{\"v\":1,\"torn...").is_none());
+        assert_eq!(
+            classify_line("{\"v\":1,\"torn..."),
+            LineVerdict::Malformed,
+            "a torn line is malformed, not corrupt"
+        );
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn legacy_record_without_crc_still_resumes() {
+        // A hand-built pre-CRC line: v, hash, fp, kind, attempts,
+        // error, payload — exactly what PR 6 wrote.
+        let rec = JournalRecord {
+            fingerprint: "legacy-job".into(),
+            kind: OutcomeKind::Ok,
+            attempts: 1,
+            error: None,
+            payload: Some(Json::u64(5).render()),
+        };
+        let legacy = Json::Obj(vec![
+            ("v".into(), Json::u64(1)),
+            (
+                "hash".into(),
+                Json::str(format!("{:016x}", fnv1a64(rec.body().as_bytes()))),
+            ),
+            ("fp".into(), Json::str("legacy-job")),
+            ("kind".into(), Json::str("ok")),
+            ("attempts".into(), Json::u64(1)),
+            ("error".into(), Json::Null),
+            ("payload".into(), Json::u64(5)),
+        ])
+        .render();
+        assert_eq!(classify_line(&legacy), LineVerdict::Ok(rec));
+        // A tampered legacy line has no CRC to contradict the FNV
+        // mismatch: it stays malformed (pre-CRC quarantine behavior).
+        let tampered = legacy.replace("\"attempts\":1", "\"attempts\":3");
+        assert_eq!(classify_line(&tampered), LineVerdict::Malformed);
+        // End-to-end: a legacy journal resumes cleanly.
+        let dir = temp_dir("legacy");
+        let path = dir.join("camp.jsonl");
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        let j = Journal::open(&path, true).unwrap();
+        assert_eq!((j.len(), j.quarantined(), j.corrupt()), (1, 0, 0));
+        assert!(j.lookup("legacy-job").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc_failing_record_is_quarantined_to_corrupt_sidecar() {
+        let dir = temp_dir("crc");
+        let path = dir.join("camp.jsonl");
+        let good = JournalRecord {
+            fingerprint: "job-good".into(),
+            kind: OutcomeKind::Ok,
+            attempts: 1,
+            error: None,
+            payload: Some(Json::u64(7).render()),
+        };
+        let victim = JournalRecord {
+            fingerprint: "job-bitrot".into(),
+            kind: OutcomeKind::Ok,
+            attempts: 1,
+            error: None,
+            payload: Some(Json::u64(41).render()),
+        };
+        // Flip one payload digit after the record was written whole.
+        let damaged = victim.to_line().replace("41", "43");
+        std::fs::write(&path, format!("{}\n{damaged}\n", good.to_line())).unwrap();
+        let j = Journal::open(&path, true).unwrap();
+        assert_eq!((j.len(), j.quarantined(), j.corrupt()), (1, 0, 1));
+        assert!(j.lookup("job-good").is_some());
+        assert!(j.lookup("job-bitrot").is_none(), "damaged record dropped");
+        let sidecar = std::fs::read_to_string(dir.join("camp.jsonl.corrupt")).unwrap();
+        assert!(sidecar.contains("job-bitrot"));
+        assert!(
+            !dir.join("camp.jsonl.quarantine").exists(),
+            "checksum damage goes to .corrupt, not .quarantine"
+        );
+        // The rewritten journal now opens cleanly and the job re-runs.
+        let again = Journal::open(&path, true).unwrap();
+        assert_eq!(
+            (again.len(), again.quarantined(), again.corrupt()),
+            (1, 0, 0)
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -1181,6 +1400,15 @@ mod tests {
         assert!(outs[0].error.as_deref().unwrap().contains("deadline"));
         assert_eq!(outs[1].kind, OutcomeKind::Ok);
         assert_eq!(camp.counts().timed_out, 1);
+        // Both attempts of the wedged job were abandoned at their
+        // deadline (threads leaked until process exit) — and the leak
+        // is now accounted, not silent.
+        assert_eq!(camp.counts().abandoned, 2);
+        assert_eq!(
+            camp.counts().to_json().get("abandoned").unwrap().as_u64(),
+            Some(2),
+            "abandoned attempts surface in .summary.json outcomes"
+        );
     }
 
     #[test]
@@ -1272,11 +1500,17 @@ mod tests {
         c.add(OutcomeKind::Ok);
         c.add(OutcomeKind::TimedOut);
         c.retries = 2;
+        c.abandoned = 3;
         let s = c.to_string();
         assert!(s.contains("ok 1") && s.contains("timed-out 1") && s.contains("retries 2"));
-        assert_eq!(c.total(), 2);
+        assert!(s.contains("abandoned 3"));
+        assert_eq!(c.total(), 2, "abandoned counts attempts, not jobs");
         assert_eq!(c.failed(), 1);
         let j = c.to_json();
         assert_eq!(j.get("timed_out").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("abandoned").unwrap().as_u64(), Some(3));
+        let mut m = OutcomeCounts::default();
+        m.merge(&c);
+        assert_eq!(m.abandoned, 3);
     }
 }

@@ -50,6 +50,24 @@ pub enum CrowError {
         /// What the validator rejected.
         reason: String,
     },
+    /// A request was refused because its fingerprint's circuit breaker
+    /// is open: K consecutive child crashes/kills mark the job as
+    /// poison, and duplicates are quarantined for the cooldown instead
+    /// of re-running it.
+    Quarantined {
+        /// The poisoned job fingerprint.
+        fingerprint: String,
+        /// Conservative wait before a retry can be admitted.
+        retry_after_ms: u64,
+    },
+    /// A supervised child process exceeded its resident-set cap and was
+    /// SIGKILLed by the parent.
+    ResourceLimit {
+        /// Observed resident set at the kill, in MiB.
+        rss_mib: u64,
+        /// The configured cap, in MiB.
+        cap_mib: u64,
+    },
 }
 
 impl std::fmt::Display for CrowError {
@@ -74,6 +92,22 @@ impl std::fmt::Display for CrowError {
             CrowError::Request { reason } => {
                 write!(f, "bad request: {reason}")
             }
+            CrowError::Quarantined {
+                fingerprint,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "quarantined: circuit breaker open for {fingerprint} (retry in {:.1}s)",
+                    *retry_after_ms as f64 / 1000.0
+                )
+            }
+            CrowError::ResourceLimit { rss_mib, cap_mib } => {
+                write!(
+                    f,
+                    "resource-limit: child RSS {rss_mib} MiB exceeded cap {cap_mib} MiB (SIGKILL)"
+                )
+            }
         }
     }
 }
@@ -87,7 +121,9 @@ impl std::error::Error for CrowError {
             CrowError::Protocol { .. }
             | CrowError::Journal { .. }
             | CrowError::Checkpoint { .. }
-            | CrowError::Request { .. } => None,
+            | CrowError::Request { .. }
+            | CrowError::Quarantined { .. }
+            | CrowError::ResourceLimit { .. } => None,
         }
     }
 }
@@ -136,6 +172,22 @@ mod tests {
         assert_eq!(
             j.to_string(),
             "campaign journal results/campaign/fig8.jsonl: No space left on device"
+        );
+        let q = CrowError::Quarantined {
+            fingerprint: "serve/base/mcf/d16/llc4/ch1/s1".into(),
+            retry_after_ms: 2_500,
+        };
+        assert_eq!(
+            q.to_string(),
+            "quarantined: circuit breaker open for serve/base/mcf/d16/llc4/ch1/s1 (retry in 2.5s)"
+        );
+        let r = CrowError::ResourceLimit {
+            rss_mib: 97,
+            cap_mib: 64,
+        };
+        assert_eq!(
+            r.to_string(),
+            "resource-limit: child RSS 97 MiB exceeded cap 64 MiB (SIGKILL)"
         );
     }
 

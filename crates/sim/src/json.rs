@@ -47,6 +47,12 @@ impl Json {
         Json::Str(s.into())
     }
 
+    /// An object node from `(&str, value)` pairs — spares call sites
+    /// the per-key `.into()` noise of building [`Json::Obj`] directly.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
     /// Member lookup on an object node.
     pub fn get(&self, key: &str) -> Option<&Json> {
         match self {
@@ -459,6 +465,16 @@ mod tests {
         }
         assert_eq!(Json::f64(f64::NAN), Json::Null);
         assert_eq!(Json::f64(f64::INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn obj_helper_matches_hand_built() {
+        let a = Json::obj(vec![("x", Json::u64(1)), ("y", Json::Bool(false))]);
+        let b = Json::Obj(vec![
+            ("x".into(), Json::u64(1)),
+            ("y".into(), Json::Bool(false)),
+        ]);
+        assert_eq!(a, b);
     }
 
     #[test]

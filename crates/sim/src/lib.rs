@@ -41,6 +41,7 @@ pub mod metrics;
 mod parallel;
 pub mod report;
 pub mod server;
+pub mod supervise;
 pub mod system;
 
 pub use campaign::{
@@ -58,4 +59,7 @@ pub use json::Json;
 pub use metrics::weighted_speedup;
 pub use report::SimReport;
 pub use server::{LineRead, LineReader, Reply, Request, ServeConfig, Server, SimJob};
+pub use supervise::{
+    Admit, BreakerState, Breakers, IsolationMode, SupCounters, SuperviseConfig, Supervisor,
+};
 pub use system::System;

@@ -51,6 +51,7 @@ use crate::error::CrowError;
 use crate::experiments::Scale;
 use crate::json::Json;
 use crate::report::SimReport;
+use crate::supervise::{Admit, IsolationMode, SupCounters, SuperviseConfig, Supervisor};
 use crate::system::System;
 
 // --- configuration ----------------------------------------------------
@@ -83,6 +84,16 @@ pub struct ServeConfig {
     /// Journal directory (`serve.jsonl` inside doubles as the result
     /// cache); `None` runs unjournaled — no caching, no resume.
     pub journal_dir: Option<PathBuf>,
+    /// Job isolation substrate and its supervision knobs
+    /// (`CROW_SERVE_ISOLATION` and friends; see
+    /// [`SuperviseConfig::from_lookup`]). Thread mode is the default
+    /// and matches the pre-supervision server exactly.
+    pub supervise: SuperviseConfig,
+    /// Accept `chaos` jobs — deliberate crash/wedge/memory-bomb
+    /// misbehavior for testing the supervision machinery
+    /// (`CROW_SERVE_CHAOS`, default off). Chaos jobs additionally
+    /// require process isolation; they are never run in-process.
+    pub allow_chaos: bool,
 }
 
 fn serve_err(reason: String) -> CrowError {
@@ -103,6 +114,8 @@ impl ServeConfig {
             max_retries: 1,
             heartbeat: Some(Duration::from_secs(5)),
             journal_dir: dir,
+            supervise: SuperviseConfig::default(),
+            allow_chaos: false,
         }
     }
 
@@ -180,6 +193,18 @@ impl ServeConfig {
         if let Some(d) = secs("CROW_SERVE_HEARTBEAT_SECS")? {
             c.heartbeat = (!d.is_zero()).then_some(d);
         }
+        c.supervise = SuperviseConfig::from_lookup(&lookup)?;
+        if let Some(v) = lookup("CROW_SERVE_CHAOS") {
+            c.allow_chaos = match v.trim() {
+                "1" | "true" | "yes" => true,
+                "0" | "false" | "no" | "" => false,
+                _ => {
+                    return Err(serve_err(format!(
+                        "CROW_SERVE_CHAOS={v:?} is not a boolean"
+                    )));
+                }
+            };
+        }
         Ok(c)
     }
 }
@@ -219,6 +244,11 @@ pub struct SimJob {
     /// in aggressor ACTs per refresh window). The scenario uses the
     /// job's master seed and the paper-default flip physics.
     pub hammer: Option<(String, u64)>,
+    /// Deliberate misbehavior for supervision testing (`crash`,
+    /// `crash-first`, `wedge`, or `bomb`), applied inside the sandboxed
+    /// child only. Accepted only when [`ServeConfig::allow_chaos`] is
+    /// set *and* isolation is process — never run in-process.
+    pub chaos: Option<String>,
 }
 
 /// Hard ceilings the validator enforces on numeric request fields, so a
@@ -232,6 +262,10 @@ const MAX_JOB_LLC_MIB: u64 = 1024;
 const MAX_JOB_HAMMER_INTENSITY: u64 = 16_000_000;
 const MAX_ID_LEN: usize = 120;
 
+/// Chaos modes a request may name via the `"chaos"` key: deliberate
+/// child misbehavior for exercising the supervision machinery.
+pub const CHAOS_MODES: [&str; 4] = ["crash", "crash-first", "wedge", "bomb"];
+
 impl SimJob {
     /// The job's canonical fingerprint — everything that changes the
     /// simulated outcome and nothing that does not (the client id and
@@ -240,7 +274,7 @@ impl SimJob {
     /// job.
     pub fn fingerprint(&self) -> String {
         format!(
-            "serve/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}",
+            "serve/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}{}",
             self.mechanism.to_ascii_lowercase(),
             self.apps.join("+"),
             self.density,
@@ -252,6 +286,10 @@ impl SimJob {
             if self.validate { "/validate" } else { "" },
             match &self.hammer {
                 Some((p, i)) => format!("/hammer:{p}x{i}"),
+                None => String::new(),
+            },
+            match &self.chaos {
+                Some(c) => format!("/chaos:{c}"),
                 None => String::new(),
             },
         )
@@ -299,6 +337,88 @@ impl SimJob {
         }
         cfg
     }
+
+    /// Encodes the job as a JSON object — the parent half of the child
+    /// wire format (see [`crate::supervise`]). [`SimJob::from_json`]
+    /// inverts it exactly.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", Json::str(self.id.as_str())),
+            (
+                "apps",
+                Json::Arr(self.apps.iter().map(|a| Json::str(a.as_str())).collect()),
+            ),
+            ("mechanism", Json::str(self.mechanism.as_str())),
+            ("insts", Json::u64(self.insts)),
+            ("warmup", Json::u64(self.warmup)),
+            ("seed", Json::u64(self.seed)),
+            ("density", Json::u64(u64::from(self.density))),
+            ("llc_mib", Json::u64(self.llc_mib)),
+            ("channels", Json::u64(u64::from(self.channels))),
+            ("prefetch", Json::Bool(self.prefetch)),
+            ("ddr4", Json::Bool(self.ddr4)),
+            ("validate", Json::Bool(self.validate)),
+            (
+                "hammer_pattern",
+                match &self.hammer {
+                    Some((p, _)) => Json::str(p.as_str()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "hammer_intensity",
+                match &self.hammer {
+                    Some((_, i)) => Json::u64(*i),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "chaos",
+                match &self.chaos {
+                    Some(c) => Json::str(c.as_str()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Decodes a [`SimJob::to_json`] document. The wire format is
+    /// internal (parent to child over a pipe), so this is a consistency
+    /// check — any missing or mistyped field returns `None`.
+    pub fn from_json(doc: &Json) -> Option<Self> {
+        let str_field = |k: &str| doc.get(k).and_then(Json::as_str).map(str::to_string);
+        let u64_field = |k: &str| doc.get(k).and_then(Json::as_u64);
+        let bool_field = |k: &str| doc.get(k).and_then(Json::as_bool);
+        let hammer = match doc.get("hammer_pattern") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some((p.as_str()?.to_string(), u64_field("hammer_intensity")?)),
+        };
+        let chaos = match doc.get("chaos") {
+            None | Some(Json::Null) => None,
+            Some(c) => Some(c.as_str()?.to_string()),
+        };
+        Some(SimJob {
+            id: str_field("id")?,
+            apps: doc
+                .get("apps")?
+                .as_arr()?
+                .iter()
+                .map(|a| a.as_str().map(str::to_string))
+                .collect::<Option<Vec<_>>>()?,
+            mechanism: str_field("mechanism")?,
+            insts: u64_field("insts")?,
+            warmup: u64_field("warmup")?,
+            seed: u64_field("seed")?,
+            density: u32::try_from(u64_field("density")?).ok()?,
+            llc_mib: u64_field("llc_mib")?,
+            channels: u32::try_from(u64_field("channels")?).ok()?,
+            prefetch: bool_field("prefetch")?,
+            ddr4: bool_field("ddr4")?,
+            validate: bool_field("validate")?,
+            hammer,
+            chaos,
+        })
+    }
 }
 
 /// A validated request.
@@ -310,6 +430,9 @@ pub enum Request {
     Ping,
     /// Server counters; answered inline.
     Stats,
+    /// Supervision health: queue depth, live children, breaker states,
+    /// cumulative kill/retry counters; answered inline.
+    Health,
     /// Begin a graceful drain (equivalent to SIGTERM).
     Shutdown,
 }
@@ -329,6 +452,8 @@ pub fn error_code(e: &CrowError) -> &'static str {
         CrowError::Protocol { .. } => "protocol",
         CrowError::Journal { .. } => "journal",
         CrowError::Checkpoint { .. } => "checkpoint",
+        CrowError::Quarantined { .. } => "quarantined",
+        CrowError::ResourceLimit { .. } => "resource-limit",
     }
 }
 
@@ -366,7 +491,7 @@ fn parse_request_doc(doc: &Json) -> Result<Request, CrowError> {
         .as_str()
         .ok_or_else(|| bad_req("\"op\" must be a string"))?;
     match op {
-        "ping" | "stats" | "shutdown" => {
+        "ping" | "stats" | "health" | "shutdown" => {
             for (k, _) in pairs {
                 if k != "op" && k != "id" {
                     return Err(bad_req(format!("unknown key {k:?} for op {op:?}")));
@@ -375,18 +500,19 @@ fn parse_request_doc(doc: &Json) -> Result<Request, CrowError> {
             Ok(match op {
                 "ping" => Request::Ping,
                 "stats" => Request::Stats,
+                "health" => Request::Health,
                 _ => Request::Shutdown,
             })
         }
         "sim" => parse_sim(doc, pairs).map(|j| Request::Sim(Box::new(j))),
         other => Err(bad_req(format!(
-            "unknown op {other:?} (expected sim, ping, stats, or shutdown)"
+            "unknown op {other:?} (expected sim, ping, stats, health, or shutdown)"
         ))),
     }
 }
 
 fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> {
-    const KEYS: [&str; 15] = [
+    const KEYS: [&str; 16] = [
         "op",
         "id",
         "apps",
@@ -402,6 +528,7 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
         "validate",
         "hammer_pattern",
         "hammer_intensity",
+        "chaos",
     ];
     for (k, _) in pairs {
         if !KEYS.contains(&k.as_str()) {
@@ -514,6 +641,20 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
             Some((s.to_string(), intensity))
         }
     };
+    let chaos = match doc.get("chaos") {
+        None => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| bad_req("\"chaos\" must be a string"))?;
+            if !CHAOS_MODES.contains(&s) {
+                return Err(bad_req(format!(
+                    "unknown chaos mode {s:?} (expected crash, crash-first, wedge, or bomb)"
+                )));
+            }
+            Some(s.to_string())
+        }
+    };
     Ok(SimJob {
         id: id.to_string(),
         apps,
@@ -528,6 +669,7 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
         ddr4,
         validate: flag("validate")?,
         hammer,
+        chaos,
     })
 }
 
@@ -720,6 +862,8 @@ struct Counters {
     cycles_simulated: AtomicU64,
     results: AtomicU64,
     failures: AtomicU64,
+    quarantined: AtomicU64,
+    abandoned_attempts: AtomicU64,
 }
 
 struct QueuedJob {
@@ -742,6 +886,9 @@ struct Shared {
     inflight_cv: Condvar,
     draining: AtomicBool,
     stats: Counters,
+    /// Present iff isolation is process: jobs run in sandboxed children
+    /// under deadline/RSS supervision with per-fingerprint breakers.
+    supervisor: Option<Supervisor>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -766,6 +913,14 @@ pub struct DrainSummary {
     pub bad_requests: u64,
     /// Jobs still queued after the drain (always 0 on a clean drain).
     pub abandoned: usize,
+    /// Attempt threads abandoned past their deadline (thread mode) —
+    /// leaked detached threads the process carries until exit.
+    pub abandoned_attempts: u64,
+    /// Sandboxed children SIGKILLed by the supervisor (deadline plus
+    /// RSS-cap kills; process mode only).
+    pub killed_children: u64,
+    /// Requests refused because their fingerprint's breaker was open.
+    pub quarantined: u64,
 }
 
 /// The batch simulation server (see the module docs).
@@ -782,6 +937,10 @@ impl Server {
             Some(dir) => Some(Mutex::new(Journal::open(&dir.join("serve.jsonl"), true)?)),
             None => None,
         };
+        let supervisor = match cfg.supervise.isolation {
+            IsolationMode::Process => Some(Supervisor::new(cfg.supervise.clone())?),
+            IsolationMode::Thread => None,
+        };
         let shared = Arc::new(Shared {
             queue: Mutex::new(QueueState::default()),
             queue_cv: Condvar::new(),
@@ -790,6 +949,7 @@ impl Server {
             inflight_cv: Condvar::new(),
             draining: AtomicBool::new(false),
             stats: Counters::default(),
+            supervisor,
             cfg,
         });
         // Exactly `cfg.workers` threads; 0 is admission-only (tests).
@@ -820,6 +980,7 @@ impl Server {
             }
             Ok(Request::Ping) => reply.event("pong", None, Vec::new()),
             Ok(Request::Stats) => reply.send(self.stats_json()),
+            Ok(Request::Health) => reply.send(self.health_json()),
             Ok(Request::Shutdown) => {
                 self.shared.draining.store(true, Ordering::SeqCst);
                 reply.event("draining", None, Vec::new());
@@ -837,6 +998,22 @@ impl Server {
                 Some(&job.id),
                 "draining",
                 "server is draining; not accepting new jobs",
+            );
+            return;
+        }
+        // Chaos is opt-in twice over: the operator must enable it AND
+        // run process isolation, so deliberate misbehavior can never
+        // execute inside the server process itself.
+        if job.chaos.is_some() && !(self.shared.cfg.allow_chaos && self.shared.supervisor.is_some())
+        {
+            self.shared
+                .stats
+                .bad_requests
+                .fetch_add(1, Ordering::Relaxed);
+            reply.error(
+                Some(&job.id),
+                "bad-request",
+                "chaos jobs require CROW_SERVE_CHAOS=1 and CROW_SERVE_ISOLATION=process",
             );
             return;
         }
@@ -897,6 +1074,12 @@ impl Server {
     pub fn stats_json(&self) -> Json {
         let s = &self.shared.stats;
         let g = |a: &AtomicU64| Json::u64(a.load(Ordering::Relaxed));
+        let sup = self
+            .shared
+            .supervisor
+            .as_ref()
+            .map(Supervisor::counters)
+            .unwrap_or_default();
         Json::Obj(vec![
             ("event".into(), Json::str("stats")),
             ("received".into(), g(&s.received)),
@@ -908,8 +1091,83 @@ impl Server {
             ("cycles_simulated".into(), g(&s.cycles_simulated)),
             ("results".into(), g(&s.results)),
             ("failures".into(), g(&s.failures)),
+            ("quarantined".into(), g(&s.quarantined)),
+            ("abandoned_attempts".into(), g(&s.abandoned_attempts)),
+            ("children_spawned".into(), Json::u64(sup.spawned)),
+            (
+                "children_killed".into(),
+                Json::u64(sup.killed_deadline + sup.killed_rss),
+            ),
             ("queue_depth".into(), Json::u64(self.queue_len() as u64)),
             ("draining".into(), Json::Bool(self.draining())),
+        ])
+    }
+
+    /// Supervision health as a `health` event document: queue depth,
+    /// live sandboxed children, per-fingerprint breaker states, and the
+    /// cumulative kill/retry counters. Thread mode answers the same
+    /// shape with zeros and empty arrays, so dashboards need no mode
+    /// switch.
+    pub fn health_json(&self) -> Json {
+        let s = &self.shared.stats;
+        let (children, breakers, sup) = match self.shared.supervisor.as_ref() {
+            Some(sup) => (
+                sup.live_children(),
+                sup.breakers().snapshot(),
+                sup.counters(),
+            ),
+            None => (Vec::new(), Vec::new(), SupCounters::default()),
+        };
+        let children: Vec<Json> = children
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("pid", Json::u64(u64::from(c.pid))),
+                    ("fingerprint", Json::str(c.fingerprint.as_str())),
+                    ("elapsed_secs", Json::f64(c.elapsed.as_secs_f64())),
+                ])
+            })
+            .collect();
+        let breakers = breakers
+            .iter()
+            .map(|b| {
+                Json::obj(vec![
+                    ("fingerprint", Json::str(b.fingerprint.as_str())),
+                    ("state", Json::str(b.state.as_str())),
+                    ("consecutive_failures", Json::u64(u64::from(b.consecutive))),
+                    ("retry_after_secs", Json::f64(b.retry_after.as_secs_f64())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("event".into(), Json::str("health")),
+            (
+                "isolation".into(),
+                Json::str(self.shared.cfg.supervise.isolation.as_str()),
+            ),
+            ("queue_depth".into(), Json::u64(self.queue_len() as u64)),
+            ("draining".into(), Json::Bool(self.draining())),
+            ("live_children".into(), Json::u64(children.len() as u64)),
+            ("children".into(), Json::Arr(children)),
+            ("breakers".into(), Json::Arr(breakers)),
+            (
+                "quarantined".into(),
+                Json::u64(s.quarantined.load(Ordering::Relaxed)),
+            ),
+            (
+                "abandoned_attempts".into(),
+                Json::u64(s.abandoned_attempts.load(Ordering::Relaxed)),
+            ),
+            (
+                "counters".into(),
+                Json::obj(vec![
+                    ("children_spawned", Json::u64(sup.spawned)),
+                    ("children_killed_deadline", Json::u64(sup.killed_deadline)),
+                    ("children_killed_rss", Json::u64(sup.killed_rss)),
+                    ("child_crashes", Json::u64(sup.crashes)),
+                    ("child_retries", Json::u64(sup.retries)),
+                ]),
+            ),
         ])
     }
 
@@ -930,6 +1188,12 @@ impl Server {
             }
         }
         let s = &self.shared.stats;
+        let sup = self
+            .shared
+            .supervisor
+            .as_ref()
+            .map(Supervisor::counters)
+            .unwrap_or_default();
         DrainSummary {
             workers_joined: joined,
             jobs_run: s.jobs_run.load(Ordering::Relaxed),
@@ -937,6 +1201,9 @@ impl Server {
             shed: s.shed.load(Ordering::Relaxed),
             bad_requests: s.bad_requests.load(Ordering::Relaxed),
             abandoned: lock(&self.shared.queue).jobs.len(),
+            abandoned_attempts: s.abandoned_attempts.load(Ordering::Relaxed),
+            killed_children: sup.killed_deadline + sup.killed_rss,
+            quarantined: s.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -970,6 +1237,21 @@ fn cached_record(shared: &Shared, fp: &str) -> Option<JournalRecord> {
     lock(journal).lookup(fp).cloned()
 }
 
+/// The wire `code` for a terminal job failure. Timeouts and
+/// resource-cap kills get dedicated codes so clients can react
+/// differently (back off vs. shrink the job); everything else is
+/// `failed`. Thread-mode jobs can never produce a `resource-limit`
+/// error string, so this changes nothing for them.
+fn failure_code(kind: OutcomeKind, error: Option<&str>) -> &'static str {
+    if kind == OutcomeKind::TimedOut {
+        "timeout"
+    } else if error.is_some_and(|e| e.starts_with("resource-limit")) {
+        "resource-limit"
+    } else {
+        "failed"
+    }
+}
+
 fn reply_from_record(reply: &Reply, id: &str, rec: &JournalRecord) {
     let report = rec.payload.as_deref().and_then(|t| Json::parse(t).ok());
     match report {
@@ -985,11 +1267,7 @@ fn reply_from_record(reply: &Reply, id: &str, rec: &JournalRecord) {
         ),
         None => reply.error(
             Some(id),
-            if rec.kind == OutcomeKind::TimedOut {
-                "timeout"
-            } else {
-                "failed"
-            },
+            failure_code(rec.kind, rec.error.as_deref()),
             rec.error.as_deref().unwrap_or("journaled failure"),
         ),
     }
@@ -1010,16 +1288,58 @@ impl Drop for InflightGuard<'_> {
     }
 }
 
+/// Whether a journaled record may answer a request without re-running
+/// it. Thread mode: always (PR-6 behavior, byte for byte). Process
+/// mode: success records only — journaled failures stay retryable so a
+/// crash-looping fingerprint keeps feeding its circuit breaker instead
+/// of turning into a permanently cached error.
+fn record_usable(shared: &Shared, rec: &JournalRecord) -> bool {
+    shared.supervisor.is_none() || rec.payload.is_some()
+}
+
 fn process_job(shared: &Shared, item: QueuedJob) {
     let QueuedJob { job, reply } = item;
     let fp = job.journal_fingerprint();
 
+    // Circuit breaker first: a quarantined fingerprint is refused
+    // before any cache or dedup work. The refusal is never journaled —
+    // the cooldown is transient supervision state, not a result.
+    let mut probe = false;
+    if let Some(sup) = shared.supervisor.as_ref() {
+        match sup.breakers().admit(&fp) {
+            Admit::Run => {}
+            Admit::Probe => probe = true,
+            Admit::Quarantined { retry_after } => {
+                shared.stats.quarantined.fetch_add(1, Ordering::Relaxed);
+                let e = CrowError::Quarantined {
+                    fingerprint: fp.clone(),
+                    retry_after_ms: u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX),
+                };
+                reply.error(Some(&job.id), error_code(&e), &e.to_string());
+                return;
+            }
+        }
+    }
+    // If this job was admitted as the half-open probe but ends up not
+    // executing (cache hit, dedup), the probe slot must be handed back
+    // or the breaker would wedge half-open forever.
+    let release_probe = |shared: &Shared| {
+        if probe {
+            if let Some(sup) = shared.supervisor.as_ref() {
+                sup.breakers().release_probe(&fp);
+            }
+        }
+    };
+
     // Fast path: already journaled — zero cycles simulated.
     if let Some(rec) = cached_record(shared, &fp) {
-        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-        shared.stats.results.fetch_add(1, Ordering::Relaxed);
-        reply_from_record(&reply, &job.id, &rec);
-        return;
+        if record_usable(shared, &rec) {
+            release_probe(shared);
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.results.fetch_add(1, Ordering::Relaxed);
+            reply_from_record(&reply, &job.id, &rec);
+            return;
+        }
     }
 
     // In-flight dedup: if another worker is computing this fingerprint,
@@ -1036,12 +1356,16 @@ fn process_job(shared: &Shared, item: QueuedJob) {
                 .wait(infl)
                 .unwrap_or_else(PoisonError::into_inner);
             if let Some(journal) = shared.journal.as_ref() {
-                if let Some(rec) = lock(journal).lookup(&fp).cloned() {
-                    drop(infl);
-                    shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.results.fetch_add(1, Ordering::Relaxed);
-                    reply_from_record(&reply, &job.id, &rec);
-                    return;
+                let rec = lock(journal).lookup(&fp).cloned();
+                if let Some(rec) = rec {
+                    if record_usable(shared, &rec) {
+                        drop(infl);
+                        release_probe(shared);
+                        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        shared.stats.results.fetch_add(1, Ordering::Relaxed);
+                        reply_from_record(&reply, &job.id, &rec);
+                        return;
+                    }
                 }
             }
         }
@@ -1082,21 +1406,41 @@ fn process_job(shared: &Shared, item: QueuedJob) {
         })
     });
 
-    // The campaign layer supplies crash isolation (catch_unwind),
-    // per-attempt deadlines, and the degrade ladder; the shared journal
-    // append below supplies durability and the result cache.
-    let mut camp = Campaign::ephemeral(&job.id, policy);
-    let outcome = camp
-        .run(vec![(job.fingerprint(), job.clone())], run_sim)
-        .into_iter()
-        .next();
+    // Thread mode runs the job in-process through the campaign layer,
+    // exactly as before supervision existed; process mode hands it to
+    // the supervisor, which re-execs this binary as a sandboxed child
+    // per attempt. Either way the outcome lands in one shape:
+    // (kind, attempts, error, report-as-JSON).
+    let outcome: Option<(OutcomeKind, u32, Option<String>, Option<Json>)> =
+        match shared.supervisor.as_ref() {
+            Some(sup) => {
+                let o = sup.execute(&fp, &job, &policy);
+                Some((o.kind, o.attempts, o.error, o.report))
+            }
+            None => {
+                // The campaign layer supplies crash isolation
+                // (catch_unwind), per-attempt deadlines, and the degrade
+                // ladder; the shared journal append below supplies
+                // durability and the result cache.
+                let mut camp = Campaign::ephemeral(&job.id, policy);
+                let o = camp
+                    .run(vec![(job.fingerprint(), job.clone())], run_sim)
+                    .into_iter()
+                    .next();
+                shared
+                    .stats
+                    .abandoned_attempts
+                    .fetch_add(camp.counts().abandoned, Ordering::Relaxed);
+                o.map(|o| (o.kind, o.attempts, o.error, o.result.map(|r| r.encode())))
+            }
+        };
 
     drop(hb_done_tx);
     if let Some(h) = heartbeat {
         let _ = h.join();
     }
 
-    let Some(o) = outcome else {
+    let Some((kind, attempts, error, report)) = outcome else {
         // Campaign::run returns one outcome per job by contract; treat
         // anything else as a failed job rather than panicking a worker.
         shared.stats.failures.fetch_add(1, Ordering::Relaxed);
@@ -1105,11 +1449,15 @@ fn process_job(shared: &Shared, item: QueuedJob) {
     };
 
     shared.stats.jobs_run.fetch_add(1, Ordering::Relaxed);
-    if let Some(r) = &o.result {
+    if let Some(cycles) = report
+        .as_ref()
+        .and_then(|r| r.get("cpu_cycles"))
+        .and_then(Json::as_u64)
+    {
         shared
             .stats
             .cycles_simulated
-            .fetch_add(r.cpu_cycles, Ordering::Relaxed);
+            .fetch_add(cycles, Ordering::Relaxed);
     }
 
     // Journal the terminal outcome (fsynced) before answering, so a
@@ -1117,10 +1465,10 @@ fn process_job(shared: &Shared, item: QueuedJob) {
     if let Some(journal) = shared.journal.as_ref() {
         let rec = JournalRecord {
             fingerprint: fp.clone(),
-            kind: o.kind,
-            attempts: o.attempts,
-            error: o.error.clone(),
-            payload: o.result.as_ref().map(|r| r.encode().render()),
+            kind,
+            attempts,
+            error: error.clone(),
+            payload: report.as_ref().map(Json::render),
         };
         if let Err(e) = lock(journal).append(&rec) {
             // Same stance as campaigns: a journal write failure must not
@@ -1129,7 +1477,7 @@ fn process_job(shared: &Shared, item: QueuedJob) {
         }
     }
 
-    match &o.result {
+    match &report {
         Some(r) => {
             shared.stats.results.fetch_add(1, Ordering::Relaxed);
             reply.event(
@@ -1137,9 +1485,9 @@ fn process_job(shared: &Shared, item: QueuedJob) {
                 Some(&job.id),
                 vec![
                     ("cached".into(), Json::Bool(false)),
-                    ("outcome".into(), Json::str(o.kind.as_str())),
-                    ("attempts".into(), Json::u64(u64::from(o.attempts))),
-                    ("report".into(), r.encode()),
+                    ("outcome".into(), Json::str(kind.as_str())),
+                    ("attempts".into(), Json::u64(u64::from(attempts))),
+                    ("report".into(), r.clone()),
                 ],
             );
         }
@@ -1147,19 +1495,17 @@ fn process_job(shared: &Shared, item: QueuedJob) {
             shared.stats.failures.fetch_add(1, Ordering::Relaxed);
             reply.error(
                 Some(&job.id),
-                if o.kind == OutcomeKind::TimedOut {
-                    "timeout"
-                } else {
-                    "failed"
-                },
-                o.error.as_deref().unwrap_or("job produced no result"),
+                failure_code(kind, error.as_deref()),
+                error.as_deref().unwrap_or("job produced no result"),
             );
         }
     }
 }
 
 /// Executes one validated job at the given (possibly degraded) scale.
-fn run_sim(job: &SimJob, scale: Scale) -> Result<SimReport, CrowError> {
+/// `pub(crate)` so the child half of process isolation
+/// ([`crate::supervise::job_runner_main`]) runs the identical function.
+pub(crate) fn run_sim(job: &SimJob, scale: Scale) -> Result<SimReport, CrowError> {
     let mech = Mechanism::parse(&job.mechanism)
         .ok_or_else(|| bad_req(format!("unknown mechanism {:?}", job.mechanism)))?;
     let mut cfg = job.to_config(mech);
@@ -1208,6 +1554,8 @@ mod tests {
             "CROW_SERVE_JOB_TIMEOUT_SECS" => Some("0".into()),
             "CROW_SERVE_HEARTBEAT_SECS" => Some("0".into()),
             "CROW_CAMPAIGN_DIR" => Some("/tmp/x".into()),
+            "CROW_SERVE_ISOLATION" => Some("process".into()),
+            "CROW_SERVE_CHAOS" => Some("1".into()),
             _ => None,
         })
         .unwrap();
@@ -1219,6 +1567,12 @@ mod tests {
             c.journal_dir.as_deref(),
             Some(std::path::Path::new("/tmp/x"))
         );
+        assert_eq!(
+            c.supervise.isolation,
+            IsolationMode::Process,
+            "supervision knobs flow through ServeConfig"
+        );
+        assert!(c.allow_chaos);
         for (k, v) in [
             ("CROW_SERVE_QUEUE", "0"),
             ("CROW_SERVE_QUEUE", "many"),
@@ -1228,6 +1582,8 @@ mod tests {
             ("CROW_SERVE_READ_TIMEOUT_SECS", "NaN"),
             ("CROW_SERVE_JOB_TIMEOUT_SECS", "-3"),
             ("CROW_SERVE_RETRIES", "x"),
+            ("CROW_SERVE_ISOLATION", "vm"),
+            ("CROW_SERVE_CHAOS", "maybe"),
         ] {
             let err = ServeConfig::from_lookup(|q| (q == k).then(|| v.into()))
                 .expect_err(&format!("{k}={v} must be rejected"))
@@ -1240,6 +1596,10 @@ mod tests {
     fn parse_request_accepts_the_documented_shapes() {
         assert_eq!(parse_request("{\"op\":\"ping\"}").unwrap(), Request::Ping);
         assert_eq!(parse_request("{\"op\":\"stats\"}").unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request("{\"op\":\"health\"}").unwrap(),
+            Request::Health
+        );
         assert_eq!(
             parse_request("{\"op\":\"shutdown\"}").unwrap(),
             Request::Shutdown
@@ -1277,6 +1637,16 @@ mod tests {
         };
         assert_eq!(job.hammer, Some(("double".to_string(), 500_000)));
         assert!(job.fingerprint().contains("/hammer:doublex500000"));
+        // A chaos job parses (acceptance is gated at submit, not parse)
+        // and the mode is part of the fingerprint.
+        let r =
+            parse_request("{\"op\":\"sim\",\"id\":\"j4\",\"apps\":[\"mcf\"],\"chaos\":\"wedge\"}")
+                .unwrap();
+        let Request::Sim(job) = r else {
+            panic!("expected a sim job")
+        };
+        assert_eq!(job.chaos.as_deref(), Some("wedge"));
+        assert!(job.fingerprint().contains("/chaos:wedge"));
     }
 
     #[test]
@@ -1347,6 +1717,14 @@ mod tests {
                 "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"hammer_pattern\":\"double\",\
                  \"hammer_intensity\":0}",
                 "positive",
+            ),
+            (
+                "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"chaos\":\"teapot\"}",
+                "unknown chaos mode",
+            ),
+            (
+                "{\"op\":\"sim\",\"id\":\"x\",\"apps\":[\"mcf\"],\"chaos\":7}",
+                "\"chaos\" must be a string",
             ),
         ];
         for (line, needle) in cases {
@@ -1528,6 +1906,51 @@ mod tests {
         let doc = Json::parse(&rx.recv().unwrap()).unwrap();
         assert_eq!(doc.get("code").unwrap().as_str(), Some("draining"));
         assert!(server.draining());
+        server.drain();
+    }
+
+    #[test]
+    fn chaos_jobs_are_refused_without_process_isolation_and_opt_in() {
+        // Default (thread) server: chaos is a structured refusal at
+        // submit, never an in-process execution.
+        let server = Server::new(quick_cfg()).unwrap();
+        let (reply, rx) = Reply::pair();
+        server.handle_line(
+            "{\"op\":\"sim\",\"id\":\"boom\",\"apps\":[\"mcf\"],\"chaos\":\"crash\"}",
+            &reply,
+        );
+        let doc = Json::parse(&rx.recv().unwrap()).unwrap();
+        assert_eq!(doc.get("event").unwrap().as_str(), Some("error"));
+        assert_eq!(doc.get("code").unwrap().as_str(), Some("bad-request"));
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("boom"));
+        let msg = doc.get("error").unwrap().as_str().unwrap().to_string();
+        assert!(msg.contains("CROW_SERVE_CHAOS"), "{msg}");
+        assert!(msg.contains("CROW_SERVE_ISOLATION"), "{msg}");
+        let sum = server.drain();
+        assert_eq!(sum.bad_requests, 1);
+        assert_eq!((sum.killed_children, sum.quarantined), (0, 0));
+    }
+
+    #[test]
+    fn health_op_answers_a_uniform_shape_in_thread_mode() {
+        let server = Server::new(quick_cfg()).unwrap();
+        let (reply, rx) = Reply::pair();
+        server.handle_line("{\"op\":\"health\"}", &reply);
+        let doc = Json::parse(&rx.recv().unwrap()).unwrap();
+        assert_eq!(doc.get("event").unwrap().as_str(), Some("health"));
+        assert_eq!(doc.get("isolation").unwrap().as_str(), Some("thread"));
+        assert_eq!(doc.get("live_children").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("children").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(doc.get("breakers").unwrap().as_arr().unwrap().len(), 0);
+        assert_eq!(doc.get("quarantined").unwrap().as_u64(), Some(0));
+        let counters = doc.get("counters").unwrap();
+        assert_eq!(counters.get("children_spawned").unwrap().as_u64(), Some(0));
+        assert_eq!(counters.get("child_retries").unwrap().as_u64(), Some(0));
+        // Stats also carries the supervision counters (zeros here).
+        server.handle_line("{\"op\":\"stats\"}", &reply);
+        let stats = Json::parse(&rx.recv().unwrap()).unwrap();
+        assert_eq!(stats.get("children_spawned").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("abandoned_attempts").unwrap().as_u64(), Some(0));
         server.drain();
     }
 }

@@ -82,4 +82,15 @@ echo "== serve gate (chaos-soak the simulation service) =="
 cargo build --release -p crow-bench --bin crow-serve --bin serve_gate
 target/release/serve_gate
 
+echo "== supervise gate (poison-job storm vs process isolation) =="
+# Boots crow-serve with CROW_SERVE_ISOLATION=process and chaos enabled:
+# a crash-looping fingerprint trips the circuit breaker and every
+# duplicate is quarantined without re-execution, healthy jobs
+# interleaved with the storm complete, a wedged child is deadline-killed
+# (structured timeout) and a memory bomb is RSS-killed (structured
+# resource-limit), the drain is clean, and a /proc sweep proves zero
+# leaked --job-runner children.
+cargo build --release -p crow-bench --bin crow-serve --bin supervise_gate
+target/release/supervise_gate
+
 echo "All checks passed."
