@@ -17,7 +17,14 @@ use std::time::Instant;
 type Section = (&'static str, Box<dyn Fn() -> String>);
 
 fn usage() -> ! {
-    eprintln!("usage: all [--resume] [--timeout SECS] [--retries N] [--only SECTION]");
+    eprintln!(
+        "usage: all [--resume] [--timeout SECS] [--retries N] [--only SECTION] [--sample SPEC]\n\
+         \x20  --sample SPEC runs every simulation section under interval\n\
+         \x20    sampling (SPEC is `default` or `WINDOW:WARMUP:FF`,\n\
+         \x20    instructions per core; equivalently CROW_SAMPLE). Sampled\n\
+         \x20    campaigns journal under distinct fingerprints, so full and\n\
+         \x20    sampled figure sets never collide."
+    );
     std::process::exit(2);
 }
 
@@ -38,6 +45,16 @@ fn main() {
             "--timeout" => std::env::set_var("CROW_TIMEOUT_SECS", val("--timeout")),
             "--retries" => std::env::set_var("CROW_RETRIES", val("--retries")),
             "--only" => only = Some(val("--only")),
+            "--sample" => {
+                let spec = val("--sample");
+                // Validate eagerly: a malformed spec is a diagnostic
+                // exit here, not a late failure inside every section.
+                if let Err(e) = crow_sim::sampling::SamplePlan::parse(&spec) {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                std::env::set_var("CROW_SAMPLE", spec);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");

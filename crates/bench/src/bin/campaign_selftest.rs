@@ -142,6 +142,7 @@ fn main() {
         max_cycles: u64::MAX,
         threads: 1,
         checkpoints: false,
+        sample: None,
     };
     let full_insts = scale.insts;
 

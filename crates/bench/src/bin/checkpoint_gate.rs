@@ -84,6 +84,7 @@ fn main() {
         max_cycles: 50_000_000,
         threads: 1,
         checkpoints: true,
+        sample: None,
     };
 
     let (first, _) = pass("checkpoint_gate_warm", scale);

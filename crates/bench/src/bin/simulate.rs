@@ -17,7 +17,7 @@ use crow_cpu::TraceSource;
 use crow_dram::Command;
 use crow_sim::{
     AttackPattern, Campaign, CampaignPolicy, FaultPlan, FaultPolicy, HammerScenario, Mechanism,
-    OutcomeKind, Scale, SimReport, System, SystemConfig,
+    OutcomeKind, SamplePlan, Scale, SimReport, System, SystemConfig,
 };
 use crow_workloads::AppProfile;
 
@@ -43,6 +43,7 @@ struct Args {
     timeout: Option<f64>,
     retries: Option<u32>,
     resume: bool,
+    sample: Option<String>,
 }
 
 fn usage() -> ! {
@@ -54,6 +55,7 @@ fn usage() -> ! {
          \x20        [--validate] [--faults SPEC] [--fault-policy P]\n\
          \x20        [--hammer PATTERN] [--hammer-intensity N]\n\
          \x20        [--timeout SECS] [--retries N] [--resume]\n\
+         \x20        [--sample SPEC]\n\
          \n\
          mechanisms: baseline, crow-N (copy rows), crow-ref, crow-combined,\n\
          \x20           ideal, no-refresh, tldram-N, salp-N, salp-N-o\n\
@@ -75,6 +77,12 @@ fn usage() -> ! {
          \x20    a panic, Abort-policy fault, or overrun deadline is retried at\n\
          \x20    a degraded instruction budget, and --resume restores a\n\
          \x20    previously journaled result instead of re-running\n\
+         \n\
+         --sample SPEC runs statistical interval sampling: alternating\n\
+         \x20    functional fast-forward and detailed measured windows.\n\
+         \x20    SPEC is `default` or `WINDOW:WARMUP:FF` (instructions per\n\
+         \x20    core); per-metric means and 95% confidence intervals land\n\
+         \x20    in the report. Overrides CROW_SAMPLE env\n\
          \n\
          env: CROW_THREADS=N runs one shard worker per channel group\n\
          \x20    (bit-identical reports); CROW_CHECKPOINTS=1 caches warmed\n\
@@ -149,6 +157,7 @@ fn parse_args() -> Args {
         timeout: None,
         retries: None,
         resume: false,
+        sample: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -184,6 +193,7 @@ fn parse_args() -> Args {
             "--timeout" => a.timeout = Some(val("--timeout").parse().unwrap_or_else(|_| usage())),
             "--retries" => a.retries = Some(val("--retries").parse().unwrap_or_else(|_| usage())),
             "--resume" => a.resume = true,
+            "--sample" => a.sample = Some(val("--sample")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other}");
@@ -283,6 +293,7 @@ where
         let mut cfg = cfg.clone();
         cfg.cpu.target_insts = scale.insts;
         cfg.threads = scale.threads;
+        cfg.sample = scale.sample;
         let mut sys = build(cfg.clone())?;
         if scale.warmup > 0 {
             if scale.checkpoints {
@@ -344,6 +355,15 @@ fn main() {
         eprintln!("error: {e}");
         std::process::exit(2);
     });
+    // The CLI flag wins over CROW_SAMPLE so a script can pin a plan for
+    // one run without editing its environment.
+    let sample = match &args.sample {
+        Some(spec) => Some(SamplePlan::parse(spec).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })),
+        None => env_scale.sample,
+    };
     let scale = Scale {
         insts: args.insts,
         warmup: args.warmup,
@@ -351,6 +371,7 @@ fn main() {
         max_cycles: u64::MAX,
         threads: env_scale.threads,
         checkpoints: env_scale.checkpoints,
+        sample,
     };
     let mech = parse_mechanism(&args.mechanism);
     let base = if args.ddr4 {
@@ -363,6 +384,7 @@ fn main() {
     cfg.seed = args.seed;
     cfg.cpu.target_insts = args.insts;
     cfg.threads = scale.threads;
+    cfg.sample = scale.sample;
     cfg.mc.per_bank_refresh = args.per_bank_refresh;
     cfg.oracle = args.oracle;
     if args.prefetch {
@@ -536,6 +558,25 @@ fn main() {
         println!(
             "core {i} ({name}): IPC {:.3}, MPKI {:.1}",
             r.ipc[i], r.mpki[i]
+        );
+    }
+    if let Some(s) = &r.samples {
+        println!(
+            "sampling ({} windows of {} insts): IPC {:.3} +/- {:.3} | \
+             energy {:.1} uJ +/- {:.1} | row-hit {:.3} +/- {:.3}",
+            s.windows,
+            s.plan.window_insts,
+            s.ipc.mean,
+            s.ipc.ci95,
+            s.energy_nj.mean / 1e3,
+            s.energy_nj.ci95 / 1e3,
+            s.row_hit_rate.mean,
+            s.row_hit_rate.ci95,
+        );
+        println!(
+            "sampling budget: measured {} | warmed {} | fast-forwarded {} insts/core \
+             ({} drain cycles)",
+            s.measured_insts, s.warmed_insts, s.skipped_insts, s.drain_cycles,
         );
     }
     // Merge latency percentiles across channels.

@@ -160,6 +160,7 @@ mod tests {
             faults: Default::default(),
             sched: Default::default(),
             hammer: Default::default(),
+            samples: None,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

@@ -106,6 +106,7 @@ pub fn failed_report() -> SimReport {
         faults: Default::default(),
         sched: Default::default(),
         hammer: Default::default(),
+        samples: None,
         wall_seconds: 0.0,
         sim_cycles_per_sec: 0.0,
     }
@@ -127,6 +128,11 @@ pub struct FigCampaign {
     /// Checkpoint counters at campaign open, so the summary reports the
     /// delta attributable to this campaign alone.
     ckpt_base: crow_sim::CheckpointStats,
+    /// Sampling aggregate over this campaign's sampled reports:
+    /// (reports, windows, mean relative IPC CI half-width numerator).
+    /// Zero reports means the campaign ran full-detail and the summary
+    /// omits its sampling section.
+    sampled: (u64, u64, f64),
 }
 
 impl FigCampaign {
@@ -159,6 +165,7 @@ impl FigCampaign {
             camp,
             sched: SchedStats::new(),
             ckpt_base: crow_sim::checkpoint::stats(),
+            sampled: (0, 0, 0.0),
         }
     }
 
@@ -174,7 +181,16 @@ impl FigCampaign {
             .run(jobs, worker)
             .into_iter()
             .map(|o| o.result.unwrap_or_else(failed_report))
-            .inspect(|r| self.sched.merge(&r.sched))
+            .inspect(|r| {
+                self.sched.merge(&r.sched);
+                if let Some(s) = &r.samples {
+                    self.sampled.0 += 1;
+                    self.sampled.1 += s.windows;
+                    if s.ipc.mean > 0.0 {
+                        self.sampled.2 += s.ipc.ci95 / s.ipc.mean;
+                    }
+                }
+            })
             .collect()
     }
 
@@ -223,6 +239,25 @@ impl FigCampaign {
                         .to_json(),
                 ),
             ]);
+            // Sampled campaigns additionally record how much statistical
+            // sampling they did and how tight the windows' confidence
+            // intervals came out, so a figure consumer can judge the
+            // sampled numbers without re-reading every journal record.
+            let summary = match (summary, self.sampled) {
+                (s, (0, _, _)) => s,
+                (Json::Obj(mut fields), (n, windows, rel_ci)) => {
+                    fields.push((
+                        "sampling".into(),
+                        Json::Obj(vec![
+                            ("sampled_reports".into(), Json::u64(n)),
+                            ("windows".into(), Json::u64(windows)),
+                            ("mean_rel_ipc_ci95".into(), Json::f64(rel_ci / n as f64)),
+                        ]),
+                    ));
+                    Json::Obj(fields)
+                }
+                (s, _) => s,
+            };
             let mut spath = path.as_os_str().to_owned();
             spath.push(".summary.json");
             if let Err(e) = std::fs::write(spath, summary.pretty()) {

@@ -132,6 +132,56 @@ impl Llc {
         LlcResult::Miss { writeback }
     }
 
+    /// Single-pass access-plus-install for functional warmup: a hit
+    /// updates recency exactly like [`Llc::access`]; a miss installs the
+    /// line in the same pass (dirty for writes, clean for reads) and
+    /// reports the dirty victim. State evolution — tick counts, LRU
+    /// stamps, hit/miss counters — is bit-identical to the
+    /// `access` + `fill` pair the detailed path issues, but one way scan
+    /// replaces the three that pair costs on a read miss.
+    pub fn warm_access(&mut self, pa: u64, kind: AccessKind) -> (bool, Option<u64>) {
+        let (set, tag) = self.index(pa);
+        self.tick += 1;
+        let ways = self.ways;
+        let set_bits = self.set_mask.count_ones();
+        let line_shift = self.line_shift;
+        let lines = &mut self.sets[set];
+        let mut victim = 0usize;
+        let mut victim_key = (2u8, u64::MAX);
+        for (w, l) in lines.iter_mut().enumerate().take(ways) {
+            if l.valid && l.tag == tag {
+                l.lru = self.tick;
+                if kind == AccessKind::Write {
+                    l.dirty = true;
+                }
+                self.hits += 1;
+                return (false, None);
+            }
+            let key = if l.valid { (1, l.lru) } else { (0, 0) };
+            if key < victim_key {
+                victim_key = key;
+                victim = w;
+            }
+        }
+        self.misses += 1;
+        // Second tick mirrors the separate install/fill the detailed
+        // path performs, keeping warmed state bit-identical to it.
+        self.tick += 1;
+        let old = lines[victim];
+        lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            lru: self.tick,
+        };
+        if old.valid && old.dirty {
+            let line = (old.tag << set_bits) | set as u64;
+            (true, Some(line << line_shift))
+        } else {
+            (true, None)
+        }
+    }
+
     /// Probes without updating state (used by the prefetcher).
     pub fn probe(&self, pa: u64) -> bool {
         let (set, tag) = self.index(pa);

@@ -212,6 +212,34 @@ impl Core {
         self.next_seq
     }
 
+    /// Consumes up to `max` of the pending record's bubbles without
+    /// dispatching them, returning how many were taken. The functional
+    /// warmup path batches a record's compute instructions in one step
+    /// instead of cycling each through the instruction window — bubbles
+    /// touch no architectural state the warmup preserves.
+    pub fn skip_bubbles(&mut self, max: u64) -> u64 {
+        let k = u64::from(self.pending_bubbles).min(max);
+        self.pending_bubbles -= k as u32;
+        k
+    }
+
+    /// Consumes the pending memory access without dispatching it
+    /// (functional warmup path); `None` while bubbles still precede it.
+    pub fn take_access(&mut self) -> Option<crate::trace::MemAccess> {
+        if self.pending_bubbles == 0 {
+            self.pending_access.take()
+        } else {
+            None
+        }
+    }
+
+    /// Advances the dispatch sequence counter as if `n` instructions
+    /// had been dispatched, keeping the batched functional warmup
+    /// bit-identical to the historical one-instruction-at-a-time path.
+    pub fn bump_seq(&mut self, n: u64) {
+        self.next_seq += n;
+    }
+
     /// How many cycles starting at `now` this core is provably *inert*:
     /// its per-cycle behaviour is either a full stall (window full, head
     /// not yet retirable — the cycle does nothing at all) or a purely
@@ -367,6 +395,21 @@ impl Core {
         self.retired = 0;
         self.finish_cycle = None;
         self.demand_misses = 0;
+    }
+
+    /// Starts a new measured phase mid-run: zeroes the retirement
+    /// statistics and arms a fresh instruction target. In-flight window
+    /// slots are kept — instructions dispatched by the previous phase
+    /// retire into this one, which is exactly what a mid-run measurement
+    /// boundary wants (the pipeline stays full across the boundary).
+    pub fn begin_phase(&mut self, target: u64) {
+        self.reset_measurement();
+        self.target = target;
+    }
+
+    /// Whether the in-order window holds no in-flight instructions.
+    pub fn window_empty(&self) -> bool {
+        self.window.is_empty()
     }
 }
 

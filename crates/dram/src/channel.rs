@@ -175,6 +175,84 @@ impl DramChannel {
         self.oracle.as_ref()
     }
 
+    /// Mirrors one functional fast-forward activation into the attached
+    /// oracle (no-op without one). Interval sampling advances the CROW
+    /// table without issuing commands, so the data-movement side
+    /// effects the detailed command stream would have carried — `ACT-c`
+    /// content adoption, `ACT-t` content checks, the restoration
+    /// outcome at the closing precharge — are replayed here to keep the
+    /// oracle's shadow state consistent across sampled runs.
+    pub fn warm_act(&mut self, rank: u32, bank: u32, kind: ActKind, restore: RestoreState) {
+        let Some(o) = self.oracle.as_mut() else {
+            return;
+        };
+        o.on_act(rank, bank, kind);
+        let open = match kind {
+            ActKind::Single(addr) => OpenRow::Single(addr),
+            ActKind::Copy { src, copy } => OpenRow::Pair { row: src, copy },
+            ActKind::Twin { row, copy, .. } => OpenRow::Pair { row, copy },
+        };
+        o.on_pre(rank, bank, open, restore);
+    }
+
+    /// Functionally closes every open row, as if the scheduler had
+    /// issued a `PRE` to each at `now` (or at the earliest cycle its
+    /// `tRAS`/`tWR` restore deadline allows, whichever is later). Used
+    /// at sampling fast-forward boundaries: the functional advance
+    /// mutates CROW-table state directly, and a stale open pair
+    /// surviving from the drained segment would write through rows
+    /// whose table entries no longer exist. The oracle, shadow
+    /// validator, and timing memos are settled exactly as for issued
+    /// precharges; returns one record per closed row so the controller
+    /// can settle its own bookkeeping.
+    pub fn close_all_open(&mut self, now: Cycle) -> Vec<(u32, u32, ClosedRow)> {
+        let trp = u64::from(self.cfg.timings.trp);
+        let salp = self.cfg.subarray_parallelism;
+        let mut closed = Vec::new();
+        for (r, rank) in self.ranks.iter_mut().enumerate() {
+            for (b, bank) in rank.banks.iter_mut().enumerate() {
+                if bank.open_count == 0 {
+                    continue;
+                }
+                for s in 0..bank.subarrays.len() {
+                    let Some(act) = bank.subarrays[s].open.take() else {
+                        continue;
+                    };
+                    let at = now.max(act.min_pre);
+                    let restore = act.restored_if_closed_at(at);
+                    let restore_drive = at.min(act.full_restore_at) - act.opened_at;
+                    if let Some(o) = self.oracle.as_mut() {
+                        o.on_pre(r as u32, b as u32, act.open, restore);
+                    }
+                    let sub = &mut bank.subarrays[s];
+                    sub.next_act = sub.next_act.max(at + trp);
+                    bank.open_count -= 1;
+                    if !salp {
+                        bank.next_act = bank.next_act.max(at + trp);
+                    }
+                    rank.ref_ready = rank.ref_ready.max(at + trp);
+                    closed.push((
+                        r as u32,
+                        b as u32,
+                        ClosedRow {
+                            subarray: s as u32,
+                            open: act.open,
+                            restore,
+                            restore_drive,
+                        },
+                    ));
+                }
+            }
+        }
+        if !closed.is_empty() {
+            self.issue_stamp += 1;
+            if let Some(v) = self.validator.as_mut() {
+                v.force_close_all(now);
+            }
+        }
+        closed
+    }
+
     /// Attaches a shadow protocol validator; every subsequent command is
     /// cross-checked against an independent state machine and violations
     /// are recorded (never asserted).

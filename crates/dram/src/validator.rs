@@ -404,6 +404,32 @@ impl ShadowValidator {
         }
     }
 
+    /// Functionally closes every open shadow row, mirroring the forced
+    /// precharge the channel performs at sampling fast-forward
+    /// boundaries. Each close is modeled at the earliest cycle its
+    /// `tRAS`/`tWR` deadline allows (or `now` if already past), so the
+    /// post-close timing state matches an issued `PRE`; no command is
+    /// observed and no violation is recorded.
+    pub fn force_close_all(&mut self, now: Cycle) {
+        let trp = u64::from(self.cfg.timings.trp);
+        let salp = self.cfg.subarray_parallelism;
+        for rank in &mut self.ranks {
+            for bank in &mut rank.banks {
+                for sub in &mut bank.subs {
+                    let Some(act) = sub.open.take() else {
+                        continue;
+                    };
+                    let at = now.max(act.min_pre.at);
+                    sub.next_act.raise(at + trp, TimingRule::Trp);
+                    if !salp {
+                        bank.next_act.raise(at + trp, TimingRule::Trp);
+                    }
+                    rank.ref_ready.raise(at + trp, TimingRule::Trp);
+                }
+            }
+        }
+    }
+
     /// Observes one issued command, checking address, state, and timing
     /// legality, then updates the shadow state.
     ///

@@ -1075,6 +1075,7 @@ mod tests {
             max_cycles: 1_000_000,
             threads: 1,
             checkpoints: false,
+            sample: None,
         }
     }
 

@@ -137,10 +137,17 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 fn descriptor(cfg: &SystemConfig, capacity_bytes: u64, app_names: &[&str], warmup: u64) -> String {
     let mut cpu = cfg.cpu;
     cpu.target_insts = 0;
-    format!(
+    let mut d = format!(
         "v{VERSION}|apps={app_names:?}|seed={}|warmup={warmup}|cpu={cpu:?}|capacity={capacity_bytes}|channels={}",
         cfg.seed, cfg.channels,
-    )
+    );
+    // Sampled runs key separately (appended only when sampling so every
+    // pre-sampling checkpoint file stays valid under VERSION 1).
+    if let Some(p) = &cfg.sample {
+        d.push_str("|sample=");
+        d.push_str(&p.fingerprint());
+    }
+    d
 }
 
 /// The warmup fingerprint for a built system: a stable 64-bit key over

@@ -283,6 +283,12 @@ pub struct SystemConfig {
     /// channel) shard channels across workers. Reports are bit-identical
     /// at any thread count.
     pub threads: u32,
+    /// Interval-sampling schedule ([`crate::sampling`]): measured
+    /// windows separated by functional fast-forward, with per-window
+    /// confidence intervals in the report. `None` simulates every cycle
+    /// in detail. Sampled runs always use the serial engines (the
+    /// sharded parallel driver is bypassed even when `threads > 1`).
+    pub sample: Option<crate::sampling::SamplePlan>,
 }
 
 /// Preset default for [`SystemConfig::validate_protocol`]: true iff the
@@ -312,6 +318,7 @@ impl SystemConfig {
             hammer: None,
             validate_protocol: validate_from_env(),
             threads: 1,
+            sample: None,
         }
     }
 
@@ -335,6 +342,7 @@ impl SystemConfig {
             hammer: None,
             validate_protocol: validate_from_env(),
             threads: 1,
+            sample: None,
         }
     }
 
@@ -363,6 +371,7 @@ impl SystemConfig {
             hammer: None,
             validate_protocol: validate_from_env(),
             threads: 1,
+            sample: None,
         }
     }
 

@@ -15,7 +15,10 @@ use crate::system::System;
 /// * `CROW_THREADS` — shard worker threads per simulation (default 1,
 ///   the serial engine; reports are bit-identical at any value);
 /// * `CROW_CHECKPOINTS` — `1`/`true` caches post-warmup architectural
-///   state under `results/checkpoints/` (default off).
+///   state under `results/checkpoints/` (default off);
+/// * `CROW_SAMPLE` (+ `CROW_SAMPLE_WINDOW`/`_WARMUP`/`_FF`) — interval
+///   sampling with per-window confidence intervals (default off); see
+///   [`crate::sampling::SamplePlan::from_env`].
 ///
 /// The paper simulates 200 M instructions per app; the defaults keep a
 /// full figure regeneration in the minutes range while preserving the
@@ -34,6 +37,9 @@ pub struct Scale {
     pub threads: u32,
     /// Whether to reuse warm architectural checkpoints.
     pub checkpoints: bool,
+    /// Interval-sampling schedule (`None` = full detailed runs); see
+    /// [`crate::sampling::SamplePlan`] and the `CROW_SAMPLE*` knobs.
+    pub sample: Option<crate::sampling::SamplePlan>,
 }
 
 impl Scale {
@@ -85,6 +91,7 @@ impl Scale {
                 ))
             })?,
             checkpoints,
+            sample: crate::sampling::SamplePlan::from_lookup(&lookup)?,
         };
         if scale.insts == 0 {
             return Err(CrowError::Config(crow_dram::ConfigError::new(
@@ -110,6 +117,7 @@ impl Scale {
             max_cycles: 50_000_000,
             threads: 1,
             checkpoints: false,
+            sample: None,
         }
     }
 
@@ -117,12 +125,19 @@ impl Scale {
     /// journal fingerprints so changing the scale invalidates journaled
     /// results instead of silently reusing them. `threads` and
     /// `checkpoints` are deliberately excluded: they change how fast a
-    /// result is produced, never what it is.
+    /// result is produced, never what it is. A sampling plan *does*
+    /// change what a run reports, so it joins the fingerprint (and full
+    /// runs keep their historical fingerprints).
     pub fn fingerprint(&self) -> String {
-        format!(
+        let mut fp = format!(
             "i{}w{}m{}c{}",
             self.insts, self.warmup, self.mixes_per_group, self.max_cycles
-        )
+        );
+        if let Some(p) = &self.sample {
+            fp.push_str("/s");
+            fp.push_str(&p.fingerprint());
+        }
+        fp
     }
 }
 
@@ -142,6 +157,7 @@ pub fn run_mix(apps: &[&AppProfile], mechanism: Mechanism, scale: Scale) -> SimR
 pub fn run_with_config(mut cfg: SystemConfig, apps: &[&AppProfile], scale: Scale) -> SimReport {
     cfg.cpu.target_insts = scale.insts;
     cfg.threads = scale.threads;
+    cfg.sample = scale.sample;
     let mut sys = System::new(cfg.clone(), apps);
     if scale.warmup > 0 {
         if scale.checkpoints {
@@ -294,6 +310,28 @@ mod tests {
         b.insts += 1;
         assert_eq!(a.fingerprint(), Scale::tiny().fingerprint());
         assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn scale_sampling_knobs_parse_and_join_the_fingerprint() {
+        let s = Scale::from_lookup(|_| None).unwrap();
+        assert_eq!(s.sample, None, "sampling defaults off");
+        let s =
+            Scale::from_lookup(|k| (k == "CROW_SAMPLE").then(|| "5000:2500:42500".into())).unwrap();
+        let p = s.sample.expect("plan parsed");
+        assert_eq!(p.window_insts, 5000);
+        // Sampled and full runs must never collide in a journal.
+        let mut full = Scale::tiny();
+        let mut sampled = Scale::tiny();
+        sampled.sample = Some(p);
+        assert_ne!(full.fingerprint(), sampled.fingerprint());
+        assert!(sampled.fingerprint().ends_with("/sw5000h2500f42500"));
+        // Full runs keep their historical fingerprints.
+        full.sample = None;
+        assert_eq!(full.fingerprint(), "i30000w5000m1c50000000");
+        // Malformed sampling knobs are configuration errors here too.
+        assert!(Scale::from_lookup(|k| (k == "CROW_SAMPLE").then(|| "nope".into())).is_err());
+        assert!(Scale::from_lookup(|k| (k == "CROW_SAMPLE_WINDOW").then(|| "x".into())).is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod json;
 pub mod metrics;
 mod parallel;
 pub mod report;
+pub mod sampling;
 pub mod server;
 pub mod supervise;
 pub mod system;
@@ -58,6 +59,7 @@ pub use hammer::{
 pub use json::Json;
 pub use metrics::weighted_speedup;
 pub use report::SimReport;
+pub use sampling::{MetricStats, SamplePlan, SampleStats};
 pub use server::{LineRead, LineReader, Reply, Request, ServeConfig, Server, SimJob};
 pub use supervise::{
     Admit, BreakerState, Breakers, IsolationMode, SupCounters, SuperviseConfig, Supervisor,

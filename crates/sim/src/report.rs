@@ -10,6 +10,7 @@ use crate::campaign::Journaled;
 use crate::fault::FaultStats;
 use crate::hammer::HammerStats;
 use crate::json::Json;
+use crate::sampling::SampleStats;
 
 /// Everything a finished run reports.
 #[derive(Debug, Clone)]
@@ -47,6 +48,9 @@ pub struct SimReport {
     /// [`crate::hammer::HammerScenario`]; `detections` and
     /// `mitigation_refreshes` also count ambient mitigation work).
     pub hammer: HammerStats,
+    /// Interval-sampling outcome: per-window means and 95% confidence
+    /// intervals ([`crate::sampling`]). `None` for a full detailed run.
+    pub samples: Option<SampleStats>,
     /// Wall-clock seconds the `run` call took (diagnostic; not part of
     /// the cross-engine equivalence contract).
     pub wall_seconds: f64,
@@ -171,7 +175,7 @@ impl Journaled for SimReport {
             self.hammer.detections,
             self.hammer.mitigation_refreshes,
         ];
-        Json::Obj(vec![
+        let mut fields = vec![
             ("ipc".into(), f64s(&self.ipc)),
             ("mpki".into(), f64s(&self.mpki)),
             ("cpu_cycles".into(), Json::u64(self.cpu_cycles)),
@@ -192,7 +196,13 @@ impl Journaled for SimReport {
                 "sim_cycles_per_sec".into(),
                 Json::f64(self.sim_cycles_per_sec),
             ),
-        ])
+        ];
+        // Full runs omit the key entirely, so pre-sampling journals and
+        // full-run journals are byte-identical to before.
+        if let Some(s) = &self.samples {
+            fields.push(("samples".into(), s.to_json()));
+        }
+        Json::Obj(fields)
     }
 
     fn decode(v: &Json) -> Option<Self> {
@@ -240,6 +250,13 @@ impl Journaled for SimReport {
                     mitigation_refreshes: h[5],
                 }
             }
+        };
+        // Full runs (and journals predating sampling) have no `samples`
+        // key and restore as `None`; a present-but-malformed object is
+        // still a decode error.
+        let samples = match v.get("samples") {
+            None => None,
+            Some(s) => Some(SampleStats::decode(s)?),
         };
         // 12-counter `mc` arrays predate the `neighbor_refreshes`
         // mitigation counter; both lengths decode.
@@ -307,6 +324,7 @@ impl Journaled for SimReport {
             },
             sched,
             hammer,
+            samples,
             wall_seconds: get_f64(v, "wall_seconds").unwrap_or(0.0),
             sim_cycles_per_sec: get_f64(v, "sim_cycles_per_sec").unwrap_or(0.0),
         })
@@ -334,6 +352,7 @@ mod tests {
             faults: FaultStats::default(),
             sched: SchedStats::default(),
             hammer: HammerStats::default(),
+            samples: None,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };
@@ -382,6 +401,7 @@ mod tests {
                 wakeup_skips: u64::MAX,
             },
             hammer: HammerStats::default(),
+            samples: None,
             wall_seconds: 1.5,
             sim_cycles_per_sec: 2e9,
         };
@@ -399,6 +419,70 @@ mod tests {
         assert_eq!(back.sched, r.sched);
         // Re-encoding the decoded report reproduces the bytes.
         assert_eq!(back.encode().render(), text);
+    }
+
+    #[test]
+    fn journal_with_samples_roundtrips_and_without_restores_none() {
+        use crate::sampling::{MetricStats, SamplePlan, SampleStats};
+        let mut r = SimReport {
+            ipc: vec![1.0],
+            mpki: vec![0.5],
+            cpu_cycles: 10,
+            mem_cycles: 4,
+            mc: McStats::new(),
+            commands: ChannelStats::new(),
+            crow: CrowStats::new(),
+            energy: EnergyCounter::new(),
+            finished: true,
+            violations: 0,
+            trace_faults: 0,
+            faults: FaultStats::default(),
+            sched: SchedStats::default(),
+            hammer: HammerStats::default(),
+            samples: Some(SampleStats {
+                plan: SamplePlan::default_profile(),
+                windows: 8,
+                measured_insts: 40_000,
+                warmed_insts: 20_000,
+                skipped_insts: 297_500,
+                drain_cycles: 999,
+                ipc: MetricStats {
+                    mean: 0.1 + 0.2,
+                    ci95: 1.0 / 3.0,
+                    n: 8,
+                },
+                energy_nj: MetricStats {
+                    mean: 2.5,
+                    ci95: 0.25,
+                    n: 8,
+                },
+                row_hit_rate: MetricStats {
+                    mean: 0.75,
+                    ci95: 0.01,
+                    n: 8,
+                },
+            }),
+            wall_seconds: 0.0,
+            sim_cycles_per_sec: 0.0,
+        };
+        let text = r.encode().render();
+        let back = SimReport::decode(&Json::parse(&text).unwrap()).unwrap();
+        let s = back.samples.expect("samples key restores");
+        assert_eq!(s, r.samples.unwrap());
+        assert_eq!(s.ipc.mean.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(back.encode().render(), text, "byte-exact re-encode");
+        // A full run omits the key and restores as None.
+        r.samples = None;
+        let text = r.encode().render();
+        assert!(!text.contains("samples"));
+        let back = SimReport::decode(&Json::parse(&text).unwrap()).unwrap();
+        assert!(back.samples.is_none());
+        // A present-but-malformed samples object is a decode error.
+        let Json::Obj(mut fields) = r.encode() else {
+            panic!("encode returns an object")
+        };
+        fields.push(("samples".into(), Json::Arr(vec![])));
+        assert!(SimReport::decode(&Json::Obj(fields)).is_none());
     }
 
     #[test]
@@ -421,6 +505,7 @@ mod tests {
                 ..SchedStats::default()
             },
             hammer: HammerStats::default(),
+            samples: None,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         };

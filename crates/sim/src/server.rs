@@ -249,6 +249,10 @@ pub struct SimJob {
     /// child only. Accepted only when [`ServeConfig::allow_chaos`] is
     /// set *and* isolation is process — never run in-process.
     pub chaos: Option<String>,
+    /// Interval-sampling schedule (`sample_window`/`sample_warmup`/
+    /// `sample_ff` request keys); `None` runs every cycle in detail.
+    /// Joins the fingerprint: sampled and full results never collide.
+    pub sample: Option<crate::sampling::SamplePlan>,
 }
 
 /// Hard ceilings the validator enforces on numeric request fields, so a
@@ -274,7 +278,7 @@ impl SimJob {
     /// job.
     pub fn fingerprint(&self) -> String {
         format!(
-            "serve/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}{}",
+            "serve/{}/{}/d{}/llc{}/ch{}/s{}{}{}{}{}{}{}",
             self.mechanism.to_ascii_lowercase(),
             self.apps.join("+"),
             self.density,
@@ -292,6 +296,10 @@ impl SimJob {
                 Some(c) => format!("/chaos:{c}"),
                 None => String::new(),
             },
+            match &self.sample {
+                Some(p) => format!("/sample:{}", p.fingerprint()),
+                None => String::new(),
+            },
         )
     }
 
@@ -304,6 +312,7 @@ impl SimJob {
             max_cycles: u64::MAX,
             threads: 1,
             checkpoints: false,
+            sample: self.sample,
         }
     }
 
@@ -379,6 +388,27 @@ impl SimJob {
                     None => Json::Null,
                 },
             ),
+            (
+                "sample_window",
+                match &self.sample {
+                    Some(p) => Json::u64(p.window_insts),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "sample_warmup",
+                match &self.sample {
+                    Some(p) => Json::u64(p.warmup_insts),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "sample_ff",
+                match &self.sample {
+                    Some(p) => Json::u64(p.ff_insts),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -396,6 +426,14 @@ impl SimJob {
         let chaos = match doc.get("chaos") {
             None | Some(Json::Null) => None,
             Some(c) => Some(c.as_str()?.to_string()),
+        };
+        let sample = match doc.get("sample_window") {
+            None | Some(Json::Null) => None,
+            Some(w) => Some(crate::sampling::SamplePlan {
+                window_insts: w.as_u64()?,
+                warmup_insts: u64_field("sample_warmup")?,
+                ff_insts: u64_field("sample_ff")?,
+            }),
         };
         Some(SimJob {
             id: str_field("id")?,
@@ -417,6 +455,7 @@ impl SimJob {
             validate: bool_field("validate")?,
             hammer,
             chaos,
+            sample,
         })
     }
 }
@@ -512,7 +551,7 @@ fn parse_request_doc(doc: &Json) -> Result<Request, CrowError> {
 }
 
 fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> {
-    const KEYS: [&str; 16] = [
+    const KEYS: [&str; 19] = [
         "op",
         "id",
         "apps",
@@ -529,6 +568,9 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
         "hammer_pattern",
         "hammer_intensity",
         "chaos",
+        "sample_window",
+        "sample_warmup",
+        "sample_ff",
     ];
     for (k, _) in pairs {
         if !KEYS.contains(&k.as_str()) {
@@ -655,6 +697,26 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
             Some(s.to_string())
         }
     };
+    let sample = if doc.get("sample_window").is_none()
+        && doc.get("sample_warmup").is_none()
+        && doc.get("sample_ff").is_none()
+    {
+        None
+    } else {
+        // Any subset of the three keys enables sampling; unspecified
+        // fields come from the default profile, mirroring the
+        // CROW_SAMPLE_* environment knobs.
+        let d = crate::sampling::SamplePlan::default_profile();
+        let plan = crate::sampling::SamplePlan {
+            window_insts: uint("sample_window", d.window_insts, MAX_JOB_INSTS)?,
+            warmup_insts: uint("sample_warmup", d.warmup_insts, MAX_JOB_INSTS)?,
+            ff_insts: uint("sample_ff", d.ff_insts, MAX_JOB_INSTS)?,
+        };
+        if plan.window_insts == 0 {
+            return Err(bad_req("\"sample_window\" must be positive"));
+        }
+        Some(plan)
+    };
     Ok(SimJob {
         id: id.to_string(),
         apps,
@@ -670,6 +732,7 @@ fn parse_sim(doc: &Json, pairs: &[(String, Json)]) -> Result<SimJob, CrowError> 
         validate: flag("validate")?,
         hammer,
         chaos,
+        sample,
     })
 }
 
@@ -1510,6 +1573,7 @@ pub(crate) fn run_sim(job: &SimJob, scale: Scale) -> Result<SimReport, CrowError
         .ok_or_else(|| bad_req(format!("unknown mechanism {:?}", job.mechanism)))?;
     let mut cfg = job.to_config(mech);
     cfg.cpu.target_insts = scale.insts;
+    cfg.sample = scale.sample;
     let apps: Vec<&'static AppProfile> = job
         .apps
         .iter()

@@ -818,6 +818,9 @@ fn run_spec_from_stdin() -> Result<String, String> {
         max_cycles: u64::MAX,
         threads: 1,
         checkpoints: false,
+        // The sampling plan rides the job document, not the envelope's
+        // degrade ladder: a degraded attempt keeps the job's plan.
+        sample: job.sample,
     };
     let mut policy = CampaignPolicy::new(scale);
     policy.max_retries = 0; // The parent owns the retry ladder.
@@ -1016,6 +1019,7 @@ mod tests {
             validate: false,
             hammer: Some(("double".into(), 1000)),
             chaos: None,
+            sample: Some(crate::sampling::SamplePlan::default_profile()),
         };
         let spec = runner_spec(&job, job.scale(), 2);
         let doc = Json::parse(&spec).unwrap();

@@ -562,27 +562,19 @@ impl System {
     pub fn run(&mut self, max_cpu_cycles: u64) -> SimReport {
         let started = std::time::Instant::now();
         let start_cycle = self.cpu_cycle;
-        // Attack scenarios are serial-only: the sharded driver cannot
-        // poll the generator or drain flip events mid-shard.
-        if self.cfg.threads > 1 && self.cfg.channels > 1 && self.hammer.is_none() {
-            crate::parallel::drive(self, max_cpu_cycles);
-        } else {
-            match self.cfg.engine {
-                Engine::Naive => {
-                    while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
-                        self.step(false);
-                    }
-                }
-                Engine::EventDriven => {
-                    while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
-                        let skip = self.idle_skip(max_cpu_cycles);
-                        if skip > 0 {
-                            self.apply_skip(skip);
-                        } else {
-                            self.step(true);
-                        }
-                    }
-                }
+        // Sampled runs own the phase schedule and are serial-only (the
+        // sharded driver cannot re-target cores mid-shard).
+        let sampled = self
+            .cfg
+            .sample
+            .map(|plan| crate::sampling::drive(self, plan, max_cpu_cycles));
+        if sampled.is_none() {
+            // Attack scenarios are serial-only: the sharded driver cannot
+            // poll the generator or drain flip events mid-shard.
+            if self.cfg.threads > 1 && self.cfg.channels > 1 && self.hammer.is_none() {
+                crate::parallel::drive(self, max_cpu_cycles);
+            } else {
+                self.run_serial(max_cpu_cycles);
             }
         }
         if self.cfg.validate_protocol {
@@ -592,11 +584,43 @@ impl System {
             }
         }
         let mut r = self.report();
+        if let Some(out) = sampled {
+            // The plain counters only cover the last measured phase;
+            // replace them with the per-window aggregates.
+            r.ipc = out.ipc;
+            r.mpki = out.mpki;
+            r.finished = out.complete;
+            r.samples = Some(out.stats);
+        }
         r.wall_seconds = started.elapsed().as_secs_f64();
         if r.wall_seconds > 0.0 {
             r.sim_cycles_per_sec = (self.cpu_cycle - start_cycle) as f64 / r.wall_seconds;
         }
         r
+    }
+
+    /// The serial stepping loop under the configured engine: runs until
+    /// every core reaches its current instruction target or
+    /// `max_cpu_cycles` elapse. Factored out so the sampling driver can
+    /// re-enter the detailed pipeline for each measured window.
+    pub(crate) fn run_serial(&mut self, max_cpu_cycles: u64) {
+        match self.cfg.engine {
+            Engine::Naive => {
+                while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
+                    self.step(false);
+                }
+            }
+            Engine::EventDriven => {
+                while !self.cluster.done() && self.cpu_cycle < max_cpu_cycles {
+                    let skip = self.idle_skip(max_cpu_cycles);
+                    if skip > 0 {
+                        self.apply_skip(skip);
+                    } else {
+                        self.step(true);
+                    }
+                }
+            }
+        }
     }
 
     /// Like [`System::run`], but turns bad outcomes into typed errors:
@@ -679,6 +703,7 @@ impl System {
             faults: self.fault_stats,
             sched,
             hammer,
+            samples: None,
             wall_seconds: 0.0,
             sim_cycles_per_sec: 0.0,
         }

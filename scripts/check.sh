@@ -62,6 +62,16 @@ echo "== warm checkpoint gate (second pass restores every warmup) =="
 cargo build --release -p crow-bench --bin checkpoint_gate
 target/release/checkpoint_gate
 
+echo "== sampling gate (interval sampling: accuracy, speedup, determinism) =="
+# Statistical interval sampling contracts: sampled IPC within 2% of the
+# full run on every bench-suite case at 2M insts/core under the default
+# plan; >=5x wall-clock speedup on the memory-bound mcf/random cases at
+# 6M under a stretched fast-forward (CROW-8/random asserts speedup only
+# — its long-FF restore-model drift is documented); and the sampled
+# report bit-identical across engine x scheduler for a fixed seed/plan.
+cargo build --release -p crow-bench --bin sampling_gate
+target/release/sampling_gate
+
 echo "== hammer gate (attack corrupts unmitigated, CROW suppresses) =="
 # RowHammer attack-scenario contracts: an unmitigated saturating
 # double-sided attack produces live flips, CROW detects and fully

@@ -75,6 +75,7 @@ fn combined_mechanism_beats_each_alone_on_dense_chips() {
         max_cycles: 200_000_000,
         threads: 1,
         checkpoints: false,
+        sample: None,
     };
     let apps = [app("mcf")];
     let run = |mech| {
@@ -106,6 +107,7 @@ fn crow_ref_halves_refresh_rate_and_saves_energy_at_64gbit() {
         max_cycles: 200_000_000,
         threads: 1,
         checkpoints: false,
+        sample: None,
     };
     let run = |mech| {
         let cfg = SystemConfig::paper_default(mech).with_density(64);
